@@ -1,0 +1,151 @@
+package tofu_test
+
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (EuroSys'19 Sec 7). Each benchmark runs the corresponding
+// experiment end to end — model construction, partition search, graph
+// generation, memory planning, simulation — and prints the rendered
+// artifact once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Benchmarks honor -short by trimming the
+// sweeps (the cmd/tofu-bench tool runs the full versions too).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tofu"
+	"tofu/internal/experiments"
+	"tofu/internal/models"
+	"tofu/internal/recursive"
+	"tofu/internal/sim"
+)
+
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, name string, fn func(experiments.Opts) (string, error)) {
+	b.Helper()
+	opts := experiments.Opts{Quick: testing.Short(), FlatBudget: 10 * time.Second}
+	if testing.Short() {
+		opts.FlatBudget = 2 * time.Second
+	}
+	for i := 0; i < b.N; i++ {
+		out, err := fn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, dup := printOnce.LoadOrStore(name, true); !dup {
+			fmt.Printf("\n================ %s ================\n%s\n", name, out)
+		}
+	}
+}
+
+// BenchmarkTable1SearchTime regenerates Table 1: partition search time for
+// 8 workers with the coarsened-but-flat DP (measured under budget and
+// extrapolated) versus Tofu's recursion.
+func BenchmarkTable1SearchTime(b *testing.B) {
+	runExperiment(b, "Table 1", experiments.Table1)
+}
+
+// BenchmarkTable2WeightSizes regenerates Table 2: total weight tensor sizes
+// of every benchmark model, next to the paper's numbers.
+func BenchmarkTable2WeightSizes(b *testing.B) {
+	runExperiment(b, "Table 2", experiments.Table2)
+}
+
+// BenchmarkTable3RNNComparison regenerates Table 3: Tofu vs MXNet operator
+// placement vs TensorFlow operator placement on RNNs with hidden size 4096.
+func BenchmarkTable3RNNComparison(b *testing.B) {
+	runExperiment(b, "Table 3", func(o experiments.Opts) (string, error) {
+		return experiments.Table3(o, sim.DefaultHW())
+	})
+}
+
+// BenchmarkFigure8WResNet regenerates Figure 8: WResNet training throughput
+// for Ideal/SmallBatch/Swap/Tofu, normalized to ideal, with OOM markers.
+func BenchmarkFigure8WResNet(b *testing.B) {
+	runExperiment(b, "Figure 8", func(o experiments.Opts) (string, error) {
+		return experiments.Figure8(o, sim.DefaultHW())
+	})
+}
+
+// BenchmarkFigure9RNN regenerates Figure 9: RNN training throughput for
+// Ideal/SmallBatch/Swap/Op-Placement/Tofu.
+func BenchmarkFigure9RNN(b *testing.B) {
+	runExperiment(b, "Figure 9", func(o experiments.Opts) (string, error) {
+		return experiments.Figure9(o, sim.DefaultHW())
+	})
+}
+
+// BenchmarkFigure10Algorithms regenerates Figure 10: partition-algorithm
+// quality (AllRow-Greedy, Spartan, EqualChop, ICML18, Tofu) with the
+// communication-overhead breakdown and OOMs.
+func BenchmarkFigure10Algorithms(b *testing.B) {
+	runExperiment(b, "Figure 10", func(o experiments.Opts) (string, error) {
+		return experiments.Figure10(o, sim.DefaultHW())
+	})
+}
+
+// BenchmarkFigure11Plan regenerates Figure 11: the partition Tofu finds for
+// WResNet-152-10 on 8 GPUs.
+func BenchmarkFigure11Plan(b *testing.B) {
+	runExperiment(b, "Figure 11", experiments.Figure11)
+}
+
+// BenchmarkAblations quantifies the Sec 6 design choices (MultiFetch,
+// control dependencies, spread reductions, in-place aggregation, output
+// reduction).
+func BenchmarkAblations(b *testing.B) {
+	runExperiment(b, "Ablations", func(o experiments.Opts) (string, error) {
+		return experiments.Ablations(o, sim.DefaultHW())
+	})
+}
+
+// BenchmarkPartitionSearch measures the raw recursive search on the
+// paper-scale models (the numbers behind Table 1's last row).
+func BenchmarkPartitionSearch(b *testing.B) {
+	cfgs := []models.Config{
+		{Family: "wresnet", Depth: 152, Width: 10, Batch: 8},
+		{Family: "rnn", Depth: 10, Width: 8192, Batch: 128},
+	}
+	if testing.Short() {
+		cfgs = []models.Config{{Family: "mlp", Depth: 4, Width: 512, Batch: 64}}
+	}
+	for _, cfg := range cfgs {
+		b.Run(cfg.String(), func(b *testing.B) {
+			m, err := models.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := recursive.Partition(m.G, 8, recursive.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEnd measures the full pipeline (search + generation +
+// memory planning + simulation) on the quickstart workload.
+func BenchmarkEndToEnd(b *testing.B) {
+	m, err := tofu.RNN(6, 4096, 512, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := tofu.Partition(m.G, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := tofu.Simulate(s, m.Batch)
+		if res.Throughput <= 0 {
+			b.Fatal("no throughput")
+		}
+	}
+}

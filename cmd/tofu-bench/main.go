@@ -1,0 +1,64 @@
+// Command tofu-bench regenerates the paper's evaluation artifacts (Tables
+// 1-3, Figures 8-11, ablations) on the simulated 8-GPU machine.
+//
+// Usage:
+//
+//	tofu-bench [-exp all|table1|table2|table3|fig8|fig9|fig10|fig11|ablations]
+//	           [-quick] [-flat-budget 20s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tofu/internal/experiments"
+	"tofu/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	quick := flag.Bool("quick", false, "trimmed sweeps for a fast look")
+	budget := flag.Duration("flat-budget", 20*time.Second,
+		"wall-clock budget for the non-recursive DP measurement (Table 1)")
+	flag.Parse()
+
+	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget}
+	hw := sim.DefaultHW()
+
+	type driver struct {
+		name string
+		run  func() (string, error)
+	}
+	drivers := []driver{
+		{"table1", func() (string, error) { return experiments.Table1(opts) }},
+		{"table2", func() (string, error) { return experiments.Table2(opts) }},
+		{"table3", func() (string, error) { return experiments.Table3(opts, hw) }},
+		{"fig8", func() (string, error) { return experiments.Figure8(opts, hw) }},
+		{"fig9", func() (string, error) { return experiments.Figure9(opts, hw) }},
+		{"fig10", func() (string, error) { return experiments.Figure10(opts, hw) }},
+		{"fig11", func() (string, error) { return experiments.Figure11(opts) }},
+		{"ablations", func() (string, error) { return experiments.Ablations(opts, hw) }},
+	}
+
+	ran := false
+	for _, d := range drivers {
+		if *exp != "all" && *exp != d.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		out, err := d.run()
+		if err != nil {
+			log.Fatalf("%s: %v", d.name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", d.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

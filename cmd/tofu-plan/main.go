@@ -1,0 +1,79 @@
+// Command tofu-plan searches for and prints the partition plan of a
+// benchmark model — the machine-readable version of the paper's Figure 11.
+//
+// Usage:
+//
+//	tofu-plan [-family wresnet|rnn|mlp] [-depth 152] [-width 10]
+//	          [-batch 8] [-workers 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tofu"
+)
+
+func main() {
+	family := flag.String("family", "wresnet", "model family: wresnet|rnn|mlp|transformer")
+	depth := flag.Int("depth", 152, "wresnet depth / rnn layers / mlp layers")
+	width := flag.Int64("width", 10, "wresnet widening / rnn hidden / mlp dim")
+	batch := flag.Int64("batch", 8, "global batch size")
+	workers := flag.Int64("workers", 8, "number of GPUs")
+	jsonOut := flag.String("json", "", "also write the plan as JSON to this file")
+	flag.Parse()
+
+	m, err := tofu.BuildModel(tofu.ModelConfig{
+		Family: *family, Depth: *depth, Width: *width, Batch: *batch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := tofu.Partition(m.G, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Plan.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan written to %s\n", *jsonOut)
+	}
+
+	fmt.Printf("model %s: %d operators, %d tensors\n", m.Name, len(m.G.Nodes), len(m.G.Tensors))
+	fmt.Printf("coarsened: %d groups, %d variables, frontier width %d\n",
+		s.Groups, s.Vars, s.Frontier)
+	fmt.Printf("search time: %v\n", s.SearchTime)
+	fmt.Printf("plan: %d recursive steps, total communication %.2f GB/iteration\n",
+		len(s.Plan.Steps), s.Plan.TotalComm()/(1<<30))
+	for i, st := range s.Plan.Steps {
+		fmt.Printf("  step %d: %d-way, delta=%.2f GB (states=%d, configs=%d)\n",
+			i+1, st.K, st.Delta()/(1<<30), st.States, st.Configs)
+	}
+	fmt.Printf("per-GPU memory: %.2f GB (persistent %.2f, transient %.2f, comm buffers %.2f)\n",
+		f(s.Memory.PeakBytes), f(s.Memory.PersistentBytes),
+		f(s.Memory.TransientPeak), f(s.Memory.CommBufferPeak))
+
+	fmt.Println("\nweight tensor tilings:")
+	for _, w := range m.G.Weights() {
+		if w.Shape.Elems() < 1<<16 {
+			continue // skip biases and batch-norm scales
+		}
+		fmt.Printf("  %-16s %-18s %s\n", w.Name, w.Shape, s.Plan.CutSummary(w.ID))
+	}
+
+	res := tofu.Simulate(s, m.Batch)
+	fmt.Printf("\nsimulated: %.3f s/iteration, %.1f samples/s, OOM=%v\n",
+		res.IterSeconds, res.Throughput, res.OOM)
+}
+
+func f(b int64) float64 { return float64(b) / (1 << 30) }

@@ -1,0 +1,30 @@
+// Command tofu-search reproduces Table 1: the time to find the best
+// partition for 8 workers with and without the recursion that makes Tofu's
+// search practical.
+//
+// Usage:
+//
+//	tofu-search [-flat-budget 20s] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"tofu/internal/experiments"
+)
+
+func main() {
+	budget := flag.Duration("flat-budget", 20*time.Second,
+		"wall-clock budget for the non-recursive DP before extrapolating")
+	quick := flag.Bool("quick", false, "small models for a fast look")
+	flag.Parse()
+
+	out, err := experiments.Table1(experiments.Opts{Quick: *quick, FlatBudget: *budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

@@ -1,0 +1,416 @@
+// Package coarsen implements Tofu's graph coarsening (EuroSys'19 Sec 5.1),
+// which turns the fine-grained training graph into a near-linear structure
+// the dynamic-programming search can handle:
+//
+//   - forward operators group with their auto-generated backward operators
+//     (and gradient-aggregation/optimizer operators), so the coarsened graph
+//     is isomorphic to the forward graph;
+//   - consecutive element-wise operators coalesce, because an element-wise
+//     operator's input and output must always partition identically;
+//   - unrolled RNN timesteps merge, because every timestep shares the same
+//     computation and weights.
+//
+// The result is expressed as *variables* (equivalence classes of tensors
+// forced to share a partition decision) and *groups* (sets of operators
+// whose partition decisions are made together, each organized into *slots*
+// of structurally identical per-timestep instances).
+package coarsen
+
+import (
+	"fmt"
+	"sort"
+
+	"tofu/internal/graph"
+	"tofu/internal/shape"
+)
+
+// Var is one partition decision variable: a set of same-shaped tensors that
+// must share a cut (element-wise neighbors, timestep twins, and a weight
+// with its gradient and optimizer state, which the element-wise update op
+// ties together).
+type Var struct {
+	ID      int
+	Tensors []*graph.Tensor
+	Shape   shape.Shape // common shape of all members
+	// HasWeight marks variables containing a trainable parameter.
+	HasWeight bool
+	// first/last group index referencing this var; set by buildGroups.
+	First, Last int
+}
+
+// Bytes returns the per-member storage size times the member count — the
+// total bytes this variable's decision governs.
+func (v *Var) Bytes() int64 {
+	if len(v.Tensors) == 0 {
+		return 0
+	}
+	return v.Tensors[0].Bytes() * int64(len(v.Tensors))
+}
+
+func (v *Var) String() string {
+	return fmt.Sprintf("var%d%v x%d", v.ID, v.Shape, len(v.Tensors))
+}
+
+// Slot is a set of structurally identical operator instances (one per
+// timestep for merged RNN cells, exactly one otherwise) that share a
+// partition strategy; its cost is priced once and multiplied.
+type Slot struct {
+	Ops []*graph.Node
+}
+
+// Rep returns the representative operator.
+func (s *Slot) Rep() *graph.Node { return s.Ops[0] }
+
+// Group is one step of the DP: operators whose partition decisions are made
+// together (a forward op, its backward ops, attached aggregations and
+// updates, merged across timesteps).
+type Group struct {
+	ID    int
+	Slots []*Slot
+	// Vars lists every variable any member op touches, sorted by ID.
+	Vars []*Var
+}
+
+// Coarse is the coarsened view of a training graph.
+type Coarse struct {
+	G      *graph.Graph
+	Vars   []*Var
+	Groups []*Group
+	varOf  map[int]*Var // tensor ID -> var
+}
+
+// VarOf returns the variable owning a tensor.
+func (c *Coarse) VarOf(t *graph.Tensor) *Var { return c.varOf[t.ID] }
+
+// MaxFrontier returns the maximum number of variables simultaneously live
+// across a group boundary — the DP's state width. The paper's linearity
+// claim (MLP/CNN/RNN coarsen to chains) shows up here as a small constant.
+func (c *Coarse) MaxFrontier() int {
+	max := 0
+	for gi := range c.Groups {
+		live := 0
+		for _, v := range c.Vars {
+			if v.First <= gi && v.Last > gi {
+				live++
+			}
+		}
+		if live > max {
+			max = live
+		}
+	}
+	return max
+}
+
+// Coarsen builds the coarsened view of a training graph.
+func Coarsen(g *graph.Graph) (*Coarse, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	// --- tensor variables: union-find over tensors --------------------
+	tuf := newUF(len(g.Tensors))
+
+	// Element-wise coalescing: inputs and output of an element-wise op share
+	// a partition.
+	ewNode := make([]bool, len(g.Nodes))
+	for i, n := range g.Nodes {
+		d, err := g.Describe(n)
+		if err != nil {
+			return nil, fmt.Errorf("coarsen: %v: %w", n, err)
+		}
+		if !d.IsElementwise() {
+			continue
+		}
+		ewNode[i] = true
+		for _, in := range n.Inputs {
+			if in.Shape.Equal(n.Output.Shape) {
+				tuf.union(in.ID, n.Output.ID)
+			}
+		}
+	}
+
+	// Timestep merging: structurally identical ops across timesteps share
+	// slots; their same-position tensors share variables.
+	slots := buildSlots(g)
+	for _, ops := range slots {
+		rep := ops[0]
+		for _, n := range ops[1:] {
+			for p := range n.Inputs {
+				if n.Inputs[p].Shape.Equal(rep.Inputs[p].Shape) {
+					tuf.union(n.Inputs[p].ID, rep.Inputs[p].ID)
+				}
+			}
+			tuf.union(n.Output.ID, rep.Output.ID)
+		}
+	}
+
+	// Materialize variables.
+	c := &Coarse{G: g, varOf: make(map[int]*Var, len(g.Tensors))}
+	roots := map[int]*Var{}
+	for _, t := range g.Tensors {
+		r := tuf.find(t.ID)
+		v, ok := roots[r]
+		if !ok {
+			v = &Var{ID: len(c.Vars), Shape: t.Shape}
+			roots[r] = v
+			c.Vars = append(c.Vars, v)
+		}
+		if !v.Shape.Equal(t.Shape) {
+			return nil, fmt.Errorf("coarsen: variable %v merged mismatched shapes %v vs %v (tensor %v)",
+				v, v.Shape, t.Shape, t)
+		}
+		v.Tensors = append(v.Tensors, t)
+		if t.Kind == graph.Weight {
+			v.HasWeight = true
+		}
+		c.varOf[t.ID] = v
+	}
+
+	// --- operator groups: union-find over nodes -------------------------
+	nuf := newUF(len(g.Nodes))
+	// Backward ops join their forward op.
+	for _, n := range g.Nodes {
+		if n.FwdOf != nil {
+			nuf.union(n.ID, n.FwdOf.ID)
+		}
+	}
+	// Optimizer updates join the group producing their gradient input, so a
+	// weight variable's whole lifetime (forward use, gradient, update) is
+	// decided in one DP step — the paper's weight tensor groups.
+	for _, n := range g.Nodes {
+		if n.Op != "sgd_update" && n.Op != "adam_update" {
+			continue
+		}
+		if len(n.Inputs) >= 2 && n.Inputs[1].Producer != nil {
+			nuf.union(n.ID, n.Inputs[1].Producer.ID)
+		}
+	}
+	// Timestep slot members join.
+	for _, ops := range slots {
+		for _, n := range ops[1:] {
+			nuf.union(n.ID, ops[0].ID)
+		}
+	}
+	// Consecutive element-wise ops coalesce — but only forward operators
+	// along single-consumer edges. Backward element-wise ops (and gradient
+	// aggregations/identity wraps) already join groups through FwdOf;
+	// letting them union freely would bridge residual blocks through the
+	// skip connection's shared gradient and fuse a whole ResNet stage into
+	// one group, exploding the within-group combinatorial search. Tensor
+	// *variables* still merge across all element-wise edges above, which is
+	// what collapses the skip chain into a single decision.
+	for i, n := range g.Nodes {
+		if !ewNode[i] || n.FwdOf != nil || n.GradAgg {
+			continue
+		}
+		for _, in := range n.Inputs {
+			p := in.Producer
+			if p == nil || len(in.Consumers) != 1 {
+				continue
+			}
+			if ewNode[indexOf(g, p)] && p.FwdOf == nil && !p.GradAgg {
+				nuf.union(n.ID, p.ID)
+			}
+		}
+	}
+
+	if err := buildGroups(c, g, nuf, slots); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func indexOf(g *graph.Graph, n *graph.Node) int { return n.ID }
+
+// buildSlots groups UnrollTag'd nodes into per-structural-position slots.
+// The slot key is (tag, op, attr signature, ordinal among same-key ops in
+// the same timestep); instances whose shapes disagree are left unmerged.
+func buildSlots(g *graph.Graph) [][]*graph.Node {
+	type key struct {
+		tag, op, attrs string
+		ordinal        int
+	}
+	perStepCount := map[string]map[key]int{} // tag/timestep -> key -> count
+	bySlot := map[key][]*graph.Node{}
+	var order []key
+	for _, n := range g.Nodes {
+		if n.UnrollTag == "" {
+			continue
+		}
+		stepID := fmt.Sprintf("%s@%d", n.UnrollTag, n.Timestep)
+		if perStepCount[stepID] == nil {
+			perStepCount[stepID] = map[key]int{}
+		}
+		k := key{tag: n.UnrollTag, op: n.Op, attrs: attrSig(n)}
+		k.ordinal = perStepCount[stepID][key{tag: k.tag, op: k.op, attrs: k.attrs}]
+		perStepCount[stepID][key{tag: k.tag, op: k.op, attrs: k.attrs}]++
+		if _, seen := bySlot[k]; !seen {
+			order = append(order, k)
+		}
+		bySlot[k] = append(bySlot[k], n)
+	}
+
+	var out [][]*graph.Node
+	for _, k := range order {
+		ops := bySlot[k]
+		// Keep only shape-consistent instances merged; demote stragglers.
+		rep := ops[0]
+		var merged []*graph.Node
+		for _, n := range ops {
+			if sameSignature(rep, n) {
+				merged = append(merged, n)
+			} else {
+				out = append(out, []*graph.Node{n})
+			}
+		}
+		out = append(out, merged)
+	}
+	return out
+}
+
+func sameSignature(a, b *graph.Node) bool {
+	if a.Op != b.Op || len(a.Inputs) != len(b.Inputs) {
+		return false
+	}
+	for i := range a.Inputs {
+		if !a.Inputs[i].Shape.Equal(b.Inputs[i].Shape) {
+			return false
+		}
+	}
+	return a.Output.Shape.Equal(b.Output.Shape)
+}
+
+func attrSig(n *graph.Node) string {
+	if len(n.Attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%d;", k, n.Attrs[k])
+	}
+	return s
+}
+
+// buildGroups materializes groups from the node union-find, orders them by
+// earliest member node, slices each into slots, and computes variable
+// liveness (First/Last group references).
+func buildGroups(c *Coarse, g *graph.Graph, nuf *uf, slots [][]*graph.Node) error {
+	members := map[int][]*graph.Node{}
+	for _, n := range g.Nodes {
+		r := nuf.find(n.ID)
+		members[r] = append(members[r], n)
+	}
+	// Order groups by their earliest node ID: forward topological order.
+	type gp struct {
+		min int
+		ns  []*graph.Node
+	}
+	var gps []gp
+	for _, ns := range members {
+		min := ns[0].ID
+		for _, n := range ns {
+			if n.ID < min {
+				min = n.ID
+			}
+		}
+		gps = append(gps, gp{min: min, ns: ns})
+	}
+	sort.Slice(gps, func(i, j int) bool { return gps[i].min < gps[j].min })
+
+	// Slot membership lookup: node -> slot leader node.
+	slotLeader := map[int]*graph.Node{}
+	for _, ops := range slots {
+		for _, n := range ops {
+			slotLeader[n.ID] = ops[0]
+		}
+	}
+
+	for gi, grp := range gps {
+		group := &Group{ID: gi}
+		bySlot := map[int]*Slot{}
+		var slotOrder []int
+		for _, n := range grp.ns {
+			leader := n
+			if l, ok := slotLeader[n.ID]; ok {
+				leader = l
+			}
+			s, ok := bySlot[leader.ID]
+			if !ok {
+				s = &Slot{}
+				bySlot[leader.ID] = s
+				slotOrder = append(slotOrder, leader.ID)
+			}
+			s.Ops = append(s.Ops, n)
+		}
+		sort.Ints(slotOrder)
+		seen := map[int]bool{}
+		for _, id := range slotOrder {
+			s := bySlot[id]
+			group.Slots = append(group.Slots, s)
+			for _, n := range s.Ops {
+				for _, in := range n.Inputs {
+					v := c.varOf[in.ID]
+					if !seen[v.ID] {
+						seen[v.ID] = true
+						group.Vars = append(group.Vars, v)
+					}
+				}
+				v := c.varOf[n.Output.ID]
+				if !seen[v.ID] {
+					seen[v.ID] = true
+					group.Vars = append(group.Vars, v)
+				}
+			}
+		}
+		sort.Slice(group.Vars, func(i, j int) bool { return group.Vars[i].ID < group.Vars[j].ID })
+		c.Groups = append(c.Groups, group)
+	}
+
+	// Variable liveness across the group order.
+	for _, v := range c.Vars {
+		v.First, v.Last = -1, -1
+	}
+	for gi, grp := range c.Groups {
+		for _, v := range grp.Vars {
+			if v.First < 0 {
+				v.First = gi
+			}
+			v.Last = gi
+		}
+	}
+	// Variables never referenced by any op (dangling tensors) live nowhere;
+	// they are dropped from the DP by construction.
+	return nil
+}
+
+// --- tiny union-find -------------------------------------------------------
+
+type uf struct{ parent []int }
+
+func newUF(n int) *uf {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &uf{parent: p}
+}
+
+func (u *uf) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *uf) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}

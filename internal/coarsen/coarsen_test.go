@@ -1,0 +1,231 @@
+package coarsen
+
+import (
+	"testing"
+
+	"tofu/internal/graph"
+	"tofu/internal/models"
+	"tofu/internal/shape"
+)
+
+func mlp(t *testing.T, layers int) *models.Model {
+	t.Helper()
+	m, err := models.MLP(layers, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCoarsenMLPChain(t *testing.T) {
+	m := mlp(t, 4)
+	c, err := Coarsen(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Vars) == 0 || len(c.Groups) == 0 {
+		t.Fatal("empty coarsening")
+	}
+	// The paper's linearity claim: an MLP coarsens to (near) a chain. The
+	// frontier carries the activation and its gradient variable.
+	if fw := c.MaxFrontier(); fw > 4 {
+		t.Fatalf("MLP frontier width = %d, want <= 4", fw)
+	}
+	// Far fewer groups than nodes: fwd+bwd grouping at work.
+	if len(c.Groups) >= len(m.G.Nodes)/2 {
+		t.Fatalf("groups = %d for %d nodes: fwd/bwd grouping ineffective",
+			len(c.Groups), len(m.G.Nodes))
+	}
+}
+
+func TestWeightGradHistoryShareVariable(t *testing.T) {
+	m := mlp(t, 2)
+	c, err := Coarsen(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range m.G.Weights() {
+		if w.Grad == nil {
+			continue
+		}
+		wv := c.VarOf(w)
+		gv := c.VarOf(w.Grad)
+		if wv != gv {
+			t.Errorf("weight %v and its gradient are in different variables", w)
+		}
+		if !wv.HasWeight {
+			t.Errorf("variable of %v not marked HasWeight", w)
+		}
+	}
+	// Optimizer history joins too (element-wise adam_update).
+	for _, ten := range m.G.Tensors {
+		if ten.Kind == graph.OptState {
+			base := findWeight(m.G, ten.Name)
+			if base != nil && c.VarOf(ten) != c.VarOf(base) {
+				t.Errorf("optimizer state %v split from its weight", ten)
+			}
+		}
+	}
+}
+
+func findWeight(g *graph.Graph, histName string) *graph.Tensor {
+	want := histName[:len(histName)-len(".hist")]
+	for _, t := range g.Tensors {
+		if t.Kind == graph.Weight && t.Name == want {
+			return t
+		}
+	}
+	return nil
+}
+
+func TestElementwiseCoalescing(t *testing.T) {
+	g := graph.New()
+	x := g.Input("x", shape.Of(8, 8))
+	a := g.Apply("relu", nil, x)
+	b := g.Apply("sigmoid", nil, a)
+	cdf := g.Apply("tanh", nil, b)
+	c, err := Coarsen(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four tensors share one variable; all three ops share one group.
+	if c.VarOf(x) != c.VarOf(a) || c.VarOf(a) != c.VarOf(b) || c.VarOf(b) != c.VarOf(cdf) {
+		t.Fatal("element-wise chain must share one variable")
+	}
+	if len(c.Groups) != 1 {
+		t.Fatalf("element-wise chain groups = %d, want 1", len(c.Groups))
+	}
+}
+
+func TestNonElementwiseBreaksCoalescing(t *testing.T) {
+	g := graph.New()
+	x := g.Input("x", shape.Of(8, 8))
+	w := g.Weight("w", shape.Of(8, 8))
+	a := g.Apply("relu", nil, x)
+	b := g.Apply("matmul", nil, a, w)
+	cdf := g.Apply("relu", nil, b)
+	c, err := Coarsen(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.VarOf(a) == c.VarOf(b) {
+		t.Fatal("matmul must not merge its input and output variables")
+	}
+	if c.VarOf(b) != c.VarOf(cdf) {
+		t.Fatal("relu after matmul should merge with matmul output")
+	}
+}
+
+func TestRNNTimestepMerging(t *testing.T) {
+	m, err := models.RNN(2, 128, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Coarsen(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timestep merging: the group count must not scale with the number of
+	// timesteps (6 here). A couple dozen structural groups per layer remain
+	// (cell matmuls, gates, state updates), each spanning all timesteps.
+	if len(c.Groups) > 20*2+5 {
+		t.Fatalf("RNN coarsened to %d groups; timestep merging ineffective", len(c.Groups))
+	}
+	if len(c.Groups) > len(m.G.Nodes)/8 {
+		t.Fatalf("RNN groups = %d of %d nodes", len(c.Groups), len(m.G.Nodes))
+	}
+	// Multi-op slots exist (one op instance per timestep).
+	multi := 0
+	for _, g := range c.Groups {
+		for _, s := range g.Slots {
+			if len(s.Ops) >= 6 {
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no slot spans all timesteps")
+	}
+	if fw := c.MaxFrontier(); fw > 6 {
+		t.Fatalf("RNN frontier width = %d, want small", fw)
+	}
+}
+
+func TestWResNetFrontierStaysSmall(t *testing.T) {
+	m, err := models.WResNet(50, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Coarsen(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual fork-join: the frontier carries the skip connection plus
+	// adjacent batch-norm statistics variables (most have a single viable
+	// cut, so the DP state space stays tiny).
+	if fw := c.MaxFrontier(); fw > 16 {
+		t.Fatalf("WResNet frontier width = %d, want <= 16", fw)
+	}
+	// Grouping must compress heavily relative to >1500 fine-grained ops.
+	if len(c.Groups) > len(m.G.Nodes)/2 {
+		t.Fatalf("WResNet groups = %d of %d nodes", len(c.Groups), len(m.G.Nodes))
+	}
+}
+
+func TestVarShapesConsistent(t *testing.T) {
+	m := mlp(t, 3)
+	c, err := Coarsen(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.Vars {
+		for _, ten := range v.Tensors {
+			if !ten.Shape.Equal(v.Shape) {
+				t.Fatalf("variable %v holds mismatched member %v", v, ten)
+			}
+		}
+	}
+}
+
+func TestGroupLivenessWellFormed(t *testing.T) {
+	m := mlp(t, 3)
+	c, err := Coarsen(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.Vars {
+		if v.First < 0 {
+			continue
+		}
+		if v.Last < v.First {
+			t.Fatalf("variable %v has Last < First", v)
+		}
+	}
+	// Every group's vars include the output var of each slot's rep op.
+	for _, g := range c.Groups {
+		vars := map[int]bool{}
+		for _, v := range g.Vars {
+			vars[v.ID] = true
+		}
+		for _, s := range g.Slots {
+			if !vars[c.VarOf(s.Rep().Output).ID] {
+				t.Fatalf("group %d missing its slot output var", g.ID)
+			}
+		}
+	}
+}
+
+func TestVarBytes(t *testing.T) {
+	g := graph.New()
+	x := g.Input("x", shape.Of(4, 4))
+	y := g.Apply("relu", nil, x)
+	_ = y
+	c, err := Coarsen(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := c.VarOf(x)
+	if v.Bytes() != 2*4*4*4 {
+		t.Fatalf("Bytes = %d (members %d)", v.Bytes(), len(v.Tensors))
+	}
+}

@@ -1,0 +1,93 @@
+// Package core wires Tofu's pieces into the end-to-end pipeline the paper
+// describes: TDL descriptions and their symbolic-interval analysis discover
+// each operator's partition strategies (Sec 4), coarsening and the recursive
+// DP choose the plan (Sec 5), graph generation materializes the per-worker
+// execution with its memory optimizations (Sec 6), and the memory planner
+// plus simulator stand in for MXNet's allocator and the 8-GPU testbed.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tofu/internal/coarsen"
+	"tofu/internal/graph"
+	"tofu/internal/graphgen"
+	"tofu/internal/memplan"
+	"tofu/internal/plan"
+	"tofu/internal/recursive"
+	"tofu/internal/sim"
+)
+
+// Options configure the pipeline.
+type Options struct {
+	// Search forwards to the recursive partitioner.
+	Search recursive.Options
+	// Gen toggles the Sec 6 graph-generation optimizations.
+	Gen graphgen.Options
+	// Mem configures the per-worker memory planner.
+	Mem memplan.Options
+	// HW overrides the simulated machine (DefaultHW when zero).
+	HW *sim.HW
+}
+
+// DefaultOptions matches the full system.
+func DefaultOptions() Options {
+	return Options{Gen: graphgen.DefaultOptions(), Mem: memplan.DefaultOptions()}
+}
+
+// Summary is the result of partitioning a training graph end to end.
+type Summary struct {
+	// Plan is the chosen partition plan (one basic plan per recursive step).
+	Plan *plan.Plan
+	// Sharded is the per-worker execution structure.
+	Sharded *graphgen.Sharded
+	// Memory is the per-worker footprint under the plan.
+	Memory memplan.Report
+	// SearchTime is the wall-clock cost of the search (Table 1's metric).
+	SearchTime time.Duration
+	// Frontier is the coarsened graph's maximum DP frontier width.
+	Frontier int
+	// Groups and Vars describe the coarsened search space.
+	Groups, Vars int
+}
+
+// Partition runs the full Tofu pipeline on a training graph for k workers.
+func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	co, err := coarsen.Coarsen(g)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	p, err := recursive.Partition(g, k, opts.Search)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	sh, err := graphgen.Generate(g, p, opts.Gen)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{
+		Plan:       p,
+		Sharded:    sh,
+		Memory:     memplan.Plan(sh, opts.Mem),
+		SearchTime: elapsed,
+		Frontier:   co.MaxFrontier(),
+		Groups:     len(co.Groups),
+		Vars:       len(co.Vars),
+	}, nil
+}
+
+// Simulate runs one training iteration of the partitioned graph on the
+// simulated machine and reports timing, throughput and memory.
+func Simulate(s *Summary, batch int64, opts Options) sim.Result {
+	hw := sim.DefaultHW()
+	if opts.HW != nil {
+		hw = *opts.HW
+	}
+	return sim.Run(s.Sharded, hw, batch, opts.Mem, sim.RunOptions{})
+}

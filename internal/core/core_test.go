@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"tofu/internal/models"
+	"tofu/internal/partition"
+	"tofu/internal/recursive"
+	"tofu/internal/sim"
+)
+
+func TestPartitionEndToEnd(t *testing.T) {
+	m, err := models.RNN(2, 1024, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Partition(m.G, 8, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Plan.Steps) != 3 {
+		t.Fatalf("steps = %d", len(s.Plan.Steps))
+	}
+	if s.SearchTime <= 0 {
+		t.Fatal("no search time recorded")
+	}
+	if s.Groups <= 0 || s.Vars <= 0 || s.Frontier <= 0 {
+		t.Fatalf("coarsening stats missing: %+v", s)
+	}
+	if s.Memory.PeakBytes <= 0 {
+		t.Fatal("no memory report")
+	}
+	res := Simulate(s, m.Batch, DefaultOptions())
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestPartitionWithRestrictedSearch(t *testing.T) {
+	m, err := models.MLP(2, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Search = recursive.Options{
+		StrategyFilter: func(st partition.Strategy) bool {
+			return st.Kind != partition.SplitReduce
+		},
+	}
+	s, err := Partition(m.G, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range s.Plan.Steps {
+		for _, st := range step.OpStrategy {
+			if st.Kind == partition.SplitReduce {
+				t.Fatal("restricted search used output reduction")
+			}
+		}
+	}
+}
+
+func TestSimulateWithCustomHW(t *testing.T) {
+	m, err := models.MLP(2, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Partition(m.G, 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := sim.DefaultHW()
+	fast.PeakFLOPS *= 10
+	opts := DefaultOptions()
+	opts.HW = &fast
+	quick := Simulate(s, m.Batch, opts)
+	slow := Simulate(s, m.Batch, DefaultOptions())
+	if quick.IterSeconds >= slow.IterSeconds {
+		t.Fatalf("10x faster GPUs should be faster: %g vs %g", quick.IterSeconds, slow.IterSeconds)
+	}
+}
+
+func TestPartitionValidatesGraph(t *testing.T) {
+	m, err := models.MLP(1, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the graph: break topological order.
+	m.G.Nodes[0], m.G.Nodes[len(m.G.Nodes)-1] = m.G.Nodes[len(m.G.Nodes)-1], m.G.Nodes[0]
+	if _, err := Partition(m.G, 2, DefaultOptions()); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

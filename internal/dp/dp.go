@@ -1,0 +1,618 @@
+// Package dp implements the per-step dynamic-programming search over the
+// coarsened graph (EuroSys'19 Sec 5.1). It generalizes the chain DP of
+// ICML18 [14] to a frontier sweep: groups are processed in the coarsened
+// order; the DP state is the cut assignment of every variable live across
+// the current boundary. On a chain this is exactly the classic algorithm; on
+// WResNet's fork-join residual structure (linear by the paper's
+// homeomorphism definition) the frontier simply carries one extra variable.
+// Within each group the search brute-forces the member operators' strategy
+// choices — the paper's "combinatorial search among all member
+// operators/tensors within the group".
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tofu/internal/coarsen"
+	"tofu/internal/partition"
+	"tofu/internal/shape"
+)
+
+// Problem is one invocation of the per-step search: partition every tensor
+// along one dimension among K worker groups, minimizing total communication.
+//
+// Costs are priced at the graph's ORIGINAL shapes. Lemma 1 shows a basic
+// plan's cost is Σ α_t·S_t where the α depend only on strategy/cut
+// alignment, so at recursive step i (when every tensor is 1/mult of its
+// original size) the true cost is the original-shape cost divided by mult —
+// the same argmin. Pricing at original shapes keeps the cost function
+// exactly linear (Theorem 1's commutativity), while divisibility is checked
+// against the current, already-divided shapes.
+type Problem struct {
+	Coarse *coarsen.Coarse
+	K      int64
+	// Shapes maps tensor ID to its current shape at this recursive step;
+	// it gates which dimensions may still be cut.
+	Shapes map[int]shape.Shape
+	DType  shape.DType
+	// StrategyFilter, if non-nil, restricts the operator strategies the
+	// search may use (the ICML18 baseline drops output reduction).
+	StrategyFilter func(partition.Strategy) bool
+	// MaxStates bounds the DP frontier (0 = exact, unlimited). Graphs with
+	// higher cutwidth than the paper's chains/residuals — e.g. attention
+	// blocks fanning one tensor into Q/K/V — can explode the exact state
+	// space; with a bound, only the cheapest MaxStates states survive each
+	// step (beam search: near-optimal in practice, no optimality proof).
+	MaxStates int
+}
+
+// Result is the chosen basic partition plan for one step.
+type Result struct {
+	// VarCut maps coarsened-variable ID to the chosen cut dimension.
+	VarCut map[int]int
+	// TensorCut expands VarCut to every member tensor ID.
+	TensorCut map[int]int
+	// OpStrategy maps node ID to the chosen partition strategy.
+	OpStrategy map[int]partition.Strategy
+	// OpComm itemizes each node's communication (fetch vs output bytes,
+	// summed over all workers at this step) — the graph generator turns
+	// these into MultiFetch and reduce tasks.
+	OpComm map[int]partition.Parts
+	// CommBytes is δ_i for this basic plan: total communication across all
+	// worker groups, priced at the graph's original shapes (see Problem).
+	CommBytes float64
+	// States is the number of DP states explored (search-effort metric for
+	// Table 1).
+	States int
+	// Configs is the number of (state x choice) combinations evaluated.
+	Configs int
+}
+
+type slotEval struct {
+	slot   *coarsen.Slot
+	spec   *partition.Spec
+	priced *partition.Priced
+	inVars []*coarsen.Var
+	outVar *coarsen.Var
+	mult   float64
+	memo   map[string]slotBest
+}
+
+type slotBest struct {
+	si   int
+	cost float64
+}
+
+// Solve runs the frontier DP.
+func Solve(p *Problem) (*Result, error) {
+	c := p.Coarse
+	if p.K < 2 {
+		return nil, fmt.Errorf("dp: K must be >= 2, got %d", p.K)
+	}
+
+	// Enumerate per-variable configs (cuttable dimensions at this step).
+	varConfigs := make(map[int][]int, len(c.Vars))
+	for _, v := range c.Vars {
+		if v.First < 0 {
+			continue // never referenced by an operator
+		}
+		s := p.Shapes[v.Tensors[0].ID]
+		var dims []int
+		for d := 0; d < s.Rank(); d++ {
+			if s.CanSplit(d, p.K) {
+				dims = append(dims, d)
+			}
+		}
+		if len(dims) == 0 {
+			return nil, fmt.Errorf("dp: variable %v shape %v has no dimension divisible by %d", v, s, p.K)
+		}
+		varConfigs[v.ID] = dims
+	}
+
+	// Prepare slot evaluators (interval analysis once per slot).
+	evals := make(map[*coarsen.Slot]*slotEval)
+	for _, g := range c.Groups {
+		for _, s := range g.Slots {
+			ev, err := newSlotEval(p, s)
+			if err != nil {
+				return nil, err
+			}
+			evals[s] = ev
+		}
+	}
+
+	// Frontier DP over groups.
+	states := map[string]dpEntry{"": {cost: 0}}
+	res := &Result{
+		VarCut: map[int]int{}, TensorCut: map[int]int{},
+		OpStrategy: map[int]partition.Strategy{}, OpComm: map[int]partition.Parts{},
+	}
+	trace := make([]map[string]dpEntry, len(c.Groups))
+
+	for gi, g := range c.Groups {
+		var newVars []*coarsen.Var
+		for _, v := range g.Vars {
+			if v.First == gi {
+				newVars = append(newVars, v)
+			}
+		}
+		next := map[string]dpEntry{}
+		for key, st := range states {
+			assign := decodeState(key)
+			combos := enumCombos(newVars, varConfigs)
+			for _, combo := range combos {
+				res.Configs++
+				full := make(map[int]int, len(assign)+len(combo))
+				for k, v := range assign {
+					full[k] = v
+				}
+				for k, v := range combo {
+					full[k] = v
+				}
+				cost, err := groupCost(g, evals, full)
+				if err != nil {
+					return nil, err
+				}
+				// Drop variables whose liveness ends at this group.
+				nextAssign := make(map[int]int, len(full))
+				for id, dim := range full {
+					if varByID(c, id).Last > gi {
+						nextAssign[id] = dim
+					}
+				}
+				nk := encodeState(nextAssign)
+				total := st.cost + cost
+				if old, ok := next[nk]; !ok || total < old.cost {
+					next[nk] = dpEntry{cost: total, parent: key, decided: combo}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("dp: no feasible assignment at group %d", gi)
+		}
+		if p.MaxStates > 0 && len(next) > p.MaxStates {
+			next = pruneStates(next, p.MaxStates)
+		}
+		trace[gi] = next
+		states = next
+		res.States += len(next)
+	}
+
+	// The final frontier must be empty (every variable's liveness closed).
+	final, ok := states[""]
+	if !ok {
+		// Defensive: pick the cheapest remaining state.
+		bestKey, bestCost := "", math.Inf(1)
+		for k, e := range states {
+			if e.cost < bestCost {
+				bestKey, bestCost = k, e.cost
+			}
+		}
+		final = states[bestKey]
+	}
+	res.CommBytes = final.cost
+
+	// Backtrack decisions.
+	key := ""
+	if _, ok := states[""]; !ok {
+		for k := range states {
+			key = k
+			break
+		}
+	}
+	cur := key
+	for gi := len(c.Groups) - 1; gi >= 0; gi-- {
+		e := trace[gi][cur]
+		for id, dim := range e.decided {
+			res.VarCut[id] = dim
+		}
+		cur = e.parent
+	}
+
+	// Expand to tensors and pick per-op strategies under the final cuts.
+	for _, v := range c.Vars {
+		dim, ok := res.VarCut[v.ID]
+		if !ok {
+			continue
+		}
+		for _, t := range v.Tensors {
+			res.TensorCut[t.ID] = dim
+		}
+	}
+	for _, g := range c.Groups {
+		for _, s := range g.Slots {
+			ev := evals[s]
+			si, _, err := ev.best(res.VarCut)
+			if err != nil {
+				return nil, err
+			}
+			parts, err := ev.parts(si, res.VarCut)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range s.Ops {
+				res.OpStrategy[n.ID] = ev.priced.Strategies[si]
+				res.OpComm[n.ID] = parts
+			}
+		}
+	}
+	return res, nil
+}
+
+func varByID(c *coarsen.Coarse, id int) *coarsen.Var { return c.Vars[id] }
+
+// dpEntry is one frontier state: its accumulated cost, the predecessor
+// state's key, and the variables decided at the transition into it.
+type dpEntry struct {
+	cost    float64
+	parent  string
+	decided map[int]int
+}
+
+// pruneStates keeps the cheapest max states (beam bound).
+func pruneStates(next map[string]dpEntry, max int) map[string]dpEntry {
+	type kc struct {
+		key  string
+		cost float64
+	}
+	costs := make([]kc, 0, len(next))
+	for k, e := range next {
+		costs = append(costs, kc{key: k, cost: e.cost})
+	}
+	sort.Slice(costs, func(i, j int) bool { return costs[i].cost < costs[j].cost })
+	out := make(map[string]dpEntry, max)
+	for _, c := range costs[:max] {
+		out[c.key] = next[c.key]
+	}
+	return out
+}
+
+// Evaluate prices a complete variable assignment without searching — the
+// heuristic baselines (AllRow-Greedy, Spartan) choose cuts by their own
+// rules and use this to cost them, and tests use it to cross-check the DP's
+// optimality.
+func Evaluate(p *Problem, varCut map[int]int) (*Result, error) {
+	c := p.Coarse
+	res := &Result{
+		VarCut: varCut, TensorCut: map[int]int{},
+		OpStrategy: map[int]partition.Strategy{}, OpComm: map[int]partition.Parts{},
+	}
+	for _, g := range c.Groups {
+		for _, s := range g.Slots {
+			ev, err := newSlotEval(p, s)
+			if err != nil {
+				return nil, err
+			}
+			si, cost, err := ev.best(varCut)
+			if err != nil {
+				return nil, err
+			}
+			parts, err := ev.parts(si, varCut)
+			if err != nil {
+				return nil, err
+			}
+			res.CommBytes += cost * ev.mult
+			for _, n := range s.Ops {
+				res.OpStrategy[n.ID] = ev.priced.Strategies[si]
+				res.OpComm[n.ID] = parts
+			}
+		}
+	}
+	for _, v := range c.Vars {
+		dim, ok := varCut[v.ID]
+		if !ok {
+			continue
+		}
+		for _, t := range v.Tensors {
+			res.TensorCut[t.ID] = dim
+		}
+	}
+	return res, nil
+}
+
+func newSlotEval(p *Problem, s *coarsen.Slot) (*slotEval, error) {
+	rep := s.Rep()
+	ev := &slotEval{slot: s, mult: float64(len(s.Ops)), memo: map[string]slotBest{}}
+
+	curIn := make([]shape.Shape, len(rep.Inputs))
+	origIn := make([]shape.Shape, len(rep.Inputs))
+	for i, in := range rep.Inputs {
+		curIn[i] = p.Shapes[in.ID]
+		origIn[i] = in.Shape
+		ev.inVars = append(ev.inVars, p.Coarse.VarOf(in))
+	}
+	ev.outVar = p.Coarse.VarOf(rep.Output)
+	curOut := p.Shapes[rep.Output.ID]
+
+	desc, err := p.Coarse.G.Describe(rep)
+	if err != nil {
+		return nil, err
+	}
+	// Price at ORIGINAL shapes (see Problem); gate applicability on the
+	// CURRENT shapes, where earlier steps may have exhausted a dimension.
+	spec := &partition.Spec{
+		Desc:     desc,
+		InShapes: origIn,
+		OutShape: rep.Output.Shape,
+		DType:    p.DType,
+	}
+	filter := func(st partition.Strategy) bool {
+		if p.StrategyFilter != nil && !p.StrategyFilter(st) {
+			return false
+		}
+		if st.Kind == partition.SplitOutput {
+			return curOut.CanSplit(st.OutDim, p.K)
+		}
+		ext, err := partition.ReduceExtent(desc, curIn, st.Axis)
+		if err != nil {
+			return false
+		}
+		return ext >= p.K && ext%p.K == 0
+	}
+	ev.priced, err = partition.Price(spec, p.K, filter)
+	if err != nil {
+		return nil, fmt.Errorf("dp: pricing %v: %w", rep, err)
+	}
+	ev.spec = spec
+	return ev, nil
+}
+
+// best returns the cheapest strategy for the slot under a full assignment.
+func (ev *slotEval) best(assign map[int]int) (int, float64, error) {
+	var sb strings.Builder
+	inCuts := make([]partition.Cut, len(ev.inVars))
+	for i, v := range ev.inVars {
+		d, ok := assign[v.ID]
+		if !ok {
+			return 0, 0, fmt.Errorf("dp: slot %v references undecided var %v", ev.slot.Rep(), v)
+		}
+		inCuts[i] = partition.Cut{Dim: d}
+		fmt.Fprintf(&sb, "%d,", d)
+	}
+	od, ok := assign[ev.outVar.ID]
+	if !ok {
+		return 0, 0, fmt.Errorf("dp: slot %v output var %v undecided", ev.slot.Rep(), ev.outVar)
+	}
+	fmt.Fprintf(&sb, "|%d", od)
+	key := sb.String()
+	if b, ok := ev.memo[key]; ok {
+		return b.si, b.cost, nil
+	}
+	si, cost := ev.priced.Best(inCuts, partition.Cut{Dim: od})
+	if si < 0 {
+		return 0, 0, fmt.Errorf("dp: no strategy for slot %v", ev.slot.Rep())
+	}
+	ev.memo[key] = slotBest{si: si, cost: cost}
+	return si, cost, nil
+}
+
+// Evaluator prices assignments incrementally: the interval analyses are run
+// once, after which pricing any assignment (or the delta of flipping a
+// single variable) is plain arithmetic. The Spartan-style greedy baseline
+// relies on this.
+type Evaluator struct {
+	p       *Problem
+	evals   []*slotEval
+	byVar   map[int][]int // var ID -> slot indices touching it
+	configs map[int][]int // var ID -> viable cut dims
+}
+
+// NewEvaluator prepares the slot evaluators.
+func NewEvaluator(p *Problem) (*Evaluator, error) {
+	e := &Evaluator{p: p, byVar: map[int][]int{}, configs: map[int][]int{}}
+	for _, g := range p.Coarse.Groups {
+		for _, s := range g.Slots {
+			ev, err := newSlotEval(p, s)
+			if err != nil {
+				return nil, err
+			}
+			idx := len(e.evals)
+			e.evals = append(e.evals, ev)
+			seen := map[int]bool{}
+			for _, v := range ev.inVars {
+				if !seen[v.ID] {
+					seen[v.ID] = true
+					e.byVar[v.ID] = append(e.byVar[v.ID], idx)
+				}
+			}
+			if !seen[ev.outVar.ID] {
+				e.byVar[ev.outVar.ID] = append(e.byVar[ev.outVar.ID], idx)
+			}
+		}
+	}
+	for _, v := range p.Coarse.Vars {
+		if v.First < 0 {
+			continue
+		}
+		s := p.Shapes[v.Tensors[0].ID]
+		var dims []int
+		for d := 0; d < s.Rank(); d++ {
+			if s.CanSplit(d, p.K) {
+				dims = append(dims, d)
+			}
+		}
+		e.configs[v.ID] = dims
+	}
+	return e, nil
+}
+
+// Configs returns the viable cut dimensions of a variable at this step.
+func (e *Evaluator) Configs(varID int) []int { return e.configs[varID] }
+
+// VarCost sums the (multiplicity-weighted) cost of every slot touching the
+// variable under the assignment.
+func (e *Evaluator) VarCost(varID int, assign map[int]int) (float64, error) {
+	total := 0.0
+	for _, idx := range e.byVar[varID] {
+		ev := e.evals[idx]
+		_, c, err := ev.best(assign)
+		if err != nil {
+			return 0, err
+		}
+		total += c * ev.mult
+	}
+	return total, nil
+}
+
+// Total prices a complete assignment.
+func (e *Evaluator) Total(assign map[int]int) (float64, error) {
+	total := 0.0
+	for _, ev := range e.evals {
+		_, c, err := ev.best(assign)
+		if err != nil {
+			return 0, err
+		}
+		total += c * ev.mult
+	}
+	return total, nil
+}
+
+// Result materializes a full Result (strategies, per-op comm) for an
+// assignment.
+func (e *Evaluator) Result(assign map[int]int) (*Result, error) {
+	res := &Result{
+		VarCut: assign, TensorCut: map[int]int{},
+		OpStrategy: map[int]partition.Strategy{}, OpComm: map[int]partition.Parts{},
+	}
+	for _, ev := range e.evals {
+		si, cost, err := ev.best(assign)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := ev.parts(si, assign)
+		if err != nil {
+			return nil, err
+		}
+		res.CommBytes += cost * ev.mult
+		for _, n := range ev.slot.Ops {
+			res.OpStrategy[n.ID] = ev.priced.Strategies[si]
+			res.OpComm[n.ID] = parts
+		}
+	}
+	for _, v := range e.p.Coarse.Vars {
+		dim, ok := assign[v.ID]
+		if !ok {
+			continue
+		}
+		for _, t := range v.Tensors {
+			res.TensorCut[t.ID] = dim
+		}
+	}
+	return res, nil
+}
+
+// parts itemizes the chosen strategy's communication under an assignment.
+func (ev *slotEval) parts(si int, assign map[int]int) (partition.Parts, error) {
+	inCuts := make([]partition.Cut, len(ev.inVars))
+	for i, v := range ev.inVars {
+		d, ok := assign[v.ID]
+		if !ok {
+			return partition.Parts{}, fmt.Errorf("dp: slot %v references undecided var %v", ev.slot.Rep(), v)
+		}
+		inCuts[i] = partition.Cut{Dim: d}
+	}
+	od, ok := assign[ev.outVar.ID]
+	if !ok {
+		return partition.Parts{}, fmt.Errorf("dp: slot %v output var %v undecided", ev.slot.Rep(), ev.outVar)
+	}
+	return ev.priced.PartsOf(si, inCuts, partition.Cut{Dim: od}), nil
+}
+
+func groupCost(g *coarsen.Group, evals map[*coarsen.Slot]*slotEval, assign map[int]int) (float64, error) {
+	total := 0.0
+	for _, s := range g.Slots {
+		ev := evals[s]
+		_, c, err := ev.best(assign)
+		if err != nil {
+			return 0, err
+		}
+		total += c * ev.mult
+	}
+	return total, nil
+}
+
+// enumCombos enumerates assignments for the newly introduced variables.
+func enumCombos(vars []*coarsen.Var, configs map[int][]int) []map[int]int {
+	out := []map[int]int{{}}
+	for _, v := range vars {
+		dims := configs[v.ID]
+		var next []map[int]int
+		for _, m := range out {
+			for _, d := range dims {
+				nm := make(map[int]int, len(m)+1)
+				for k, val := range m {
+					nm[k] = val
+				}
+				nm[v.ID] = d
+				next = append(next, nm)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func encodeState(assign map[int]int) string {
+	if len(assign) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(assign))
+	for id := range assign {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%d:%d;", id, assign[id])
+	}
+	return sb.String()
+}
+
+func decodeState(key string) map[int]int {
+	out := map[int]int{}
+	if key == "" {
+		return out
+	}
+	for _, part := range strings.Split(strings.TrimSuffix(key, ";"), ";") {
+		var id, dim int
+		fmt.Sscanf(part, "%d:%d", &id, &dim)
+		out[id] = dim
+	}
+	return out
+}
+
+// SlotCost reports one slot's contribution to an Evaluate run (debugging and
+// the Figure 10 breakdowns).
+type SlotCost struct {
+	Op       string
+	Mult     float64
+	Cost     float64
+	Strategy partition.Strategy
+}
+
+// SlotCosts itemizes Evaluate by slot, in group order.
+func SlotCosts(p *Problem, varCut map[int]int) ([]SlotCost, error) {
+	var out []SlotCost
+	for _, g := range p.Coarse.Groups {
+		for _, s := range g.Slots {
+			ev, err := newSlotEval(p, s)
+			if err != nil {
+				return nil, err
+			}
+			si, cost, err := ev.best(varCut)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SlotCost{
+				Op:       s.Rep().String(),
+				Mult:     ev.mult,
+				Cost:     cost * ev.mult,
+				Strategy: ev.priced.Strategies[si],
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tofu/internal/coarsen"
+	"tofu/internal/models"
+	"tofu/internal/partition"
+	"tofu/internal/shape"
+)
+
+func problemFor(t *testing.T, m *models.Model, k int64) *Problem {
+	t.Helper()
+	c, err := coarsen.Coarsen(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := make(map[int]shape.Shape, len(m.G.Tensors))
+	for _, ten := range m.G.Tensors {
+		shapes[ten.ID] = ten.Shape.Clone()
+	}
+	return &Problem{Coarse: c, K: k, Shapes: shapes, DType: shape.Float32}
+}
+
+func TestSolveBasics(t *testing.T) {
+	m, err := models.MLP(2, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problemFor(t, m, 2)
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommBytes < 0 {
+		t.Fatal("negative cost")
+	}
+	// Every referenced variable decided; every op has a strategy and comm.
+	for _, v := range p.Coarse.Vars {
+		if v.First < 0 {
+			continue
+		}
+		if _, ok := res.VarCut[v.ID]; !ok {
+			t.Errorf("variable %v undecided", v)
+		}
+	}
+	for _, n := range m.G.Nodes {
+		if _, ok := res.OpStrategy[n.ID]; !ok {
+			t.Errorf("node %v has no strategy", n)
+		}
+		if _, ok := res.OpComm[n.ID]; !ok {
+			t.Errorf("node %v has no comm record", n)
+		}
+	}
+	// Total cost equals the sum of per-op parts.
+	sum := 0.0
+	counted := map[int]bool{}
+	for _, n := range m.G.Nodes {
+		if counted[n.ID] {
+			continue
+		}
+		counted[n.ID] = true
+		sum += res.OpComm[n.ID].Total()
+	}
+	if math.Abs(sum-res.CommBytes) > 1e-6*(1+res.CommBytes) {
+		t.Fatalf("per-op comm %g != total %g", sum, res.CommBytes)
+	}
+}
+
+// TestSolveIsOptimal cross-checks the frontier DP against brute force over
+// all variable assignments on a small model.
+func TestSolveIsOptimal(t *testing.T) {
+	m, err := models.MLP(1, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problemFor(t, m, 2)
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate every assignment.
+	var vars []int
+	for _, v := range p.Coarse.Vars {
+		if v.First >= 0 {
+			vars = append(vars, v.ID)
+		}
+	}
+	best := math.Inf(1)
+	var walk func(idx int, assign map[int]int)
+	walk = func(idx int, assign map[int]int) {
+		if idx == len(vars) {
+			c, err := ev.Total(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for _, d := range ev.Configs(vars[idx]) {
+			assign[vars[idx]] = d
+			walk(idx+1, assign)
+		}
+		delete(assign, vars[idx])
+	}
+	if len(vars) > 12 {
+		t.Skipf("brute force too large: %d vars", len(vars))
+	}
+	walk(0, map[int]int{})
+
+	if math.Abs(best-res.CommBytes) > 1e-6*(1+best) {
+		t.Fatalf("DP found %g, brute force found %g", res.CommBytes, best)
+	}
+}
+
+func TestEvaluateMatchesSolveAtOptimum(t *testing.T) {
+	m, err := models.MLP(2, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problemFor(t, m, 2)
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(p, res.VarCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.CommBytes-res.CommBytes) > 1e-6*(1+res.CommBytes) {
+		t.Fatalf("Evaluate %g != Solve %g", ev.CommBytes, res.CommBytes)
+	}
+}
+
+func TestStrategyFilter(t *testing.T) {
+	m, err := models.MLP(2, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problemFor(t, m, 2)
+	p.StrategyFilter = func(s partition.Strategy) bool { return s.Kind != partition.SplitReduce }
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.OpStrategy {
+		if s.Kind == partition.SplitReduce {
+			t.Fatal("filter violated")
+		}
+	}
+	full := problemFor(t, m, 2)
+	fres, err := Solve(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommBytes < fres.CommBytes-1 {
+		t.Fatalf("restricted search %g beat full %g", res.CommBytes, fres.CommBytes)
+	}
+}
+
+func TestSolveRejectsK1(t *testing.T) {
+	m, err := models.MLP(1, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(problemFor(t, m, 1)); err == nil {
+		t.Fatal("expected K>=2 error")
+	}
+}
+
+func TestSolveIndivisible(t *testing.T) {
+	// Odd extents everywhere: no dimension divides 2.
+	m, err := models.MLP(1, 63, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(problemFor(t, m, 2)); err == nil {
+		t.Fatal("expected indivisible error")
+	}
+}
+
+func TestEvaluatorIncremental(t *testing.T) {
+	m, err := models.MLP(2, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problemFor(t, m, 2)
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := map[int]int{}
+	for _, v := range p.Coarse.Vars {
+		if v.First < 0 {
+			continue
+		}
+		assign[v.ID] = ev.Configs(v.ID)[0]
+	}
+	total, err := ev.Total(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of VarCost double counts slots shared between variables, so each
+	// variable's incident cost is bounded by the total but their sum is at
+	// least the total.
+	sum := 0.0
+	for id := range assign {
+		c, err := ev.VarCost(id, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > total+1e-6 {
+			t.Fatalf("VarCost %g exceeds total %g", c, total)
+		}
+		sum += c
+	}
+	if sum < total-1e-6 {
+		t.Fatalf("incident costs %g below total %g", sum, total)
+	}
+}
+
+func TestSolveFlatCompletesOnTinyModel(t *testing.T) {
+	m, err := models.MLP(1, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problemFor(t, m, 8)
+	rep, err := SolveFlat(p, []int64{2, 2, 2}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("tiny flat search did not complete: %+v", rep)
+	}
+	if rep.CommBytes <= 0 {
+		t.Fatal("flat search found free plan")
+	}
+	// Flat multi-dimensional search must be at least as good as any fixed
+	// recursive plan's cost on the same model... and never worse than the
+	// single-dim search by construction of its search space.
+	if rep.TotalConfigs < float64(rep.Evaluated) {
+		t.Fatalf("bookkeeping: evaluated %d > total %g", rep.Evaluated, rep.TotalConfigs)
+	}
+}
+
+func TestSolveFlatBudgetExtrapolates(t *testing.T) {
+	m, err := models.RNN(2, 1024, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problemFor(t, m, 8)
+	rep, err := SolveFlat(p, []int64{2, 2, 2}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed {
+		t.Skip("machine too fast; nothing to extrapolate")
+	}
+	if rep.EstimatedTotal <= 0 || rep.Evaluated == 0 {
+		t.Fatalf("no extrapolation: %+v", rep)
+	}
+}

@@ -1,0 +1,249 @@
+package dp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tofu/internal/coarsen"
+	"tofu/internal/partition"
+)
+
+// FlatReport measures the single-level multi-dimensional DP — the paper's
+// "DP with coarsening" row in Table 1. Without recursion, every tensor may
+// be partitioned along any combination of dimensions (20 ways for a 4-D
+// tensor across 8 workers), so the per-group combinatorial search explodes;
+// the paper measured 8 hours for WResNet-152 and >24 hours for RNN-10. The
+// search runs under a wall-clock budget and extrapolates the completion time
+// from the measured evaluation rate and the exact remaining combination
+// count.
+type FlatReport struct {
+	Completed      bool
+	Elapsed        time.Duration
+	EstimatedTotal time.Duration
+	Evaluated      int64   // (state x combo) group evaluations performed
+	TotalConfigs   float64 // exact total evaluations the full run needs
+	CommBytes      float64 // plan cost when the search completed
+}
+
+// SolveFlat runs the non-recursive multi-dimensional DP with a wall-clock
+// budget. factors is the cut sequence a config represents (e.g. [2,2,2] for
+// 8 workers); each variable's configuration is a multiset of dimensions of
+// that length.
+func SolveFlat(p *Problem, factors []int64, budget time.Duration) (*FlatReport, error) {
+	c := p.Coarse
+	rep := &FlatReport{}
+	start := time.Now()
+
+	// Enumerate per-variable multiset configurations, honoring cumulative
+	// divisibility (cutting dim d c times needs the extent divisible by the
+	// product of those factors).
+	varConfigs := make(map[int][][]int, len(c.Vars))
+	for _, v := range c.Vars {
+		if v.First < 0 {
+			continue
+		}
+		s := p.Shapes[v.Tensors[0].ID]
+		var combos [][]int
+		var build func(prefix []int, startDim int, level int)
+		build = func(prefix []int, startDim int, level int) {
+			if level == len(factors) {
+				combos = append(combos, append([]int(nil), prefix...))
+				return
+			}
+			for d := startDim; d < s.Rank(); d++ {
+				// Exact divisibility: product of all factors applied to d.
+				ways := factors[level]
+				for i, pd := range prefix {
+					if pd == d {
+						ways *= factors[i]
+					}
+				}
+				if s.Dim(d)%ways != 0 || s.Dim(d) < ways {
+					continue
+				}
+				build(append(prefix, d), d, level+1)
+			}
+		}
+		build(nil, 0, 0)
+		if len(combos) == 0 {
+			return nil, fmt.Errorf("dp: flat search: variable %v cannot be divided %v ways", v, factors)
+		}
+		varConfigs[v.ID] = combos
+	}
+
+	// Exact total evaluation count of the full DP (states x new combos per
+	// group), computed without running it.
+	liveProduct := func(gi int) float64 {
+		prod := 1.0
+		for _, v := range c.Vars {
+			if v.First <= gi && v.Last > gi {
+				prod *= float64(len(varConfigs[v.ID]))
+			}
+		}
+		return prod
+	}
+	for gi, g := range c.Groups {
+		states := 1.0
+		if gi > 0 {
+			states = liveProduct(gi - 1)
+		}
+		comboCount := 1.0
+		for _, v := range g.Vars {
+			if v.First == gi {
+				comboCount *= float64(len(varConfigs[v.ID]))
+			}
+		}
+		rep.TotalConfigs += states * comboCount
+	}
+
+	// Slot evaluators per factor level (shapes are original at every level;
+	// see Problem's pricing note).
+	type levelEval struct {
+		priced *partition.Priced
+		inVars []*coarsen.Var
+		outVar *coarsen.Var
+		mult   float64
+	}
+	evals := map[*coarsen.Slot][]*levelEval{}
+	for _, g := range c.Groups {
+		for _, s := range g.Slots {
+			for _, k := range factors {
+				sub := &Problem{Coarse: c, K: k, Shapes: p.Shapes, DType: p.DType, StrategyFilter: p.StrategyFilter}
+				ev, err := newSlotEval(sub, s)
+				if err != nil {
+					return nil, err
+				}
+				evals[s] = append(evals[s], &levelEval{
+					priced: ev.priced, inVars: ev.inVars, outVar: ev.outVar, mult: ev.mult,
+				})
+			}
+		}
+	}
+
+	slotCost := func(s *coarsen.Slot, assign map[int][]int) (float64, bool) {
+		total := 0.0
+		for level, le := range evals[s] {
+			inCuts := make([]partition.Cut, len(le.inVars))
+			for i, v := range le.inVars {
+				inCuts[i] = partition.Cut{Dim: assign[v.ID][level]}
+			}
+			out := partition.Cut{Dim: assign[le.outVar.ID][level]}
+			si, cost := le.priced.Best(inCuts, out)
+			if si < 0 {
+				return 0, false
+			}
+			total += cost * le.mult
+		}
+		return total, true
+	}
+
+	// Frontier DP over multiset configurations.
+	type entry struct {
+		cost float64
+	}
+	encode := func(assign map[int][]int) string {
+		ids := make([]int, 0, len(assign))
+		for id := range assign {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		var sb strings.Builder
+		for _, id := range ids {
+			fmt.Fprintf(&sb, "%d:%v;", id, assign[id])
+		}
+		return sb.String()
+	}
+	type state struct {
+		assign map[int][]int
+		cost   float64
+	}
+	states := []state{{assign: map[int][]int{}}}
+	for gi, g := range c.Groups {
+		var newVars []*coarsen.Var
+		for _, v := range g.Vars {
+			if v.First == gi {
+				newVars = append(newVars, v)
+			}
+		}
+		nextByKey := map[string]state{}
+		for _, st := range states {
+			// Enumerate combos of the new variables.
+			combos := []map[int][]int{{}}
+			for _, v := range newVars {
+				var grown []map[int][]int
+				for _, m := range combos {
+					for _, cfg := range varConfigs[v.ID] {
+						nm := make(map[int][]int, len(m)+1)
+						for k2, v2 := range m {
+							nm[k2] = v2
+						}
+						nm[v.ID] = cfg
+						grown = append(grown, nm)
+					}
+				}
+				combos = grown
+			}
+			for _, combo := range combos {
+				if rep.Evaluated%512 == 0 && time.Since(start) > budget {
+					rep.Elapsed = time.Since(start)
+					rate := float64(rep.Evaluated) / rep.Elapsed.Seconds()
+					if rate > 0 {
+						rep.EstimatedTotal = time.Duration(rep.TotalConfigs / rate * float64(time.Second))
+					}
+					return rep, nil
+				}
+				rep.Evaluated++
+				full := make(map[int][]int, len(st.assign)+len(combo))
+				for k2, v2 := range st.assign {
+					full[k2] = v2
+				}
+				for k2, v2 := range combo {
+					full[k2] = v2
+				}
+				cost := st.cost
+				ok := true
+				for _, s := range g.Slots {
+					cc, valid := slotCost(s, full)
+					if !valid {
+						ok = false
+						break
+					}
+					cost += cc
+				}
+				if !ok {
+					continue
+				}
+				nxt := make(map[int][]int, len(full))
+				for id, cfg := range full {
+					if c.Vars[id].Last > gi {
+						nxt[id] = cfg
+					}
+				}
+				key := encode(nxt)
+				if old, seen := nextByKey[key]; !seen || cost < old.cost {
+					nextByKey[key] = state{assign: nxt, cost: cost}
+				}
+			}
+		}
+		states = states[:0]
+		for _, st := range nextByKey {
+			states = append(states, st)
+		}
+		if len(states) == 0 {
+			return nil, fmt.Errorf("dp: flat search infeasible at group %d", gi)
+		}
+	}
+	best := states[0].cost
+	for _, st := range states {
+		if st.cost < best {
+			best = st.cost
+		}
+	}
+	rep.Completed = true
+	rep.Elapsed = time.Since(start)
+	rep.EstimatedTotal = rep.Elapsed
+	rep.CommBytes = best
+	return rep, nil
+}

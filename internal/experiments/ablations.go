@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tofu/internal/baselines"
+	"tofu/internal/graphgen"
+	"tofu/internal/memplan"
+	"tofu/internal/models"
+	"tofu/internal/sim"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out: the Sec 6
+// graph-generation optimizations (MultiFetch fusion, control-dependency
+// injection for buffer reuse, spread-out reductions), in-place gradient
+// aggregation, and the output-reduction strategies (Tofu vs ICML18).
+func Ablations(o Opts, hw sim.HW) (string, error) {
+	cfg := models.Config{Family: "rnn", Depth: 4, Width: 4096, Batch: 256}
+	if o.Quick {
+		cfg = models.Config{Family: "rnn", Depth: 2, Width: 1024, Batch: 64}
+	}
+	m, err := models.Build(cfg)
+	if err != nil {
+		return "", err
+	}
+	p, err := baselines.PlanFor(m, baselines.Tofu, int64(hw.NumGPUs))
+	if err != nil {
+		return "", err
+	}
+
+	t := &table{header: []string{"configuration", "iter(s)", "peak/GPU(GB)", "comm-buffers(GB)"}}
+	run := func(name string, gopts graphgen.Options, mopts memplan.Options) error {
+		sh, err := graphgen.Generate(m.G, p, gopts)
+		if err != nil {
+			return err
+		}
+		res := sim.Run(sh, hw, cfg.Batch, mopts, sim.RunOptions{})
+		t.add(name, fmt.Sprintf("%.3f", res.IterSeconds),
+			gb(float64(res.Mem.PeakBytes)), gb(float64(res.Mem.CommBufferPeak)))
+		return nil
+	}
+
+	if err := run("full Tofu (all optimizations)", graphgen.DefaultOptions(), memplan.DefaultOptions()); err != nil {
+		return "", err
+	}
+	g := graphgen.DefaultOptions()
+	g.MultiFetch = false
+	if err := run("- MultiFetch fusion", g, memplan.DefaultOptions()); err != nil {
+		return "", err
+	}
+	g = graphgen.DefaultOptions()
+	g.SpreadReduction = false
+	if err := run("- spread-out reduction", g, memplan.DefaultOptions()); err != nil {
+		return "", err
+	}
+	mo := memplan.DefaultOptions()
+	mo.Reuse = false
+	if err := run("- control deps (no buffer reuse)", graphgen.DefaultOptions(), mo); err != nil {
+		return "", err
+	}
+	mo = memplan.DefaultOptions()
+	mo.InPlaceAggregation = false
+	if err := run("- in-place gradient aggregation", graphgen.DefaultOptions(), mo); err != nil {
+		return "", err
+	}
+
+	// Output reduction ablation: the ICML18 plan on the same model.
+	icml, err := baselines.PlanFor(m, baselines.ICML18, int64(hw.NumGPUs))
+	if err != nil {
+		return "", err
+	}
+	sh, err := graphgen.Generate(m.G, icml, graphgen.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	res := sim.Run(sh, hw, cfg.Batch, memplan.DefaultOptions(), sim.RunOptions{})
+	t.add("- output reduction (ICML18 plan)", fmt.Sprintf("%.3f", res.IterSeconds),
+		gb(float64(res.Mem.PeakBytes)), gb(float64(res.Mem.CommBufferPeak)))
+
+	return fmt.Sprintf("Ablations on %s (Tofu plan, 8 GPUs)\n", cfg) + t.String(), nil
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// AutodiffOptions control backward-graph generation.
+type AutodiffOptions struct {
+	// InPlaceAgg marks gradient-aggregation adds as in-place, the MXNet
+	// behaviour; TensorFlow (Table 3's comparison point) lacks it, which
+	// doubles peak gradient memory for shared weights.
+	InPlaceAgg bool
+}
+
+// Backward generates the backward half of a training graph, MXNet-style.
+// seeds maps forward tensors to externally supplied gradient tensors (for a
+// classifier, the logits' gradient produced by softmax_ce_grad). After it
+// returns, every reachable forward tensor t with a gradient has t.Grad set,
+// gradient tensors have GradOf set, and backward nodes have FwdOf set — the
+// structure the coarsening pass consumes.
+func (g *Graph) Backward(seeds map[*Tensor]*Tensor, opt AutodiffOptions) error {
+	if len(seeds) == 0 {
+		return fmt.Errorf("graph: autodiff needs at least one seed gradient")
+	}
+	for t, dy := range seeds {
+		if !dy.Shape.Equal(t.Shape) {
+			return fmt.Errorf("graph: seed gradient %v shape mismatch for %v", dy, t)
+		}
+		g.bindGrad(t, dy)
+	}
+
+	// Reverse topological sweep over the forward nodes present now; grad
+	// builders append new (backward) nodes which must not be revisited.
+	fwd := append([]*Node(nil), g.Nodes...)
+	for i := len(fwd) - 1; i >= 0; i-- {
+		n := fwd[i]
+		dy := n.Output.Grad
+		if dy == nil {
+			continue
+		}
+		info, err := Info(n.Op)
+		if err != nil {
+			return err
+		}
+		if info.Grad == nil {
+			continue
+		}
+		before := len(g.Nodes)
+		contrib, err := info.Grad(g, n, dy)
+		if err != nil {
+			return fmt.Errorf("graph: gradient of %v: %w", n, err)
+		}
+		// Tag the freshly created backward nodes with their forward op.
+		for _, bn := range g.Nodes[before:] {
+			bn.FwdOf = n
+			bn.UnrollTag = n.UnrollTag
+			bn.Timestep = n.Timestep
+		}
+		if len(contrib) != len(n.Inputs) {
+			return fmt.Errorf("graph: gradient of %v returned %d contributions for %d inputs",
+				n, len(contrib), len(n.Inputs))
+		}
+		for j, c := range contrib {
+			if c == nil {
+				continue
+			}
+			if err := g.accumulate(n, n.Inputs[j], c, opt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// accumulate folds one gradient contribution into t.Grad.
+func (g *Graph) accumulate(owner *Node, t, c *Tensor, opt AutodiffOptions) error {
+	if !c.Shape.Equal(t.Shape) {
+		return fmt.Errorf("graph: gradient contribution %v shape mismatch for %v (op %v)", c, t, owner)
+	}
+	// A contribution already serving as another tensor's gradient (identity
+	// pass-through such as add's) is cloned through an explicit identity op
+	// to keep the tensor↔gradient pairing one-to-one for coarsening.
+	if c.GradOf != nil {
+		before := len(g.Nodes)
+		c = g.Apply("identity", nil, c)
+		for _, bn := range g.Nodes[before:] {
+			bn.FwdOf = owner
+			bn.UnrollTag = owner.UnrollTag
+			bn.Timestep = owner.Timestep
+		}
+	}
+	if t.Grad == nil {
+		g.bindGrad(t, c)
+		return nil
+	}
+	// Multiple contributions: chain-rule summation (Sec 5.1 notes the
+	// summation operator joins the tensor's group).
+	prev := t.Grad
+	prev.GradOf = nil
+	before := len(g.Nodes)
+	sum := g.Apply("add", nil, prev, c)
+	agg := g.Nodes[len(g.Nodes)-1]
+	agg.GradAgg = true
+	agg.InPlace = opt.InPlaceAgg
+	for _, bn := range g.Nodes[before:] {
+		bn.FwdOf = owner
+		bn.UnrollTag = owner.UnrollTag
+		bn.Timestep = owner.Timestep
+	}
+	c.GradOf = nil
+	g.bindGrad(t, sum)
+	return nil
+}
+
+func (g *Graph) bindGrad(t, dy *Tensor) {
+	dy.Kind = Gradient
+	dy.GradOf = t
+	dy.Name = "d:" + t.Name
+	t.Grad = dy
+}
+
+// ApplyOptimizer appends per-weight update operators (and optimizer-history
+// tensors for stateful optimizers), completing the training iteration the
+// paper benchmarks: forward + backward + weight update (Sec 7.1).
+func (g *Graph) ApplyOptimizer(kind string) error {
+	for _, w := range g.Weights() {
+		if w.Grad == nil {
+			continue
+		}
+		switch kind {
+		case "sgd":
+			if _, err := g.TryApply("sgd_update", nil, w, w.Grad); err != nil {
+				return err
+			}
+		case "adam":
+			hist := g.OptState(w)
+			if _, err := g.TryApply("adam_update", nil, w, w.Grad, hist); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("graph: unknown optimizer %q", kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,466 @@
+package graph
+
+import (
+	"fmt"
+
+	"tofu/internal/shape"
+	"tofu/internal/tdl"
+)
+
+// Graph-layer metadata (shape inference, cost model, gradients) for the
+// extended operator library: the attention/Transformer family, batched
+// linear algebra, layer norm, broadcasts, additional reductions, and the
+// long tail of element-wise operators. Everything here is buildable into
+// training graphs, not just analyzable.
+
+func init() {
+	registerExtraEWInfo()
+	registerAttentionInfo()
+	registerBatchedInfo()
+	registerExtraReduceInfo()
+	registerBroadcastInfo()
+	registerExtraConvInfo()
+	registerExtraMiscInfo()
+}
+
+func registerExtraEWInfo() {
+	unary := []string{
+		"abs", "sign", "floor", "ceil", "round", "reciprocal", "rsqrt",
+		"cbrt", "exp2", "log2", "log10", "log1p", "expm1", "sin", "cos",
+		"tan", "arcsin", "arccos", "arctan", "sinh", "cosh", "degrees",
+		"radians", "selu", "softsign", "hard_sigmoid", "mish", "erf",
+		"cast", "logical_not", "gamma_fn", "gammaln", "zeros_like",
+		"ones_like",
+	}
+	for _, name := range unary {
+		RegisterInfo(name, OpInfo{InferShape: sameAsInput0, FLOPs: ewFLOPs(1), NeedsRank: true})
+	}
+	// Activations with dedicated fused gradient kernels: dx = f'(x)·dy.
+	for _, a := range []struct{ fwd, bwd string }{
+		{"leaky_relu", "leaky_relu_grad"},
+		{"elu", "elu_grad"},
+		{"gelu", "gelu_grad"},
+		{"softplus", "softplus_grad"},
+		{"swish", "swish_grad"},
+		{"clip", "clip_grad"},
+	} {
+		bwd := a.bwd
+		RegisterInfo(a.fwd, OpInfo{
+			InferShape: sameAsInput0, FLOPs: ewFLOPs(1), NeedsRank: true,
+			Grad: func(g *Graph, n *Node, dy *Tensor) ([]*Tensor, error) {
+				return []*Tensor{g.Apply(bwd, nil, n.Inputs[0], dy)}, nil
+			},
+		})
+	}
+	binary := []string{
+		"mod", "power", "hypot", "arctan2", "logical_and", "logical_or",
+		"logical_xor", "equal", "not_equal", "greater", "greater_equal",
+		"lesser", "lesser_equal", "smooth_l1", "dropout",
+		"leaky_relu_grad", "elu_grad", "gelu_grad", "softplus_grad",
+		"swish_grad", "clip_grad", "dropout_grad",
+	}
+	for _, name := range binary {
+		RegisterInfo(name, OpInfo{InferShape: allSame, FLOPs: ewFLOPs(1), NeedsRank: true})
+	}
+	for _, name := range []string{"where", "sgd_mom_update", "smooth_l1_grad"} {
+		RegisterInfo(name, OpInfo{InferShape: allSame, FLOPs: ewFLOPs(1), NeedsRank: true})
+	}
+}
+
+func registerAttentionInfo() {
+	RegisterInfo("linear3d", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 3, 2); err != nil {
+				return nil, err
+			}
+			if in[0].Dim(2) != in[1].Dim(0) {
+				return nil, fmt.Errorf("linear3d dims %v x %v", in[0], in[1])
+			}
+			return shape.Of(in[0].Dim(0), in[0].Dim(1), in[1].Dim(1)), nil
+		},
+		FLOPs: func(_ tdl.Attrs, in []shape.Shape, out shape.Shape) float64 {
+			return 2 * float64(out.Elems()) * float64(in[0].Dim(2))
+		},
+		Grad: func(g *Graph, n *Node, dy *Tensor) ([]*Tensor, error) {
+			dx := g.Apply("linear3d_bwd_data", nil, dy, n.Inputs[1])
+			dw := g.Apply("linear3d_bwd_weight", nil, n.Inputs[0], dy)
+			return []*Tensor{dx, dw}, nil
+		},
+	})
+	RegisterInfo("linear3d_bwd_data", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 3, 2); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(0), in[0].Dim(1), in[1].Dim(0)), nil
+		},
+		FLOPs: func(_ tdl.Attrs, in []shape.Shape, out shape.Shape) float64 {
+			return 2 * float64(out.Elems()) * float64(in[0].Dim(2))
+		},
+	})
+	RegisterInfo("linear3d_bwd_weight", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 3, 3); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(2), in[1].Dim(2)), nil
+		},
+		FLOPs: func(_ tdl.Attrs, in []shape.Shape, out shape.Shape) float64 {
+			return 2 * float64(out.Elems()) * float64(in[0].Dim(0)) * float64(in[0].Dim(1))
+		},
+	})
+
+	bmmShape := func(trans string) func(tdl.Attrs, []shape.Shape) (shape.Shape, error) {
+		return func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 3, 3); err != nil {
+				return nil, err
+			}
+			if in[0].Dim(0) != in[1].Dim(0) {
+				return nil, fmt.Errorf("bmm batch dims %v x %v", in[0], in[1])
+			}
+			a, b := in[0], in[1]
+			switch trans {
+			case "nn":
+				if a.Dim(2) != b.Dim(1) {
+					return nil, fmt.Errorf("bmm inner dims %v x %v", a, b)
+				}
+				return shape.Of(a.Dim(0), a.Dim(1), b.Dim(2)), nil
+			case "nt":
+				if a.Dim(2) != b.Dim(2) {
+					return nil, fmt.Errorf("bmm_nt inner dims %v x %v", a, b)
+				}
+				return shape.Of(a.Dim(0), a.Dim(1), b.Dim(1)), nil
+			default: // tn
+				if a.Dim(1) != b.Dim(1) {
+					return nil, fmt.Errorf("bmm_tn inner dims %v x %v", a, b)
+				}
+				return shape.Of(a.Dim(0), a.Dim(2), b.Dim(2)), nil
+			}
+		}
+	}
+	bmmFLOPs := func(inner func(in []shape.Shape) int64) func(tdl.Attrs, []shape.Shape, shape.Shape) float64 {
+		return func(_ tdl.Attrs, in []shape.Shape, out shape.Shape) float64 {
+			return 2 * float64(out.Elems()) * float64(inner(in))
+		}
+	}
+	RegisterInfo("bmm", OpInfo{
+		InferShape: bmmShape("nn"),
+		FLOPs:      bmmFLOPs(func(in []shape.Shape) int64 { return in[0].Dim(2) }),
+		Grad: func(g *Graph, n *Node, dy *Tensor) ([]*Tensor, error) {
+			da := g.Apply("bmm_nt", nil, dy, n.Inputs[1])
+			db := g.Apply("bmm_tn", nil, n.Inputs[0], dy)
+			return []*Tensor{da, db}, nil
+		},
+	})
+	RegisterInfo("bmm_nt", OpInfo{
+		InferShape: bmmShape("nt"),
+		FLOPs:      bmmFLOPs(func(in []shape.Shape) int64 { return in[0].Dim(2) }),
+		Grad: func(g *Graph, n *Node, dy *Tensor) ([]*Tensor, error) {
+			da := g.Apply("bmm", nil, dy, n.Inputs[1])
+			db := g.Apply("bmm_tn", nil, dy, n.Inputs[0])
+			return []*Tensor{da, db}, nil
+		},
+	})
+	RegisterInfo("bmm_tn", OpInfo{
+		InferShape: bmmShape("tn"),
+		FLOPs:      bmmFLOPs(func(in []shape.Shape) int64 { return in[0].Dim(1) }),
+	})
+
+	RegisterInfo("softmax_axis2", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 3); err != nil {
+				return nil, err
+			}
+			return in[0].Clone(), nil
+		},
+		FLOPs: ewFLOPs(5),
+		Grad: func(g *Graph, n *Node, dy *Tensor) ([]*Tensor, error) {
+			return []*Tensor{g.Apply("softmax_axis2_grad", nil, n.Output, dy)}, nil
+		},
+	})
+	RegisterInfo("softmax_axis2_grad", OpInfo{InferShape: allSame, FLOPs: ewFLOPs(4)})
+
+	tokenStats := func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+		if in[0].Rank() != 3 {
+			return nil, fmt.Errorf("ln3 wants rank-3 input, got %v", in[0])
+		}
+		return shape.Of(in[0].Dim(0), in[0].Dim(1)), nil
+	}
+	featOf := func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+		return shape.Of(in[0].Dim(2)), nil
+	}
+	reduceFLOPs := func(_ tdl.Attrs, in []shape.Shape, _ shape.Shape) float64 {
+		return float64(in[0].Elems())
+	}
+	RegisterInfo("ln3_mean", OpInfo{InferShape: tokenStats, FLOPs: reduceFLOPs})
+	RegisterInfo("ln3_var", OpInfo{InferShape: tokenStats, FLOPs: reduceFLOPs})
+	RegisterInfo("ln3_norm", OpInfo{
+		InferShape: sameAsInput0,
+		FLOPs:      ewFLOPs(4),
+		Grad: func(g *Graph, n *Node, dy *Tensor) ([]*Tensor, error) {
+			x, mean, vr, gamma := n.Inputs[0], n.Inputs[1], n.Inputs[2], n.Inputs[3]
+			dx := g.Apply("ln3_data_grad", nil, dy, x, mean, vr, gamma)
+			dGamma := g.Apply("ln3_gamma_grad", nil, dy, x)
+			dBeta := g.Apply("ln3_beta_grad", nil, dy)
+			return []*Tensor{dx, nil, nil, dGamma, dBeta}, nil
+		},
+	})
+	RegisterInfo("ln3_data_grad", OpInfo{InferShape: sameAsInput0, FLOPs: ewFLOPs(5)})
+	RegisterInfo("ln3_gamma_grad", OpInfo{InferShape: featOf, FLOPs: reduceFLOPs})
+	RegisterInfo("ln3_beta_grad", OpInfo{InferShape: featOf, FLOPs: reduceFLOPs})
+
+	RegisterInfo("last_token", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 3); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(0), in[0].Dim(2)), nil
+		},
+		FLOPs: ewFLOPs(1),
+		Grad: func(g *Graph, n *Node, dy *Tensor) ([]*Tensor, error) {
+			return []*Tensor{g.Apply("last_token_grad", tdl.Attrs{
+				"seq": n.Inputs[0].Shape.Dim(1),
+			}, dy)}, nil
+		},
+	})
+	RegisterInfo("last_token_grad", OpInfo{
+		InferShape: func(attrs tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 2); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(0), attrs.Get("seq", 1), in[0].Dim(1)), nil
+		},
+		FLOPs: ewFLOPs(1),
+	})
+}
+
+func registerBatchedInfo() {
+	RegisterInfo("bouter", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 2, 2); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(0), in[0].Dim(1), in[1].Dim(1)), nil
+		},
+		FLOPs: ewFLOPs(1),
+	})
+	RegisterInfo("btranspose", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 3); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(0), in[0].Dim(2), in[0].Dim(1)), nil
+		},
+		FLOPs: ewFLOPs(1),
+	})
+	sq3 := func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+		if in[0].Rank() != 3 || in[0].Dim(1) != in[0].Dim(2) {
+			return nil, fmt.Errorf("batched matrix op wants square slices, got %v", in[0])
+		}
+		return in[0].Clone(), nil
+	}
+	cube := func(_ tdl.Attrs, in []shape.Shape, _ shape.Shape) float64 {
+		n := float64(in[0].Dim(1))
+		return float64(in[0].Dim(0)) * n * n * n / 3
+	}
+	RegisterInfo("batch_trsm", OpInfo{
+		InferShape: func(a tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 3, 3); err != nil {
+				return nil, err
+			}
+			return in[1].Clone(), nil
+		},
+		FLOPs: cube,
+	})
+	RegisterInfo("batch_lu", OpInfo{InferShape: sq3, FLOPs: cube})
+}
+
+func registerExtraReduceInfo() {
+	rowOf := func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+		if err := wantRank(in, 2); err != nil {
+			return nil, err
+		}
+		return shape.Of(in[0].Dim(0)), nil
+	}
+	colOf := func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+		if err := wantRank(in, 2); err != nil {
+			return nil, err
+		}
+		return shape.Of(in[0].Dim(1)), nil
+	}
+	sumIn := func(_ tdl.Attrs, in []shape.Shape, _ shape.Shape) float64 {
+		return float64(in[0].Elems())
+	}
+	for _, name := range []string{"reduce_sum_axis1", "reduce_max_axis1", "reduce_min_axis1", "reduce_prod_axis1", "sqnorm_axis1"} {
+		RegisterInfo(name, OpInfo{InferShape: rowOf, FLOPs: sumIn})
+	}
+	for _, name := range []string{"reduce_max_axis0", "reduce_min_axis0", "reduce_prod_axis0"} {
+		RegisterInfo(name, OpInfo{InferShape: colOf, FLOPs: sumIn})
+	}
+	RegisterInfo("absmax_per_channel", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 4); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(1)), nil
+		},
+		FLOPs: sumIn,
+	})
+}
+
+func registerBroadcastInfo() {
+	rowVec := func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+		if err := wantRank(in, 2, 1); err != nil {
+			return nil, err
+		}
+		if in[0].Dim(1) != in[1].Dim(0) {
+			return nil, fmt.Errorf("row broadcast dims %v x %v", in[0], in[1])
+		}
+		return in[0].Clone(), nil
+	}
+	colVec := func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+		if err := wantRank(in, 2, 1); err != nil {
+			return nil, err
+		}
+		if in[0].Dim(0) != in[1].Dim(0) {
+			return nil, fmt.Errorf("col broadcast dims %v x %v", in[0], in[1])
+		}
+		return in[0].Clone(), nil
+	}
+	RegisterInfo("broadcast_mul_row", OpInfo{InferShape: rowVec, FLOPs: ewFLOPs(1)})
+	RegisterInfo("broadcast_mul_col", OpInfo{InferShape: colVec, FLOPs: ewFLOPs(1)})
+	RegisterInfo("broadcast_add_col", OpInfo{InferShape: colVec, FLOPs: ewFLOPs(1)})
+	RegisterInfo("broadcast_div_col", OpInfo{InferShape: colVec, FLOPs: ewFLOPs(1)})
+	RegisterInfo("scale_shift_nchw", OpInfo{InferShape: sameAsInput0, FLOPs: ewFLOPs(2)})
+
+	RegisterInfo("ln_mean", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 2); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(0)), nil
+		},
+		FLOPs: func(_ tdl.Attrs, in []shape.Shape, _ shape.Shape) float64 { return float64(in[0].Elems()) },
+	})
+	RegisterInfo("ln_var", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			return shape.Of(in[0].Dim(0)), nil
+		},
+		FLOPs: func(_ tdl.Attrs, in []shape.Shape, _ shape.Shape) float64 { return float64(in[0].Elems()) },
+	})
+	RegisterInfo("ln_norm", OpInfo{InferShape: sameAsInput0, FLOPs: ewFLOPs(4)})
+	RegisterInfo("l2_normalize", OpInfo{InferShape: sameAsInput0, FLOPs: ewFLOPs(3)})
+	RegisterInfo("log_softmax", OpInfo{InferShape: sameAsInput0, FLOPs: ewFLOPs(5)})
+}
+
+func registerExtraConvInfo() {
+	RegisterInfo("depthwise_conv2d", OpInfo{
+		InferShape: func(attrs tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 4, 3); err != nil {
+				return nil, err
+			}
+			s := attrs.Get("stride", 1)
+			d := in[0]
+			if d.Dim(1) != in[1].Dim(0) {
+				return nil, fmt.Errorf("depthwise channels %v x %v", d, in[1])
+			}
+			if d.Dim(2)%s != 0 || d.Dim(3)%s != 0 {
+				return nil, fmt.Errorf("depthwise stride %d does not divide %v", s, d)
+			}
+			return shape.Of(d.Dim(0), d.Dim(1), d.Dim(2)/s, d.Dim(3)/s), nil
+		},
+		FLOPs: func(_ tdl.Attrs, in []shape.Shape, out shape.Shape) float64 {
+			return 2 * float64(out.Elems()) * float64(in[1].Dim(1)) * float64(in[1].Dim(2))
+		},
+	})
+	RegisterInfo("avgpool2d", OpInfo{
+		InferShape: func(attrs tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 4); err != nil {
+				return nil, err
+			}
+			s := attrs.Get("stride", 2)
+			d := in[0]
+			if d.Dim(2)%s != 0 || d.Dim(3)%s != 0 {
+				return nil, fmt.Errorf("avgpool stride %d does not divide %v", s, d)
+			}
+			return shape.Of(d.Dim(0), d.Dim(1), d.Dim(2)/s, d.Dim(3)/s), nil
+		},
+		FLOPs: func(attrs tdl.Attrs, _ []shape.Shape, out shape.Shape) float64 {
+			k := attrs.Get("kernel", 2)
+			return float64(out.Elems()) * float64(k*k)
+		},
+	})
+	RegisterInfo("dilated_conv2d", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 4, 4); err != nil {
+				return nil, err
+			}
+			d, w := in[0], in[1]
+			if d.Dim(1) != w.Dim(1) {
+				return nil, fmt.Errorf("dilated conv channels %v x %v", d, w)
+			}
+			return shape.Of(d.Dim(0), w.Dim(0), d.Dim(2), d.Dim(3)), nil
+		},
+		FLOPs: func(_ tdl.Attrs, in []shape.Shape, out shape.Shape) float64 {
+			return convFLOPs(out, in[1].Dim(1), in[1].Dim(2), in[1].Dim(3))
+		},
+	})
+}
+
+func registerExtraMiscInfo() {
+	RegisterInfo("slice_axis0", OpInfo{
+		InferShape: func(attrs tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 2); err != nil {
+				return nil, err
+			}
+			off := attrs.Get("offset", 0)
+			size := attrs.Get("size", in[0].Dim(0)-off)
+			if off < 0 || size <= 0 || off+size > in[0].Dim(0) {
+				return nil, fmt.Errorf("slice_axis0 [%d:%d] of %v", off, off+size, in[0])
+			}
+			return shape.Of(size, in[0].Dim(1)), nil
+		},
+		FLOPs: ewFLOPs(1),
+	})
+	RegisterInfo("reverse_axis1", OpInfo{InferShape: sameAsInput0, FLOPs: ewFLOPs(1)})
+	RegisterInfo("stride_rows", OpInfo{
+		InferShape: func(attrs tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 2); err != nil {
+				return nil, err
+			}
+			s := attrs.Get("stride", 2)
+			if in[0].Dim(0)%s != 0 {
+				return nil, fmt.Errorf("stride_rows %d does not divide %v", s, in[0])
+			}
+			return shape.Of(in[0].Dim(0)/s, in[0].Dim(1)), nil
+		},
+		FLOPs: ewFLOPs(1),
+	})
+	RegisterInfo("repeat_row", OpInfo{
+		InferShape: func(attrs tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 1); err != nil {
+				return nil, err
+			}
+			return shape.Of(attrs.Get("rows", 1), in[0].Dim(0)), nil
+		},
+		FLOPs: ewFLOPs(1),
+	})
+	RegisterInfo("gather_rows", OpInfo{
+		InferShape: func(_ tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 2, 2); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[1].Dim(0), in[0].Dim(1)), nil
+		},
+		FLOPs: ewFLOPs(1),
+	})
+	RegisterInfo("one_hot", OpInfo{
+		InferShape: func(attrs tdl.Attrs, in []shape.Shape) (shape.Shape, error) {
+			if err := wantRank(in, 2); err != nil {
+				return nil, err
+			}
+			return shape.Of(in[0].Dim(0), attrs.Get("classes", 2)), nil
+		},
+		FLOPs: ewFLOPs(1),
+	})
+}

@@ -1,0 +1,184 @@
+// Package graphgen turns a partition plan into the per-worker execution
+// structure Tofu's runtime would run (EuroSys'19 Sec 6): every operator gets
+// a per-worker shard with 1/k of the compute, a fused MultiFetch task for
+// the remote input regions, and an output redistribution/reduction task when
+// the plan requires one. Tofu's plans are symmetric across workers, so the
+// generator emits one representative worker timeline; the simulator and the
+// memory planner exploit the symmetry.
+//
+// The two memory optimizations of Sec 6 are modeled as options: MultiFetch
+// (assembling remote regions in place via one fused kernel instead of
+// split/copy/concatenate chains) and ControlDeps (the extra control
+// dependencies of Fig 7 that keep the memory planner's buffer reuse intact).
+package graphgen
+
+import (
+	"fmt"
+
+	"tofu/internal/graph"
+	"tofu/internal/partition"
+	"tofu/internal/plan"
+	"tofu/internal/shape"
+)
+
+// Options toggle the Sec 6 optimizations (both on in real Tofu; the
+// ablation benches switch them off).
+type Options struct {
+	// MultiFetch fuses remote-region assembly into one kernel reading peer
+	// memory over UVA. Off, every fetched region is staged through an extra
+	// copy (split + copy + concatenate), doubling communication buffers.
+	MultiFetch bool
+	// ControlDeps adds the Fig 7 control dependencies so each worker's
+	// memory planner sees the original operator ordering and can reuse
+	// buffers. Off, reuse across partitioned operators is lost.
+	ControlDeps bool
+	// SpreadReduction distributes output reductions across all workers
+	// (all-reduce); off, a single worker aggregates and its link becomes
+	// the bottleneck.
+	SpreadReduction bool
+}
+
+// DefaultOptions enables everything, matching the real system.
+func DefaultOptions() Options {
+	return Options{MultiFetch: true, ControlDeps: true, SpreadReduction: true}
+}
+
+// OpShard is one operator's per-worker slice of work.
+type OpShard struct {
+	Node *graph.Node
+	// OutShard is the worker's output shard shape (storage layout).
+	OutShard shape.Shape
+	// KernelRows is the leading extent of the slab the kernel actually
+	// computes, which follows the composed *strategies* rather than the
+	// output tensor's storage cut: a matmul parallelized along its column
+	// axis still runs full-height rows on every worker even when the
+	// result is stored row-partitioned. Kernel efficiency depends on this.
+	KernelRows float64
+	// FLOPs and MemBytes are the per-worker kernel costs.
+	FLOPs    float64
+	MemBytes float64
+	// FetchBytes is the per-worker MultiFetch traffic (remote input regions,
+	// summed over all recursive steps).
+	FetchBytes float64
+	// OutCommBytes is the per-worker output redistribution/reduction
+	// traffic.
+	OutCommBytes float64
+}
+
+// Sharded is the per-worker execution structure for a k-way plan.
+type Sharded struct {
+	K    int64
+	G    *graph.Graph
+	Plan *plan.Plan
+	Opts Options
+	// Ops lists per-worker op shards in execution (topological) order.
+	Ops []OpShard
+	// TensorShard maps tensor ID to the per-worker shard bytes.
+	TensorShard map[int]int64
+	// TotalFetchBytes/TotalOutBytes summarize per-worker communication.
+	TotalFetchBytes float64
+	TotalOutBytes   float64
+}
+
+// Generate builds the per-worker structure for a plan produced by the
+// recursive search (or by a heuristic baseline via dp.Evaluate).
+func Generate(g *graph.Graph, p *plan.Plan, opts Options) (*Sharded, error) {
+	if p == nil || p.K < 1 {
+		return nil, fmt.Errorf("graphgen: invalid plan")
+	}
+	sh := &Sharded{K: p.K, G: g, Plan: p, Opts: opts, TensorShard: make(map[int]int64, len(g.Tensors))}
+	kf := float64(p.K)
+
+	for _, t := range g.Tensors {
+		fs, ok := p.FinalShapes[t.ID]
+		if !ok || len(p.TensorCuts(t.ID)) == 0 {
+			// Unreferenced tensors stay whole on every worker.
+			sh.TensorShard[t.ID] = t.Bytes()
+			continue
+		}
+		sh.TensorShard[t.ID] = fs.Bytes(t.DType)
+	}
+
+	nodes, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range nodes {
+		os := OpShard{
+			Node:     n,
+			FLOPs:    graph.NodeFLOPs(n) / kf,
+			MemBytes: float64(graph.MemBytes(n)) / kf,
+		}
+		if fs, ok := p.FinalShapes[n.Output.ID]; ok {
+			os.OutShard = fs
+		} else {
+			os.OutShard = n.Output.Shape
+		}
+		// Kernel slab: divide along each step's *strategy* axis.
+		rows := 1.0
+		if n.Output.Shape.Rank() > 0 {
+			rows = float64(n.Output.Shape.Dim(0))
+		}
+		// Sum the per-step communication; each step's Parts covers all
+		// workers, so a single worker moves 1/k of it.
+		for _, s := range p.Steps {
+			if st, ok := s.OpStrategy[n.ID]; ok {
+				if st.Kind == partition.SplitOutput && st.OutDim == 0 {
+					rows /= float64(s.K)
+				}
+			}
+			parts, ok := s.OpComm[n.ID]
+			if !ok {
+				continue
+			}
+			os.FetchBytes += parts.InBytes / kf
+			if opts.SpreadReduction {
+				os.OutCommBytes += parts.OutBytes / kf
+			} else {
+				// All partial outputs funnel through one aggregator link.
+				os.OutCommBytes += parts.OutBytes
+			}
+		}
+		os.KernelRows = rows
+		if !opts.MultiFetch {
+			// Staged split/copy/concatenate moves the fetched region twice.
+			os.FetchBytes *= 2
+		}
+		sh.TotalFetchBytes += os.FetchBytes
+		sh.TotalOutBytes += os.OutCommBytes
+		sh.Ops = append(sh.Ops, os)
+	}
+	return sh, nil
+}
+
+// Single wraps an unpartitioned graph in the same structure (k = 1, no
+// communication) for the single-GPU baselines (Ideal, SmallBatch, Swap).
+func Single(g *graph.Graph) (*Sharded, error) {
+	nodes, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	sh := &Sharded{
+		K: 1, G: g,
+		Plan:        &plan.Plan{K: 1},
+		Opts:        DefaultOptions(),
+		TensorShard: make(map[int]int64, len(g.Tensors)),
+	}
+	for _, t := range g.Tensors {
+		sh.TensorShard[t.ID] = t.Bytes()
+	}
+	for _, n := range nodes {
+		rows := 1.0
+		if n.Output.Shape.Rank() > 0 {
+			rows = float64(n.Output.Shape.Dim(0))
+		}
+		sh.Ops = append(sh.Ops, OpShard{
+			Node:       n,
+			OutShard:   n.Output.Shape,
+			KernelRows: rows,
+			FLOPs:      graph.NodeFLOPs(n),
+			MemBytes:   float64(graph.MemBytes(n)),
+		})
+	}
+	return sh, nil
+}

@@ -1,0 +1,123 @@
+package graphgen
+
+import (
+	"testing"
+
+	"tofu/internal/models"
+	"tofu/internal/recursive"
+)
+
+func shardedMLP(t *testing.T, k int64, opts Options) (*Sharded, *models.Model) {
+	t.Helper()
+	m, err := models.MLP(2, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := recursive.Partition(m.G, k, recursive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Generate(m.G, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh, m
+}
+
+func TestGenerateBasics(t *testing.T) {
+	sh, m := shardedMLP(t, 8, DefaultOptions())
+	if sh.K != 8 {
+		t.Fatalf("K = %d", sh.K)
+	}
+	if len(sh.Ops) != len(m.G.Nodes) {
+		t.Fatalf("ops = %d, nodes = %d", len(sh.Ops), len(m.G.Nodes))
+	}
+	// Per-worker FLOPs are 1/8 of the whole graph's.
+	var shardFLOPs, fullFLOPs float64
+	for _, os := range sh.Ops {
+		shardFLOPs += os.FLOPs
+	}
+	single, err := Single(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, os := range single.Ops {
+		fullFLOPs += os.FLOPs
+	}
+	if ratio := fullFLOPs / shardFLOPs; ratio < 7.99 || ratio > 8.01 {
+		t.Fatalf("FLOPs ratio = %g, want 8", ratio)
+	}
+}
+
+func TestShardBytes(t *testing.T) {
+	sh, m := shardedMLP(t, 8, DefaultOptions())
+	for _, w := range m.G.Weights() {
+		if got := sh.TensorShard[w.ID] * 8; got != w.Bytes() {
+			t.Errorf("weight %v shard bytes %d, want 1/8 of %d", w, sh.TensorShard[w.ID], w.Bytes())
+		}
+	}
+}
+
+func TestCommRecorded(t *testing.T) {
+	sh, _ := shardedMLP(t, 8, DefaultOptions())
+	if sh.TotalFetchBytes+sh.TotalOutBytes <= 0 {
+		t.Fatal("an 8-way partitioned MLP must communicate")
+	}
+	// Per-worker communication is the plan's total over 8.
+	want := sh.Plan.TotalComm() / 8
+	got := sh.TotalFetchBytes + sh.TotalOutBytes
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("per-worker comm %g, want %g", got, want)
+	}
+}
+
+func TestMultiFetchOff(t *testing.T) {
+	on, _ := shardedMLP(t, 8, DefaultOptions())
+	offOpts := DefaultOptions()
+	offOpts.MultiFetch = false
+	off, _ := shardedMLP(t, 8, offOpts)
+	if off.TotalFetchBytes <= on.TotalFetchBytes {
+		t.Fatalf("staged fetches (%g) must move more than MultiFetch (%g)",
+			off.TotalFetchBytes, on.TotalFetchBytes)
+	}
+}
+
+func TestSpreadReductionOff(t *testing.T) {
+	on, _ := shardedMLP(t, 8, DefaultOptions())
+	offOpts := DefaultOptions()
+	offOpts.SpreadReduction = false
+	off, _ := shardedMLP(t, 8, offOpts)
+	if off.TotalOutBytes < on.TotalOutBytes {
+		t.Fatalf("funneled reductions (%g) must not beat all-reduce (%g)",
+			off.TotalOutBytes, on.TotalOutBytes)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	m, err := models.MLP(1, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Single(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.K != 1 || sh.TotalFetchBytes != 0 || sh.TotalOutBytes != 0 {
+		t.Fatal("single-GPU wrapper must not communicate")
+	}
+	for _, tt := range m.G.Tensors {
+		if sh.TensorShard[tt.ID] != tt.Bytes() {
+			t.Fatalf("tensor %v shard %d != %d", tt, sh.TensorShard[tt.ID], tt.Bytes())
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	m, err := models.MLP(1, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(m.G, nil, DefaultOptions()); err == nil {
+		t.Fatal("expected invalid-plan error")
+	}
+}

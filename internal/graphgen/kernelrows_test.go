@@ -1,0 +1,49 @@
+package graphgen
+
+import (
+	"testing"
+
+	"tofu/internal/models"
+	"tofu/internal/partition"
+	"tofu/internal/recursive"
+)
+
+// TestKernelRowsFollowStrategies checks the property that fixed a major
+// mis-pricing: a kernel's computed slab follows the chosen strategies, not
+// the output tensor's storage cut. Whenever no step split output dim 0, the
+// kernel keeps full rows even if the tensor is stored row-partitioned.
+func TestKernelRowsFollowStrategies(t *testing.T) {
+	m, err := models.RNN(2, 1024, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := recursive.Partition(m.G, 8, recursive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Generate(m.G, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, os := range sh.Ops {
+		rows := float64(os.Node.Output.Shape.Dim(0))
+		splits := 1.0
+		for _, s := range p.Steps {
+			if st, ok := s.OpStrategy[os.Node.ID]; ok &&
+				st.Kind == partition.SplitOutput && st.OutDim == 0 {
+				splits *= float64(s.K)
+			}
+		}
+		want := rows / splits
+		if os.KernelRows != want {
+			t.Fatalf("%v: KernelRows = %g, want %g (out rows %g, row-splits %g)",
+				os.Node, os.KernelRows, want, rows, splits)
+		}
+		// The kernel never computes fewer rows than the storage shard: the
+		// storage cut can only be finer or equal along dim 0.
+		if os.OutShard.Rank() > 0 && os.KernelRows < float64(os.OutShard.Dim(0))-1e-9 {
+			t.Fatalf("%v: kernel rows %g below storage shard rows %d",
+				os.Node, os.KernelRows, os.OutShard.Dim(0))
+		}
+	}
+}

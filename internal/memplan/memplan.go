@@ -1,0 +1,195 @@
+// Package memplan models the static memory planner of MXNet/TensorFlow that
+// Tofu's graph generation must keep effective (EuroSys'19 Sec 6). It sweeps
+// a worker's operators in execution order, allocating each output buffer at
+// its producer and releasing it after its last consumer, and reports the
+// peak resident footprint. The generator's control dependencies (Fig 7) are
+// what make the release points visible to the real planner; the Reuse
+// option models their absence. In-place operators (gradient aggregation,
+// optimizer updates) alias their first input's buffer, the MXNet behaviour
+// whose absence in TensorFlow drives the Table 3 gap.
+package memplan
+
+import (
+	"tofu/internal/graph"
+	"tofu/internal/graphgen"
+)
+
+// Options control planner behaviour for the ablations.
+type Options struct {
+	// Reuse frees transient buffers after their last consumer. Off models
+	// naive graph generation without Fig 7's control dependencies: the
+	// planner cannot prove reuse is safe and every transient buffer stays
+	// allocated for the iteration.
+	Reuse bool
+	// InPlaceAggregation honours in-place gradient aggregation; off (the
+	// TensorFlow model of Table 3) every aggregation allocates a fresh
+	// buffer.
+	InPlaceAggregation bool
+	// WorkspacePerOp adds a fixed per-operator scratch allocation for the
+	// convolution workspaces cuDNN-style kernels need.
+	WorkspacePerOp int64
+}
+
+// DefaultOptions matches the real system.
+func DefaultOptions() Options {
+	return Options{Reuse: true, InPlaceAggregation: true}
+}
+
+// Report is the planner's accounting for one worker.
+type Report struct {
+	// PersistentBytes holds weights, optimizer state and input shards —
+	// resident for the whole iteration.
+	PersistentBytes int64
+	// TransientPeak is the high-water mark of activation/gradient buffers.
+	TransientPeak int64
+	// CommBufferPeak is the largest communication staging demand.
+	CommBufferPeak int64
+	// PeakBytes is the total footprint the device must accommodate.
+	PeakBytes int64
+}
+
+// Fits reports whether the footprint fits a device of the given capacity.
+func (r Report) Fits(capacity int64) bool { return r.PeakBytes <= capacity }
+
+// AliasRoots maps every tensor ID to the root buffer of its in-place alias
+// chain (gradient aggregations and optimizer updates share storage with
+// their first input). The swap engine uses this so alias chains do not
+// masquerade as distinct memory blocks.
+func AliasRoots(g *graph.Graph, inPlaceAgg bool) map[int]int {
+	inPlace := func(n *graph.Node) bool {
+		switch {
+		case n.Op == "sgd_update", n.Op == "adam_update":
+			return true
+		case n.InPlace:
+			return inPlaceAgg
+		default:
+			return false
+		}
+	}
+	roots := make(map[int]int, len(g.Tensors))
+	var rootOf func(t *graph.Tensor) int
+	rootOf = func(t *graph.Tensor) int {
+		if r, ok := roots[t.ID]; ok {
+			return r
+		}
+		r := t.ID
+		if t.Producer != nil && inPlace(t.Producer) {
+			r = rootOf(t.Producer.Inputs[0])
+		}
+		roots[t.ID] = r
+		return r
+	}
+	for _, t := range g.Tensors {
+		rootOf(t)
+	}
+	return roots
+}
+
+// Plan sweeps one (representative) worker of a sharded execution.
+func Plan(sh *graphgen.Sharded, opt Options) Report {
+	var rep Report
+
+	persistentKind := func(k graph.TensorKind) bool {
+		return k == graph.Weight || k == graph.OptState || k == graph.Input
+	}
+	for _, t := range sh.G.Tensors {
+		if persistentKind(t.Kind) {
+			rep.PersistentBytes += sh.TensorShard[t.ID]
+		}
+	}
+
+	inPlace := func(n *graph.Node) bool {
+		switch {
+		case n.Op == "sgd_update", n.Op == "adam_update":
+			return true // frameworks update parameters in place
+		case n.InPlace:
+			return opt.InPlaceAggregation
+		default:
+			return false
+		}
+	}
+
+	// Resolve alias chains: an in-place op's output shares its first
+	// input's buffer; the buffer's root is the original allocation.
+	rootCache := make(map[int]*graph.Tensor, len(sh.G.Tensors))
+	var rootOf func(t *graph.Tensor) *graph.Tensor
+	rootOf = func(t *graph.Tensor) *graph.Tensor {
+		if r, ok := rootCache[t.ID]; ok {
+			return r
+		}
+		r := t
+		if t.Producer != nil && inPlace(t.Producer) {
+			r = rootOf(t.Producer.Inputs[0])
+		}
+		rootCache[t.ID] = r
+		return r
+	}
+
+	// External reference counts per root buffer: consumptions that extend
+	// the alias chain are internal and don't pin the buffer.
+	refs := make(map[int]int, len(sh.G.Tensors))
+	for _, t := range sh.G.Tensors {
+		r := rootOf(t)
+		for _, c := range t.Consumers {
+			if inPlace(c) && c.Inputs[0] == t {
+				continue
+			}
+			refs[r.ID]++
+		}
+	}
+
+	var cur int64
+	live := make(map[int]bool)
+	bump := func(delta int64) {
+		cur += delta
+		if cur > rep.TransientPeak {
+			rep.TransientPeak = cur
+		}
+	}
+	release := func(r *graph.Tensor) {
+		if !opt.Reuse || persistentKind(r.Kind) || !live[r.ID] {
+			return
+		}
+		live[r.ID] = false
+		cur -= sh.TensorShard[r.ID]
+	}
+
+	for _, os := range sh.Ops {
+		n := os.Node
+
+		// Communication staging for this op's remote regions, live only
+		// while the operator runs.
+		commBuf := int64(os.FetchBytes + os.OutCommBytes)
+		if commBuf > rep.CommBufferPeak {
+			rep.CommBufferPeak = commBuf
+		}
+		bump(commBuf + opt.WorkspacePerOp)
+
+		// Allocate the output buffer unless it aliases an existing one.
+		outRoot := rootOf(n.Output)
+		if outRoot == n.Output && !persistentKind(n.Output.Kind) {
+			bump(sh.TensorShard[n.Output.ID])
+			live[n.Output.ID] = true
+		}
+
+		// Release roots whose last external consumer just ran.
+		for _, in := range n.Inputs {
+			if inPlace(n) && in == n.Inputs[0] {
+				continue // internal alias extension
+			}
+			r := rootOf(in)
+			refs[r.ID]--
+			if refs[r.ID] == 0 {
+				release(r)
+			}
+		}
+		// Terminal outputs nobody will read die immediately.
+		if refs[outRoot.ID] == 0 {
+			release(outRoot)
+		}
+		cur -= commBuf + opt.WorkspacePerOp
+	}
+
+	rep.PeakBytes = rep.PersistentBytes + rep.TransientPeak
+	return rep
+}

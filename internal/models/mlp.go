@@ -1,0 +1,41 @@
+package models
+
+import (
+	"fmt"
+
+	"tofu/internal/graph"
+	"tofu/internal/shape"
+)
+
+// MLP builds a multi-layer perceptron training graph — the model Figure 5
+// uses to illustrate coarsening. Each layer is matmul + bias_add + relu.
+func MLP(layers int, dim, batch int64) (*Model, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("models: MLP needs at least one layer, got %d", layers)
+	}
+	const classes = 64
+	g := graph.New()
+	x := g.Input("data", shape.Of(batch, dim))
+	h := x
+	for l := 0; l < layers; l++ {
+		w := g.Weight(fmt.Sprintf("fc%d.w", l), shape.Of(dim, dim))
+		b := g.Weight(fmt.Sprintf("fc%d.b", l), shape.Of(dim))
+		h = g.Apply("matmul", nil, h, w)
+		h = g.Apply("bias_add", nil, h, b)
+		h = g.Apply("relu", nil, h)
+	}
+	wOut := g.Weight("out.w", shape.Of(dim, classes))
+	logits := g.Apply("matmul", nil, h, wOut)
+	if err := finishTraining(g, logits, classes); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Name:   fmt.Sprintf("MLP-%d-%d", layers, dim),
+		Family: "mlp",
+		G:      g,
+		Batch:  batch,
+		Cfg:    Config{Family: "mlp", Depth: layers, Width: dim, Batch: batch},
+		Logits: logits,
+	}
+	return m, nil
+}

@@ -1,0 +1,84 @@
+// Package models builds the paper's benchmark models as fine-grained
+// dataflow graphs: Wide ResNet (WResNet-50/101/152 widened 4-10x) on
+// ImageNet-sized inputs, multi-layer LSTM RNNs (6-10 layers, 4K-8K hidden,
+// unrolled 20 steps), and an MLP used by the unit tests and the paper's
+// Figure 5 exposition. Every model is a full training iteration: forward,
+// loss, backward, and Adam-style weight update — the paper's Sec 7.1 setup,
+// whose 3·W memory accounting (weight + gradient + history) Table 2 reports.
+package models
+
+import (
+	"fmt"
+
+	"tofu/internal/graph"
+	"tofu/internal/shape"
+)
+
+// Model is a benchmark model: a training graph plus metadata the experiment
+// harness needs.
+type Model struct {
+	Name   string
+	Family string // "wresnet", "rnn", "mlp"
+	G      *graph.Graph
+	Batch  int64
+	Cfg    Config
+
+	// Logits is the classifier output whose loss gradient seeds autodiff.
+	Logits *graph.Tensor
+}
+
+// WeightBytes returns parameter bytes; WeightBytes3x includes gradient and
+// optimizer history, the quantity Table 2 tabulates.
+func (m *Model) WeightBytes() int64 { return m.G.ComputeStats().WeightBytes }
+
+// WeightBytes3x is 3x WeightBytes (weight + gradient + optimizer history).
+func (m *Model) WeightBytes3x() int64 { return 3 * m.WeightBytes() }
+
+// Config identifies a model variant; the experiment harness uses it to
+// rebuild the same model at different batch sizes.
+type Config struct {
+	Family string // "wresnet" | "rnn" | "mlp"
+	Depth  int    // wresnet: 50/101/152; rnn: layers; mlp: layers
+	Width  int64  // wresnet: widening factor; rnn: hidden size; mlp: dim
+	Batch  int64
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s-%d-%d@%d", c.Family, c.Depth, c.Width, c.Batch)
+}
+
+// Build constructs the model for a config.
+func Build(c Config) (*Model, error) {
+	switch c.Family {
+	case "wresnet":
+		return WResNet(c.Depth, c.Width, c.Batch)
+	case "rnn":
+		return RNN(c.Depth, c.Width, c.Batch, DefaultUnrollSteps)
+	case "mlp":
+		return MLP(c.Depth, c.Width, c.Batch)
+	case "transformer":
+		return Transformer(c.Depth, c.Width, DefaultSeqLen, c.Batch)
+	default:
+		return nil, fmt.Errorf("models: unknown family %q", c.Family)
+	}
+}
+
+// WithBatch rebuilds the same model at a different batch size.
+func (m *Model) WithBatch(batch int64) (*Model, error) {
+	cfg := m.Cfg
+	cfg.Batch = batch
+	return Build(cfg)
+}
+
+// finishTraining appends loss seeding, backward pass and optimizer update to
+// a forward graph whose classifier logits are given.
+func finishTraining(g *graph.Graph, logits *graph.Tensor, classes int64) error {
+	labels := g.Input("labels", shape.Of(logits.Shape.Dim(0), classes))
+	probs := g.Apply("softmax", nil, logits)
+	dLogits := g.Apply("softmax_ce_grad", nil, probs, labels)
+	if err := g.Backward(map[*graph.Tensor]*graph.Tensor{logits: dLogits},
+		graph.AutodiffOptions{InPlaceAgg: true}); err != nil {
+		return err
+	}
+	return g.ApplyOptimizer("adam")
+}

@@ -1,0 +1,248 @@
+package models
+
+import (
+	"fmt"
+	"testing"
+
+	"tofu/internal/graph"
+)
+
+func TestMLPStructure(t *testing.T) {
+	m, err := MLP(3, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 layers x (matmul+bias+relu) + out matmul + softmax + ce grad + bwd +
+	// adam updates. Check weights got gradients and updates.
+	for _, w := range m.G.Weights() {
+		if w.Grad == nil {
+			t.Errorf("weight %v has no gradient", w)
+		}
+	}
+	var updates int
+	for _, n := range m.G.Nodes {
+		if n.Op == "adam_update" {
+			updates++
+		}
+	}
+	if want := 3*2 + 1; updates != want {
+		t.Fatalf("adam updates = %d, want %d", updates, want)
+	}
+}
+
+func TestMLPErrors(t *testing.T) {
+	if _, err := MLP(0, 16, 4); err == nil {
+		t.Fatal("expected layer-count error")
+	}
+}
+
+func TestRNNStructure(t *testing.T) {
+	m, err := RNN(2, 256, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Shared weights must aggregate gradients across timesteps.
+	var aggs int
+	for _, n := range m.G.Nodes {
+		if n.GradAgg {
+			aggs++
+		}
+	}
+	if aggs == 0 {
+		t.Fatal("RNN backward must aggregate shared-weight gradients")
+	}
+	// Every cell node carries an unroll tag for timestep merging.
+	var tagged int
+	for _, n := range m.G.Nodes {
+		if n.UnrollTag != "" {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Fatal("RNN nodes must carry unroll tags")
+	}
+	for _, w := range m.G.Weights() {
+		if w.Grad == nil {
+			t.Errorf("weight %v has no gradient", w)
+		}
+	}
+}
+
+func TestRNNWeightSizesTable2(t *testing.T) {
+	// Table 2 (RNN): total weight sizes in GB at the paper's 3·W accounting.
+	// Our LSTM stack has 8H²+4H parameters per layer plus a small projection
+	// head; assert the table's growth shape within a 35% band of the paper's
+	// absolute numbers.
+	paper := map[string]float64{
+		"6-4096": 8.4, "8-4096": 11.4, "10-4096": 14.4,
+		"6-6144": 18.6, "8-6144": 28.5, "10-6144": 32.1,
+		"6-8192": 33.0, "8-8192": 45.3, "10-8192": 57.0,
+	}
+	for _, layers := range []int{6, 8, 10} {
+		for _, hidden := range []int64{4096, 6144, 8192} {
+			m, err := RNN(layers, hidden, 4, 2) // batch/steps don't affect weights
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotGB := float64(m.WeightBytes3x()) / (1 << 30)
+			want := paper[fmt.Sprintf("%d-%d", layers, hidden)]
+			if gotGB < want*0.65 || gotGB > want*1.35 {
+				t.Errorf("RNN-%d-%d weight3x = %.1f GB, paper %.1f GB", layers, hidden, gotGB, want)
+			}
+		}
+	}
+}
+
+func TestWResNetWeightSizesTable2(t *testing.T) {
+	// Table 2 (WResNet) shape check: quadratic in the widening factor,
+	// roughly ResNet-depth-proportional, within 35% of the paper's numbers.
+	paper := map[string]float64{
+		"50-4": 4.2, "50-6": 9.6, "50-8": 17.1, "50-10": 26.7,
+		"101-4": 7.8, "101-6": 17.1, "101-8": 30.6, "101-10": 47.7,
+		"152-4": 10.5, "152-6": 23.4, "152-8": 41.7, "152-10": 65.1,
+	}
+	for _, depth := range []int{50, 101, 152} {
+		for _, widen := range []int64{4, 10} { // extremes; full sweep in benches
+			m, err := WResNet(depth, widen, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotGB := float64(m.WeightBytes3x()) / (1 << 30)
+			want := paper[fmt.Sprintf("%d-%d", depth, widen)]
+			if gotGB < want*0.65 || gotGB > want*1.35 {
+				t.Errorf("WResNet-%d-%d weight3x = %.1f GB, paper %.1f GB", depth, widen, gotGB, want)
+			}
+		}
+	}
+}
+
+func TestWResNetQuadraticWidening(t *testing.T) {
+	m4, err := WResNet(50, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := WResNet(50, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(m8.WeightBytes()) / float64(m4.WeightBytes())
+	// Conv weights scale 4x when width doubles; the FC head scales 2x, so
+	// the ratio lands slightly under 4.
+	if ratio < 3.3 || ratio > 4.05 {
+		t.Fatalf("widening 4->8 scaled weights by %.2f, want ~4", ratio)
+	}
+}
+
+func TestWResNetNodeCountMatchesPaperScale(t *testing.T) {
+	// Sec 1: "the graph for training a 152-layer ResNet has >1500 operators
+	// in MXNet". Our fine-grained graph should be in the same regime.
+	m, err := WResNet(152, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.G.Nodes); n < 1500 {
+		t.Fatalf("WResNet-152 graph has %d nodes, want > 1500", n)
+	}
+	if err := m.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWResNetErrors(t *testing.T) {
+	if _, err := WResNet(34, 4, 8); err == nil {
+		t.Fatal("expected unsupported-depth error")
+	}
+	if _, err := WResNet(50, 0, 8); err == nil {
+		t.Fatal("expected widen error")
+	}
+}
+
+func TestRNNErrors(t *testing.T) {
+	if _, err := RNN(0, 128, 4, 5); err == nil {
+		t.Fatal("expected layer error")
+	}
+	if _, err := RNN(2, 128, 4, 0); err == nil {
+		t.Fatal("expected steps error")
+	}
+}
+
+func TestBuildAndWithBatch(t *testing.T) {
+	m, err := Build(Config{Family: "mlp", Depth: 2, Width: 64, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m.WithBatch(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Batch != 32 {
+		t.Fatalf("WithBatch = %d", m2.Batch)
+	}
+	if m2.WeightBytes() != m.WeightBytes() {
+		t.Fatal("batch size must not change weights")
+	}
+	if _, err := Build(Config{Family: "nope"}); err == nil {
+		t.Fatal("expected unknown-family error")
+	}
+}
+
+func TestEveryModelOpHasTDL(t *testing.T) {
+	// Every operator instance in every model family must carry a TDL
+	// description — the paper's premise that the whole graph is analyzable.
+	ms := []func() (*Model, error){
+		func() (*Model, error) { return MLP(2, 64, 8) },
+		func() (*Model, error) { return RNN(2, 128, 8, 3) },
+		func() (*Model, error) { return WResNet(50, 1, 8) },
+	}
+	for _, build := range ms {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range m.G.Nodes {
+			if _, err := m.G.Describe(n); err != nil {
+				t.Errorf("%s: describe %v: %v", m.Name, n, err)
+			}
+		}
+	}
+}
+
+func TestRNNTimestepTags(t *testing.T) {
+	m, err := RNN(2, 64, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward cell nodes of the same layer share a tag across timesteps.
+	perTag := map[string]map[int]int{}
+	for _, n := range m.G.Nodes {
+		if n.UnrollTag == "" || n.FwdOf != nil {
+			continue
+		}
+		if perTag[n.UnrollTag] == nil {
+			perTag[n.UnrollTag] = map[int]int{}
+		}
+		perTag[n.UnrollTag][n.Timestep]++
+	}
+	if len(perTag) != 2 {
+		t.Fatalf("unroll tags = %d, want 2 layers", len(perTag))
+	}
+	for tag, steps := range perTag {
+		if len(steps) != 3 {
+			t.Errorf("tag %s covers %d timesteps, want 3", tag, len(steps))
+		}
+		// Same op multiset per timestep.
+		first := steps[0]
+		for ts, n := range steps {
+			if n != first {
+				t.Errorf("tag %s timestep %d has %d nodes, step0 has %d", tag, ts, n, first)
+			}
+		}
+	}
+	_ = graph.Stats{}
+}

@@ -1,0 +1,85 @@
+package models
+
+import (
+	"fmt"
+
+	"tofu/internal/graph"
+	"tofu/internal/shape"
+	"tofu/internal/tdl"
+)
+
+// Transformer builds a single-head Transformer encoder training graph — an
+// extension beyond the paper's CNN/RNN evaluation that exercises the same
+// machinery on the model family Tofu's line of work (GSPMD, Alpa) later
+// targeted. Each block is pre-norm attention plus a feed-forward network:
+//
+//	h   = x + Attn(LN(x))         Attn(q) = softmax(QKᵀ/√d)·V · Wo
+//	out = h + FFN(LN(h))          FFN(u)  = relu(u·W1)·W2
+//
+// Weight gradients of the token-wise linears reduce over both the batch
+// and sequence axes, giving the search the output-reduction strategies the
+// paper shows matter (Sec 7.3). The sequence dimension plays the paper's
+// "batch" role: it is partitionable without touching the weights.
+func Transformer(layers int, dmodel, seqLen, batch int64) (*Model, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("models: Transformer needs at least one layer")
+	}
+	if dmodel%4 != 0 {
+		return nil, fmt.Errorf("models: dmodel must be divisible by 4")
+	}
+	const classes = 128
+	g := graph.New()
+	x := g.Input("tokens", shape.Of(batch, seqLen, dmodel))
+
+	lnorm := func(name string, h *graph.Tensor) *graph.Tensor {
+		gamma := g.Weight(name+".gamma", shape.Of(dmodel))
+		beta := g.Weight(name+".beta", shape.Of(dmodel))
+		mean := g.Apply("ln3_mean", nil, h)
+		vr := g.Apply("ln3_var", nil, h, mean)
+		return g.Apply("ln3_norm", nil, h, mean, vr, gamma, beta)
+	}
+	linear := func(name string, h *graph.Tensor, out int64) *graph.Tensor {
+		w := g.Weight(name, shape.Of(h.Shape.Dim(2), out))
+		return g.Apply("linear3d", nil, h, w)
+	}
+
+	h := x
+	for l := 0; l < layers; l++ {
+		p := fmt.Sprintf("blk%d", l)
+
+		// Self-attention sub-block.
+		normed := lnorm(p+".ln1", h)
+		q := linear(p+".wq", normed, dmodel)
+		k := linear(p+".wk", normed, dmodel)
+		v := linear(p+".wv", normed, dmodel)
+		scores := g.Apply("bmm_nt", nil, q, k)        // [B, T, T]
+		scores = g.Apply("scale", nil, scores)        // 1/sqrt(d)
+		attn := g.Apply("softmax_axis2", nil, scores) // [B, T, T]
+		ctx := g.Apply("bmm", nil, attn, v)           // [B, T, D]
+		proj := linear(p+".wo", ctx, dmodel)
+		h = g.Apply("add", nil, h, proj)
+
+		// Feed-forward sub-block (4x expansion).
+		normed = lnorm(p+".ln2", h)
+		ff := linear(p+".w1", normed, 4*dmodel)
+		ff = g.Apply("gelu", nil, ff)
+		ff = linear(p+".w2", ff, dmodel)
+		h = g.Apply("add", nil, h, ff)
+	}
+
+	// Classifier on the final token.
+	pooled := g.Apply("last_token", tdl.Attrs{"pos": seqLen - 1}, h)
+	headW := g.Weight("head.w", shape.Of(dmodel, classes))
+	logits := g.Apply("matmul", nil, pooled, headW)
+	if err := finishTraining(g, logits, classes); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Name:   fmt.Sprintf("Transformer-%d-%d", layers, dmodel),
+		Family: "transformer",
+		G:      g,
+		Batch:  batch,
+		Cfg:    Config{Family: "transformer", Depth: layers, Width: dmodel, Batch: batch},
+		Logits: logits,
+	}, nil
+}

@@ -1,0 +1,64 @@
+package models
+
+import (
+	"testing"
+)
+
+func TestTransformerStructure(t *testing.T) {
+	m, err := Transformer(2, 256, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per block: 2 LN scale/shift pairs + 4 attention weights + 2 FFN
+	// weights; plus the classifier head.
+	var weights int
+	for range m.G.Weights() {
+		weights++
+	}
+	if want := 2*(4+4+2) + 1; weights != want {
+		t.Fatalf("weights = %d, want %d", weights, want)
+	}
+	for _, w := range m.G.Weights() {
+		if w.Grad == nil {
+			t.Errorf("weight %v has no gradient", w)
+		}
+	}
+	if _, err := m.G.Describe(m.G.Nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Every op in the attention graph must carry a TDL description.
+	for _, n := range m.G.Nodes {
+		if _, err := m.G.Describe(n); err != nil {
+			t.Errorf("describe %v: %v", n, err)
+		}
+	}
+}
+
+func TestTransformerErrors(t *testing.T) {
+	if _, err := Transformer(0, 256, 32, 8); err == nil {
+		t.Fatal("expected layers error")
+	}
+	if _, err := Transformer(2, 250, 32, 8); err == nil {
+		t.Fatal("expected dmodel divisibility error")
+	}
+}
+
+func TestTransformerBuildConfig(t *testing.T) {
+	m, err := Build(Config{Family: "transformer", Depth: 2, Width: 256, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Family != "transformer" {
+		t.Fatalf("family = %q", m.Family)
+	}
+	m2, err := m.WithBatch(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Batch != 16 {
+		t.Fatal("WithBatch lost batch")
+	}
+}

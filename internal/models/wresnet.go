@@ -1,0 +1,114 @@
+package models
+
+import (
+	"fmt"
+
+	"tofu/internal/graph"
+	"tofu/internal/shape"
+	"tofu/internal/tdl"
+)
+
+// blockCounts maps ResNet depth to the residual-block repeats per stage
+// (He et al. 2016); Figure 11's caption quotes the 152-layer counts.
+var blockCounts = map[int][4]int{
+	50:  {3, 4, 6, 3},
+	101: {3, 4, 23, 3},
+	152: {3, 8, 36, 3},
+}
+
+// WResNet builds a Wide ResNet training graph on ImageNet-sized inputs
+// (224x224). The widening factor multiplies the channel count of every
+// convolution (Zagoruyko & Komodakis), which grows the weight tensors
+// quadratically — the property that makes the paper's Table 2 models exceed
+// single-GPU memory.
+func WResNet(depth int, widen, batch int64) (*Model, error) {
+	counts, ok := blockCounts[depth]
+	if !ok {
+		return nil, fmt.Errorf("models: WResNet depth must be 50/101/152, got %d", depth)
+	}
+	if widen < 1 {
+		return nil, fmt.Errorf("models: widening factor must be >= 1, got %d", widen)
+	}
+	const classes = 1000
+	g := graph.New()
+	b := &wrnBuilder{g: g}
+
+	img := g.Input("images", shape.Of(batch, 3, 224, 224))
+
+	// Stem: 7x7/2 conv, BN, relu, 2x2/2 max-pool: 224 -> 112 -> 56.
+	h := b.convBNRelu("stem", img, 64*widen, 7, 2, true)
+	h = g.Apply("maxpool2d", tdl.Attrs{"stride": 2, "kernel": 2}, h)
+
+	// Four stages of bottleneck blocks.
+	stageMid := []int64{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		mid := stageMid[stage] * widen
+		out := 4 * mid
+		for blk := 0; blk < counts[stage]; blk++ {
+			stride := int64(1)
+			if stage > 0 && blk == 0 {
+				stride = 2 // the first block of stages 2-4 halves the map
+			}
+			h = b.bottleneck(fmt.Sprintf("s%d.b%d", stage+1, blk), h, mid, out, stride)
+		}
+	}
+
+	// Head: global average pool + fully connected classifier.
+	pooled := g.Apply("global_avgpool", nil, h)
+	fcW := g.Weight("fc.w", shape.Of(pooled.Shape.Dim(1), classes))
+	fcB := g.Weight("fc.b", shape.Of(classes))
+	logits := g.Apply("matmul", nil, pooled, fcW)
+	logits = g.Apply("bias_add", nil, logits, fcB)
+
+	if err := finishTraining(g, logits, classes); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Name:   fmt.Sprintf("WResNet-%d-%d", depth, widen),
+		Family: "wresnet",
+		G:      g,
+		Batch:  batch,
+		Cfg:    Config{Family: "wresnet", Depth: depth, Width: widen, Batch: batch},
+		Logits: logits,
+	}
+	return m, nil
+}
+
+type wrnBuilder struct {
+	g *graph.Graph
+}
+
+// convBNRelu emits conv -> batch-norm (as fine-grained mean/var/norm ops,
+// the operator granularity Tofu targets) -> optional relu.
+func (b *wrnBuilder) convBNRelu(name string, x *graph.Tensor, outCh, kernel, stride int64, relu bool) *graph.Tensor {
+	g := b.g
+	w := g.Weight(name+".w", shape.Of(outCh, x.Shape.Dim(1), kernel, kernel))
+	h := g.Apply("conv2d", tdl.Attrs{"stride": stride}, x, w)
+
+	gamma := g.Weight(name+".gamma", shape.Of(outCh))
+	beta := g.Weight(name+".beta", shape.Of(outCh))
+	mean := g.Apply("bn_mean", nil, h)
+	vr := g.Apply("bn_var", nil, h, mean)
+	h = g.Apply("bn_norm", nil, h, mean, vr, gamma, beta)
+	if relu {
+		h = g.Apply("relu", nil, h)
+	}
+	return h
+}
+
+// bottleneck is the 3-convolution residual block of ResNet-50/101/152:
+// 1x1 reduce, 3x3, 1x1 expand, plus a projection shortcut when the shape
+// changes.
+func (b *wrnBuilder) bottleneck(name string, x *graph.Tensor, mid, out, stride int64) *graph.Tensor {
+	g := b.g
+	h := b.convBNRelu(name+".c1", x, mid, 1, 1, true)
+	h = b.convBNRelu(name+".c2", h, mid, 3, stride, true)
+	h = b.convBNRelu(name+".c3", h, out, 1, 1, false)
+
+	short := x
+	if x.Shape.Dim(1) != out || stride != 1 {
+		short = b.convBNRelu(name+".sc", x, out, 1, stride, false)
+	}
+	sum := g.Apply("add", nil, h, short)
+	return g.Apply("relu", nil, sum)
+}

@@ -1,0 +1,69 @@
+package partition
+
+import (
+	"testing"
+
+	"tofu/internal/shape"
+	"tofu/internal/tdl"
+)
+
+// TestEveryRegisteredOpIsAnalyzable mirrors the paper's Sec 4.1 bootstrap
+// ("TDL can describe 134 out of 139 MXNet operators"): every operator in
+// the standard registry must yield at least one partition strategy from the
+// analyzer — non-opaque axes for the general case, the batch axis for
+// opaque batched operators.
+func TestEveryRegisteredOpIsAnalyzable(t *testing.T) {
+	for _, name := range tdl.Std.Names() {
+		d, err := tdl.Std.Describe(name, nil)
+		if err != nil {
+			t.Errorf("describe %s: %v", name, err)
+			continue
+		}
+		ss := Enumerate(d)
+		if len(ss) == 0 {
+			t.Errorf("operator %s has no partition strategy", name)
+		}
+		for _, s := range ss {
+			if s.Kind == SplitOutput && d.OpaqueOutAxis(s.Axis) {
+				t.Errorf("operator %s offers opaque axis %s", name, s.Axis)
+			}
+			if s.Kind == SplitReduce && s.Reducer == tdl.NoReduce {
+				t.Errorf("operator %s reduce strategy lacks a reducer", name)
+			}
+		}
+	}
+}
+
+// TestHaloScalesWithWorkers: k-way spatial splits exchange halos at the k-1
+// interior boundaries, so halo traffic grows with (k-1) while aligned
+// non-halo traffic stays zero.
+func TestHaloScalesWithWorkers(t *testing.T) {
+	d, err := tdl.Std.Describe("conv1d", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &Spec{
+		Desc:     d,
+		OutShape: shape.Of(8, 16, 64),
+		InShapes: []shape.Shape{shape.Of(8, 32, 64), shape.Of(32, 16, 3)},
+		DType:    shape.Float32,
+	}
+	var x Strategy
+	for _, s := range Enumerate(d) {
+		if s.Kind == SplitOutput && s.Axis == "x" {
+			x = s
+		}
+	}
+	halo := func(k int64) float64 {
+		bd, err := Cost(sp, x, k, []Cut{{2}, {0}}, Cut{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bd.InputBytes[0]
+	}
+	h2, h4 := halo(2), halo(4)
+	// Interior boundaries: 1 for k=2, 3 for k=4 — traffic scales ~3x.
+	if h4 < h2*2.5 || h4 > h2*3.5 {
+		t.Fatalf("halo scaling k=2->4: %g -> %g, want ~3x", h2, h4)
+	}
+}

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Export is the stable, serializable form of a partition plan, for tooling
+// that wants to persist or diff plans (the original prototype emitted its
+// plans into NNVM graph attributes the same way).
+type Export struct {
+	Workers int64        `json:"workers"`
+	Steps   []StepExport `json:"steps"`
+	// TotalCommBytes is Σ δ_i.
+	TotalCommBytes float64 `json:"total_comm_bytes"`
+}
+
+// StepExport is one basic partition plan.
+type StepExport struct {
+	Ways       int64            `json:"ways"`
+	Multiplier int64            `json:"multiplier"`
+	CommBytes  float64          `json:"comm_bytes"`
+	TensorCut  map[string]int   `json:"tensor_cut"` // tensor ID (decimal) -> dim
+	OpStrategy map[string]strat `json:"op_strategy"`
+}
+
+type strat struct {
+	Kind string `json:"kind"` // "output" | "reduce"
+	Axis string `json:"axis"`
+	Dim  int    `json:"dim,omitempty"`
+}
+
+// ToExport converts a plan into its serializable form.
+func (p *Plan) ToExport() Export {
+	ex := Export{Workers: p.K, TotalCommBytes: p.TotalComm()}
+	for _, s := range p.Steps {
+		se := StepExport{
+			Ways: s.K, Multiplier: s.Multiplier, CommBytes: s.CommBytes,
+			TensorCut:  make(map[string]int, len(s.TensorCut)),
+			OpStrategy: make(map[string]strat, len(s.OpStrategy)),
+		}
+		for tid, d := range s.TensorCut {
+			se.TensorCut[fmt.Sprint(tid)] = d
+		}
+		for nid, st := range s.OpStrategy {
+			se.OpStrategy[fmt.Sprint(nid)] = strat{
+				Kind: st.Kind.String(), Axis: st.Axis, Dim: st.OutDim,
+			}
+		}
+		ex.Steps = append(ex.Steps, se)
+	}
+	return ex
+}
+
+// WriteJSON serializes the plan.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.ToExport())
+}
+
+// ReadJSON parses a serialized plan back into its export form (tensor and
+// node identities belong to the original graph, so the export — not a full
+// Plan — is the unit of exchange).
+func ReadJSON(r io.Reader) (Export, error) {
+	var ex Export
+	if err := json.NewDecoder(r).Decode(&ex); err != nil {
+		return Export{}, fmt.Errorf("plan: decoding: %w", err)
+	}
+	if ex.Workers < 1 {
+		return Export{}, fmt.Errorf("plan: invalid worker count %d", ex.Workers)
+	}
+	prod := int64(1)
+	for _, s := range ex.Steps {
+		if s.Ways < 2 {
+			return Export{}, fmt.Errorf("plan: invalid step ways %d", s.Ways)
+		}
+		prod *= s.Ways
+	}
+	if prod != ex.Workers {
+		return Export{}, fmt.Errorf("plan: steps multiply to %d, want %d", prod, ex.Workers)
+	}
+	return ex, nil
+}

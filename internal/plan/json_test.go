@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tofu/internal/partition"
+)
+
+func exportablePlan() *Plan {
+	return &Plan{
+		K: 4,
+		Steps: []*Step{
+			{
+				K: 2, Multiplier: 1, CommBytes: 100,
+				TensorCut: map[int]int{1: 0, 2: 1},
+				OpStrategy: map[int]partition.Strategy{
+					7: {Kind: partition.SplitOutput, Axis: "i", OutDim: 0},
+				},
+			},
+			{
+				K: 2, Multiplier: 2, CommBytes: 150,
+				TensorCut: map[int]int{1: 1, 2: 1},
+				OpStrategy: map[int]partition.Strategy{
+					7: {Kind: partition.SplitReduce, Axis: "k", OutDim: -1},
+				},
+			},
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := exportablePlan()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{`"workers": 4`, `"ways": 2`, `"reduce"`, `"output"`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("serialized plan missing %q:\n%s", frag, out)
+		}
+	}
+	ex, err := ReadJSON(&buf)
+	if err != nil {
+		// buf was drained by the first read; re-serialize.
+		var buf2 bytes.Buffer
+		if err := p.WriteJSON(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		ex, err = ReadJSON(&buf2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ex.Workers != 4 || len(ex.Steps) != 2 {
+		t.Fatalf("round trip lost structure: %+v", ex)
+	}
+	if ex.TotalCommBytes != 250 {
+		t.Fatalf("total comm = %g", ex.TotalCommBytes)
+	}
+	if ex.Steps[0].TensorCut["1"] != 0 || ex.Steps[1].TensorCut["1"] != 1 {
+		t.Fatalf("tensor cuts lost: %+v", ex.Steps)
+	}
+	if ex.Steps[1].OpStrategy["7"].Kind != "reduce" {
+		t.Fatalf("strategy kind lost: %+v", ex.Steps[1].OpStrategy)
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"workers": 0, "steps": []}`,
+		`{"workers": 4, "steps": [{"ways": 1}]}`,
+		`{"workers": 8, "steps": [{"ways": 2}, {"ways": 2}]}`, // product 4 != 8
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadJSON(%q) accepted invalid input", c)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package plan represents the output of Tofu's search: a sequence of basic
+// partition plans (Appendix A.1), one per recursive step, each cutting every
+// tensor along one dimension among that step's worker groups. The plan is
+// what graph generation consumes, and what Figure 11 visualizes.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"tofu/internal/partition"
+	"tofu/internal/shape"
+)
+
+// Step is one basic partition plan p_i.
+type Step struct {
+	// K is the number of ways this step divides each tensor (2 for powers
+	// of two; a factor of the total worker count otherwise).
+	K int64
+	// Multiplier is the number of worker groups executing this step
+	// concurrently: k1*k2*...*k(i-1).
+	Multiplier int64
+	// VarCut maps coarsened-variable ID to the cut dimension.
+	VarCut map[int]int
+	// TensorCut maps tensor ID to the cut dimension.
+	TensorCut map[int]int
+	// OpStrategy maps node ID to the chosen partition strategy.
+	OpStrategy map[int]partition.Strategy
+	// OpComm itemizes each node's communication at this step (fetch vs
+	// output bytes, summed over all workers).
+	OpComm map[int]partition.Parts
+	// CommBytes is δ_i: the total communication incurred by all worker
+	// groups at step i. The DP prices basic plans at the graph's original
+	// shapes, which by Lemma 1's linearity equals Multiplier · cost(p_i at
+	// the step's divided shapes) — δ_i directly.
+	CommBytes float64
+	// States/Configs record search effort (Table 1).
+	States, Configs int
+}
+
+// Delta is δ_i, the total communication incurred by all worker groups at
+// step i (Theorem 2's monotone quantity).
+func (s *Step) Delta() float64 { return s.CommBytes }
+
+// Plan is the full recursive partition plan for K workers.
+type Plan struct {
+	K     int64
+	Steps []*Step
+	// FinalShapes maps tensor ID to its per-worker shard shape.
+	FinalShapes map[int]shape.Shape
+}
+
+// TotalComm returns Σ δ_i — the objective the recursive algorithm minimizes.
+func (p *Plan) TotalComm() float64 {
+	t := 0.0
+	for _, s := range p.Steps {
+		t += s.Delta()
+	}
+	return t
+}
+
+// Monotone reports whether δ_i ≤ δ_(i+1) holds across steps — Theorem 2's
+// invariant (allowing a small numerical slack).
+func (p *Plan) Monotone() bool {
+	const slack = 1e-6
+	for i := 0; i+1 < len(p.Steps); i++ {
+		a, b := p.Steps[i].Delta(), p.Steps[i+1].Delta()
+		if a > b*(1+slack)+slack {
+			return false
+		}
+	}
+	return true
+}
+
+// TensorCuts returns the per-step cut dimensions for a tensor (empty if the
+// tensor is never referenced by an operator).
+func (p *Plan) TensorCuts(tensorID int) []int {
+	var out []int
+	for _, s := range p.Steps {
+		d, ok := s.TensorCut[tensorID]
+		if !ok {
+			return nil
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// CutSummary renders a tensor's cut sequence like "dim0/2 · dim1/2 · dim1/2"
+// — the notation behind Figure 11's tile diagrams.
+func (p *Plan) CutSummary(tensorID int) string {
+	cuts := p.TensorCuts(tensorID)
+	if len(cuts) == 0 {
+		return "unpartitioned"
+	}
+	parts := make([]string, len(cuts))
+	for i, d := range cuts {
+		parts[i] = fmt.Sprintf("dim%d/%d", d, p.Steps[i].K)
+	}
+	return strings.Join(parts, " · ")
+}
+
+// ShardDims returns, per dimension, the total number of ways the tensor is
+// divided along that dimension across all steps.
+func (p *Plan) ShardDims(tensorID int, rank int) []int64 {
+	ways := make([]int64, rank)
+	for i := range ways {
+		ways[i] = 1
+	}
+	for _, s := range p.Steps {
+		if d, ok := s.TensorCut[tensorID]; ok {
+			ways[d] *= s.K
+		}
+	}
+	return ways
+}

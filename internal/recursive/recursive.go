@@ -1,0 +1,128 @@
+// Package recursive implements Tofu's recursive partitioning algorithm
+// (EuroSys'19 Sec 5.2, Appendix A): factor the worker count k into
+// k1 ≥ k2 ≥ ... ≥ km, then run the coarsened-graph DP once per factor, each
+// time partitioning every tensor along a single dimension between ki worker
+// groups and dividing the shapes before the next step. Theorems 1–3 show the
+// greedy per-step optima compose into a globally optimal plan because every
+// step's cost is a weighted sum of (current) tensor sizes.
+package recursive
+
+import (
+	"fmt"
+
+	"tofu/internal/coarsen"
+	"tofu/internal/dp"
+	"tofu/internal/graph"
+	"tofu/internal/partition"
+	"tofu/internal/plan"
+	"tofu/internal/shape"
+)
+
+// Options tune the search.
+type Options struct {
+	// StrategyFilter restricts operator strategies (ICML18 baseline drops
+	// output reduction).
+	StrategyFilter func(partition.Strategy) bool
+	// Factors overrides the factorization of K (EqualChop uses a single
+	// K-way step).
+	Factors []int64
+	// DType prices communication; the benchmarks are all float32.
+	DType shape.DType
+	// MaxStates bounds the DP frontier per step (0 = exact search). See
+	// dp.Problem.MaxStates; useful for high-cutwidth graphs such as
+	// attention blocks.
+	MaxStates int
+}
+
+// Partition searches for the best partition plan of a training graph across
+// k workers.
+func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("recursive: worker count %d invalid", k)
+	}
+	factors := opts.Factors
+	if factors == nil {
+		factors = Factorize(k)
+	}
+	prod := int64(1)
+	for _, f := range factors {
+		if f < 2 {
+			return nil, fmt.Errorf("recursive: factor %d invalid", f)
+		}
+		prod *= f
+	}
+	if prod != k {
+		return nil, fmt.Errorf("recursive: factors %v do not multiply to %d", factors, k)
+	}
+
+	c, err := coarsen.Coarsen(g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Current (progressively divided) shape of every tensor.
+	shapes := make(map[int]shape.Shape, len(g.Tensors))
+	for _, t := range g.Tensors {
+		shapes[t.ID] = t.Shape.Clone()
+	}
+
+	p := &plan.Plan{K: k, FinalShapes: shapes}
+	mult := int64(1)
+	for _, ki := range factors {
+		res, err := dp.Solve(&dp.Problem{
+			Coarse:         c,
+			K:              ki,
+			Shapes:         shapes,
+			DType:          opts.DType,
+			StrategyFilter: opts.StrategyFilter,
+			MaxStates:      opts.MaxStates,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("recursive: step %d (x%d): %w", len(p.Steps)+1, ki, err)
+		}
+		step := &plan.Step{
+			K:          ki,
+			Multiplier: mult,
+			VarCut:     res.VarCut,
+			TensorCut:  res.TensorCut,
+			OpStrategy: res.OpStrategy,
+			OpComm:     res.OpComm,
+			CommBytes:  res.CommBytes,
+			States:     res.States,
+			Configs:    res.Configs,
+		}
+		p.Steps = append(p.Steps, step)
+		mult *= ki
+
+		// Divide shapes along the chosen cuts for the next step.
+		for tid, dim := range res.TensorCut {
+			cur := shapes[tid]
+			next, err := cur.Split(dim, ki)
+			if err != nil {
+				return nil, fmt.Errorf("recursive: splitting tensor %d: %w", tid, err)
+			}
+			shapes[tid] = next
+		}
+	}
+	return p, nil
+}
+
+// Factorize decomposes k into prime-power factors in non-increasing order,
+// the paper's k = k1*k2*...*km with ki >= k(i+1).
+func Factorize(k int64) []int64 {
+	var out []int64
+	for f := int64(2); f*f <= k; f++ {
+		for k%f == 0 {
+			out = append(out, f)
+			k /= f
+		}
+	}
+	if k > 1 {
+		out = append(out, k)
+	}
+	// Largest first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

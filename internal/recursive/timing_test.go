@@ -1,0 +1,41 @@
+package recursive
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tofu/internal/models"
+)
+
+// TestTimingSearch exercises the Table 1 workloads end to end; the bench
+// harness in the repository root reports the exact numbers.
+func TestTimingSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale search timing")
+	}
+	for _, c := range []models.Config{
+		{Family: "wresnet", Depth: 152, Width: 10, Batch: 8},
+		{Family: "rnn", Depth: 10, Width: 8192, Batch: 128},
+	} {
+		m, err := models.Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		p, err := Partition(m.G, 8, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		states, configs := 0, 0
+		for _, s := range p.Steps {
+			states += s.States
+			configs += s.Configs
+		}
+		fmt.Printf("%s: nodes=%d search=%v states=%d configs=%d comm=%.1fGB monotone=%v\n",
+			m.Name, len(m.G.Nodes), time.Since(start), states, configs, p.TotalComm()/(1<<30), p.Monotone())
+		if !p.Monotone() {
+			t.Errorf("%s: plan violates Theorem 2", m.Name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package sim is the discrete-event multi-GPU simulator that stands in for
+// the paper's testbed (an EC2 p2.8xlarge: 8 NVIDIA K80 GPUs with 12 GB each,
+// 21 GB/s PCIe peer-to-peer, a 10 GB/s shared CPU link — Sec 7.1). The
+// simulator executes the sharded per-worker structure from graphgen on a
+// calibrated kernel cost model: compute-bound kernels run at an efficiency
+// that grows with per-GPU work size (matmul starves at small batches, conv
+// stays efficient — the Sec 7.2 effects), element-wise kernels are
+// memory-bandwidth bound, and communication engines overlap with compute.
+package sim
+
+import (
+	"strings"
+
+	"tofu/internal/graphgen"
+)
+
+// HW describes the simulated machine.
+type HW struct {
+	NumGPUs     int
+	GPUMemBytes int64
+	// PeakFLOPS is the per-GPU fp32 peak; efficiency curves scale it down.
+	PeakFLOPS float64
+	// MemBW bounds element-wise/reduction kernels (bytes/s).
+	MemBW float64
+	// P2PBandwidth is the per-GPU PCIe peer bandwidth (bytes/s).
+	P2PBandwidth float64
+	// HostBandwidth is the CPU link all GPUs share (bytes/s) — the swap
+	// baseline's bottleneck.
+	HostBandwidth float64
+	// KernelOverhead is the fixed launch latency per kernel (seconds).
+	KernelOverhead float64
+
+	// Efficiency curve parameters: eff = Max * rows / (rows + Half).
+	MatmulMaxEff   float64
+	MatmulHalfRows float64
+	ConvMaxEff     float64
+	ConvHalfBatch  float64
+	// SwapOverlap is the fraction of swap transfer hidden behind compute
+	// (the baseline's prefetcher, Sec 7.1).
+	SwapOverlap float64
+	// PipelineSyncOverhead is the scheduling/synchronization latency added
+	// to every cross-GPU activation hand-off in operator placement.
+	PipelineSyncOverhead float64
+}
+
+// DefaultHW is calibrated to the paper's p2.8xlarge: per-GPU throughput in
+// the ballpark of a K80 GK210 (~4.4 TFLOPS peak, ~240 GB/s HBM), 21 GB/s
+// peer-to-peer, 10 GB/s host link shared by all eight GPUs.
+func DefaultHW() HW {
+	return HW{
+		NumGPUs:              8,
+		GPUMemBytes:          12 << 30,
+		PeakFLOPS:            5.1e12,
+		MemBW:                240e9,
+		P2PBandwidth:         21e9,
+		HostBandwidth:        10e9,
+		KernelOverhead:       20e-6,
+		MatmulMaxEff:         0.80,
+		MatmulHalfRows:       200,
+		ConvMaxEff:           0.65,
+		ConvHalfBatch:        2,
+		SwapOverlap:          0.7,
+		PipelineSyncOverhead: 10e-3,
+	}
+}
+
+// kernelClass buckets operators by their performance regime.
+type kernelClass int
+
+const (
+	classMatmul kernelClass = iota
+	classConv
+	classMemBound
+)
+
+func classify(op string) kernelClass {
+	switch {
+	case strings.HasPrefix(op, "matmul"):
+		return classMatmul
+	case strings.HasPrefix(op, "conv"):
+		return classConv
+	case strings.HasPrefix(op, "batch_"): // batched dense linear algebra
+		return classMatmul
+	default:
+		return classMemBound
+	}
+}
+
+// Eff returns the fraction of peak FLOPS a kernel achieves given its class
+// and leading output extent (rows for matmul, batch for conv).
+func (hw HW) Eff(class kernelClass, rows float64) float64 {
+	switch class {
+	case classMatmul:
+		return hw.MatmulMaxEff * rows / (rows + hw.MatmulHalfRows)
+	case classConv:
+		return hw.ConvMaxEff * rows / (rows + hw.ConvHalfBatch)
+	default:
+		return 1
+	}
+}
+
+// KernelTime prices one operator shard on a GPU: the max of its
+// compute-bound and memory-bound times plus launch overhead.
+func (hw HW) KernelTime(os graphgen.OpShard) float64 {
+	class := classify(os.Node.Op)
+	rows := os.KernelRows
+	if rows <= 0 {
+		rows = 1
+		if os.OutShard.Rank() > 0 {
+			rows = float64(os.OutShard.Dim(0))
+		}
+	}
+	var compute float64
+	if class == classMemBound {
+		compute = 0 // bandwidth term dominates below
+	} else {
+		compute = os.FLOPs / (hw.PeakFLOPS * hw.Eff(class, rows))
+	}
+	mem := os.MemBytes / hw.MemBW
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + hw.KernelOverhead
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"tofu/internal/graphgen"
+	"tofu/internal/memplan"
+)
+
+// Result is one simulated training iteration.
+type Result struct {
+	// IterSeconds is the end-to-end time of one iteration on the slowest
+	// engine.
+	IterSeconds float64
+	// ComputeSeconds is the pure-kernel time (communication removed) — the
+	// light-colored portion of Figure 10's bars.
+	ComputeSeconds float64
+	// CommSeconds is the total busy time of the communication engine.
+	CommSeconds float64
+	// Throughput is samples/second for the whole machine.
+	Throughput float64
+	// Mem is the per-worker memory planner report; OOM mirrors Fits.
+	Mem memplan.Report
+	OOM bool
+}
+
+// RunOptions tweak a simulation run.
+type RunOptions struct {
+	// DisableComm zeroes all communication (Figure 10's compute-only
+	// measurement mode: "we modify the backend to skip memory copy among
+	// GPUs").
+	DisableComm bool
+	// Replicas scales throughput for data-parallel-style baselines that run
+	// one graph per GPU (Ideal/SmallBatch/Swap multiply by 8 — Sec 7.1
+	// scales single-GPU throughput without modeling communication, as the
+	// paper's upper-bound baselines do).
+	Replicas int
+}
+
+// Run simulates one training iteration of a sharded execution on one
+// (representative, symmetric) worker: a compute engine executes kernels in
+// topological order while a communication engine overlaps MultiFetch and
+// reduction transfers; producers gate consumers.
+func Run(sh *graphgen.Sharded, hw HW, batch int64, memOpts memplan.Options, ro RunOptions) Result {
+	var res Result
+	res.Mem = memplan.Plan(sh, memOpts)
+	res.OOM = !res.Mem.Fits(hw.GPUMemBytes)
+
+	ready := make(map[int]float64, len(sh.Ops)) // tensor ID -> available time
+	var computeFree, commFree float64
+	for _, os := range sh.Ops {
+		depReady := 0.0
+		for _, in := range os.Node.Inputs {
+			if t := ready[in.ID]; t > depReady {
+				depReady = t
+			}
+		}
+		// MultiFetch of remote input regions on the comm engine. Peers run
+		// the same schedule, so remote producers finish when local ones do.
+		startReady := depReady
+		if !ro.DisableComm && os.FetchBytes > 0 {
+			fs := maxf(commFree, depReady)
+			fe := fs + os.FetchBytes/hw.P2PBandwidth
+			commFree = fe
+			res.CommSeconds += fe - fs
+			startReady = fe
+		}
+		kt := hw.KernelTime(os)
+		cs := maxf(computeFree, startReady)
+		ce := cs + kt
+		computeFree = ce
+		res.ComputeSeconds += kt
+
+		avail := ce
+		if !ro.DisableComm && os.OutCommBytes > 0 {
+			rs := maxf(commFree, ce)
+			re := rs + os.OutCommBytes/hw.P2PBandwidth
+			commFree = re
+			res.CommSeconds += re - rs
+			avail = re
+		}
+		ready[os.Node.Output.ID] = avail
+	}
+
+	res.IterSeconds = maxf(computeFree, commFree)
+	if res.IterSeconds > 0 {
+		replicas := 1
+		if ro.Replicas > 1 {
+			replicas = ro.Replicas
+		}
+		res.Throughput = float64(batch) / res.IterSeconds * float64(replicas)
+	}
+	return res
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package tdl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Attrs carries per-instance operator attributes (stride, offset, axis, ...)
+// that parameterize the TDL description. Attributes never make an index
+// expression non-affine: they only set constant coefficients and offsets.
+type Attrs map[string]int64
+
+// Get returns attrs[key] or def when absent.
+func (a Attrs) Get(key string, def int64) int64 {
+	if a == nil {
+		return def
+	}
+	if v, ok := a[key]; ok {
+		return v
+	}
+	return def
+}
+
+// DescFn builds the TDL description of an operator instance from its
+// attributes. Most operators ignore attrs entirely.
+type DescFn func(attrs Attrs) (*OpDesc, error)
+
+// Registry maps operator names to description builders, the way the Tofu
+// prototype keeps one TDL description per MXNet operator.
+type Registry struct {
+	mu   sync.RWMutex
+	desc map[string]DescFn
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{desc: make(map[string]DescFn)}
+}
+
+// Register installs a description builder; duplicate names are an error so
+// operator libraries cannot silently shadow one another.
+func (r *Registry) Register(name string, fn DescFn) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.desc[name]; dup {
+		return fmt.Errorf("tdl: operator %q already registered", name)
+	}
+	r.desc[name] = fn
+	return nil
+}
+
+// MustRegister is Register that panics; for init-time operator tables.
+func (r *Registry) MustRegister(name string, fn DescFn) {
+	if err := r.Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterStatic installs a fixed description that ignores attributes.
+func (r *Registry) RegisterStatic(d *OpDesc) error {
+	return r.Register(d.Name, func(Attrs) (*OpDesc, error) { return d, nil })
+}
+
+// Describe returns the TDL description for an operator instance.
+func (r *Registry) Describe(name string, attrs Attrs) (*OpDesc, error) {
+	r.mu.RLock()
+	fn, ok := r.desc[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("tdl: operator %q has no TDL description", name)
+	}
+	d, err := fn(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("tdl: describing %q: %w", name, err)
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Has reports whether the operator has a registered description.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.desc[name]
+	return ok
+}
+
+// Names returns all registered operator names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.desc))
+	for n := range r.desc {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Std is the default registry holding the standard operator library; it is
+// populated by stdops.go at init time.
+var Std = NewRegistry()

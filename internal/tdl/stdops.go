@@ -1,0 +1,358 @@
+package tdl
+
+// Standard operator library: TDL descriptions for the operators used by the
+// model zoo (WResNet, LSTM RNN, MLP), their gradients, and a few extras that
+// exercise corner cases of the analyzer (opaque functions, strided windows,
+// nested reductions). This mirrors the paper's bootstrap of writing TDL for
+// 134 of MXNet v0.11's 139 operators: "most of them have fewer than three
+// LoC" — the same holds here.
+
+func init() {
+	registerElementwise()
+	registerMatmul()
+	registerConv()
+	registerPooling()
+	registerBatchNorm()
+	registerSoftmax()
+	registerShapeOps()
+	registerOpaqueOps()
+}
+
+// --- element-wise families ---------------------------------------------
+
+// unaryEW registers out[i...] = fn(x[i...]) for a given rank range.
+func unaryEW(name, fn string) {
+	Std.MustRegister(name, func(attrs Attrs) (*OpDesc, error) {
+		rank := int(attrs.Get("rank", 2))
+		axes, idx := ewAxes(rank)
+		return Describe(name).In("x", rank).Out(axes...).Is(Apply(fn, At("x", idx...)))
+	})
+}
+
+// binaryEW registers out[i...] = x[i...] OP y[i...].
+func binaryEW(name string, op BinOpKind) {
+	Std.MustRegister(name, func(attrs Attrs) (*OpDesc, error) {
+		rank := int(attrs.Get("rank", 2))
+		axes, idx := ewAxes(rank)
+		return Describe(name).In("x", rank).In("y", rank).Out(axes...).
+			Is(&Bin{Op: op, L: At("x", idx...), R: At("y", idx...)})
+	})
+}
+
+// binaryEWFn registers out[i...] = fn(x[i...], y[i...]) where fn is an
+// uninterpreted scalar function (e.g. a fused gradient kernel).
+func binaryEWFn(name, fn string) {
+	Std.MustRegister(name, func(attrs Attrs) (*OpDesc, error) {
+		rank := int(attrs.Get("rank", 2))
+		axes, idx := ewAxes(rank)
+		return Describe(name).In("x", rank).In("y", rank).Out(axes...).
+			Is(Apply(fn, Add(At("x", idx...), At("y", idx...))))
+	})
+}
+
+// ternaryEWFn registers out[i...] = fn(x, y, z) elementwise.
+func ternaryEWFn(name, fn string) {
+	Std.MustRegister(name, func(attrs Attrs) (*OpDesc, error) {
+		rank := int(attrs.Get("rank", 2))
+		axes, idx := ewAxes(rank)
+		return Describe(name).In("x", rank).In("y", rank).In("z", rank).Out(axes...).
+			Is(Apply(fn, Add(At("x", idx...), Add(At("y", idx...), At("z", idx...)))))
+	})
+}
+
+func ewAxes(rank int) ([]Index, []Index) {
+	names := []string{"i", "j", "k", "l", "m", "n"}
+	axes := make([]Index, rank)
+	for i := 0; i < rank; i++ {
+		axes[i] = Ax(names[i])
+	}
+	return axes, axes
+}
+
+func registerElementwise() {
+	unaryEW("identity", "id")
+	unaryEW("negate", "neg")
+	unaryEW("relu", "relu")
+	unaryEW("sigmoid", "sigmoid")
+	unaryEW("tanh", "tanh")
+	unaryEW("exp", "exp")
+	unaryEW("log", "log")
+	unaryEW("sqrt", "sqrt")
+	unaryEW("square", "square")
+	unaryEW("scale", "scale") // x * const; the constant is partition-invariant
+
+	binaryEW("add", OpAdd)
+	binaryEW("sub", OpSub)
+	binaryEW("mul", OpMul)
+	binaryEW("div", OpDiv)
+	binaryEW("maximum", OpMax)
+	binaryEW("minimum", OpMin)
+
+	binaryEWFn("relu_grad", "relu_grad")       // (x, dy)
+	binaryEWFn("sigmoid_grad", "sigmoid_grad") // (y, dy)
+	binaryEWFn("tanh_grad", "tanh_grad")       // (y, dy)
+	binaryEWFn("sgd_update", "sgd")            // (w, g)
+	ternaryEWFn("adam_update", "adam")         // (w, g, hist)
+	ternaryEWFn("fma", "fma")                  // x*y + z fused
+}
+
+// --- matrix multiplication ----------------------------------------------
+
+func registerMatmul() {
+	i, j, k := Ax("i"), Ax("j"), Ax("k")
+
+	// C[i,j] = Sum_k A[i,k] * B[k,j]
+	Std.RegisterStatic(Describe("matmul").
+		In("a", 2).In("b", 2).Out(i, j).
+		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 1))},
+			Mul(At("a", i, k), At("b", k, j)))))
+
+	// C[i,j] = Sum_k A[i,k] * B[j,k]   (B transposed; dX of a matmul)
+	Std.RegisterStatic(Describe("matmul_nt").
+		In("a", 2).In("b", 2).Out(i, j).
+		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 1))},
+			Mul(At("a", i, k), At("b", j, k)))))
+
+	// C[i,j] = Sum_k A[k,i] * B[k,j]   (A transposed; dW of a matmul)
+	Std.RegisterStatic(Describe("matmul_tn").
+		In("a", 2).In("b", 2).Out(i, j).
+		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 0))},
+			Mul(At("a", k, i), At("b", k, j)))))
+
+	// Y[i,j] = X[i,j] + bias[j]
+	Std.RegisterStatic(Describe("bias_add").
+		In("x", 2).In("bias", 1).Out(i, j).
+		MustIs(Add(At("x", i, j), At("bias", j))))
+
+	// db[j] = Sum_i dY[i,j]
+	Std.RegisterStatic(Describe("reduce_sum_axis0").
+		In("x", 2).Out(j).
+		MustIs(Reduce(Sum, []ReduceAxis{RVar(i, ExtentOf("x", 0))},
+			At("x", i, j))))
+
+	// Y[i,j] = X[j,i]
+	Std.RegisterStatic(Describe("transpose").
+		In("x", 2).Out(i, j).
+		MustIs(At("x", j, i)))
+}
+
+// --- convolution ----------------------------------------------------------
+
+func registerConv() {
+	n, co, ci := Ax("n"), Ax("co"), Ax("ci")
+	y, x, ky, kx := Ax("y"), Ax("x"), Ax("ky"), Ax("kx")
+
+	// out[n,co,y,x] = Sum_{ci,ky,kx} data[n,ci,s·y+ky,s·x+kx] * w[co,ci,ky,kx]
+	Std.MustRegister("conv2d", func(attrs Attrs) (*OpDesc, error) {
+		s := float64(attrs.Get("stride", 1))
+		return Describe("conv2d").
+			In("data", 4).In("weight", 4).Out(n, co, y, x).
+			Is(Reduce(Sum, []ReduceAxis{
+				RVar(ci, ExtentOf("weight", 1)),
+				RVar(ky, ExtentOf("weight", 2)),
+				RVar(kx, ExtentOf("weight", 3)),
+			}, Mul(
+				At("data", n, ci, y.Times(s).Plus(ky), x.Times(s).Plus(kx)),
+				At("weight", co, ci, ky, kx))))
+	})
+
+	// dData[n,ci,y,x] = Sum_{co,ky,kx} dY[n,co,y-ky,x-kx] * w[co,ci,ky,kx]
+	Std.MustRegister("conv2d_bwd_data", func(attrs Attrs) (*OpDesc, error) {
+		s := float64(attrs.Get("stride", 1))
+		return Describe("conv2d_bwd_data").
+			In("dy", 4).In("weight", 4).Out(n, ci, y, x).
+			Is(Reduce(Sum, []ReduceAxis{
+				RVar(co, ExtentOf("weight", 0)),
+				RVar(ky, ExtentOf("weight", 2)),
+				RVar(kx, ExtentOf("weight", 3)),
+			}, Mul(
+				At("dy", n, co, y.Times(1/s).Minus(ky), x.Times(1/s).Minus(kx)),
+				At("weight", co, ci, ky, kx))))
+	})
+
+	// dW[co,ci,ky,kx] = Sum_{n,y,x} dY[n,co,y,x] * data[n,ci,s·y+ky,s·x+kx]
+	Std.MustRegister("conv2d_bwd_weight", func(attrs Attrs) (*OpDesc, error) {
+		s := float64(attrs.Get("stride", 1))
+		return Describe("conv2d_bwd_weight").
+			In("dy", 4).In("data", 4).Out(co, ci, ky, kx).
+			Is(Reduce(Sum, []ReduceAxis{
+				RVar(n, ExtentOf("dy", 0)),
+				RVar(y, ExtentOf("dy", 2)),
+				RVar(x, ExtentOf("dy", 3)),
+			}, Mul(
+				At("dy", n, co, y, x),
+				At("data", n, ci, y.Times(s).Plus(ky), x.Times(s).Plus(kx)))))
+	})
+
+	// 1-D convolution, the paper's running example (Fig 1, Fig 3).
+	b, dx := Ax("b"), Ax("dx")
+	Std.RegisterStatic(Describe("conv1d").
+		In("data", 3).In("filters", 3).Out(b, co, x).
+		MustIs(Reduce(Sum, []ReduceAxis{
+			RVar(ci, ExtentOf("filters", 0)),
+			RVar(dx, ExtentOf("filters", 2)),
+		}, Mul(
+			At("data", b, ci, x.Plus(dx)),
+			At("filters", ci, co, dx)))))
+}
+
+// --- pooling ---------------------------------------------------------------
+
+func registerPooling() {
+	n, c, y, x, ky, kx := Ax("n"), Ax("c"), Ax("y"), Ax("x"), Ax("ky"), Ax("kx")
+
+	// out[n,c,y,x] = Max_{ky,kx} data[n,c,s·y+ky,s·x+kx]
+	Std.MustRegister("maxpool2d", func(attrs Attrs) (*OpDesc, error) {
+		s := float64(attrs.Get("stride", 2))
+		k := attrs.Get("kernel", 2)
+		return Describe("maxpool2d").
+			In("data", 4).Out(n, c, y, x).
+			Is(Reduce(Max, []ReduceAxis{
+				RVar(ky, ExtentConst(k)),
+				RVar(kx, ExtentConst(k)),
+			}, At("data", n, c, y.Times(s).Plus(ky), x.Times(s).Plus(kx))))
+	})
+
+	// dData[n,c,y,x] = pool_grad(data[n,c,y,x], dY[n,c,y/s,x/s])
+	Std.MustRegister("maxpool2d_grad", func(attrs Attrs) (*OpDesc, error) {
+		s := float64(attrs.Get("stride", 2))
+		return Describe("maxpool2d_grad").
+			In("data", 4).In("dy", 4).Out(n, c, y, x).
+			Is(Apply("pool_grad", Add(
+				At("data", n, c, y, x),
+				At("dy", n, c, y.Times(1/s), x.Times(1/s)))))
+	})
+
+	// out[n,c] = Sum_{y,x} data[n,c,y,x]  (global average pool, pre-scale)
+	Std.RegisterStatic(Describe("global_avgpool").
+		In("data", 4).Out(n, c).
+		MustIs(Reduce(Sum, []ReduceAxis{
+			RVar(y, ExtentOf("data", 2)),
+			RVar(x, ExtentOf("data", 3)),
+		}, At("data", n, c, y, x))))
+
+	// dData[n,c,y,x] = dY[n,c] / (H·W)
+	Std.RegisterStatic(Describe("global_avgpool_grad").
+		In("dy", 2).Out(n, c, y, x).
+		MustIs(Apply("scale", At("dy", n, c))))
+}
+
+// --- batch normalization -----------------------------------------------
+
+func registerBatchNorm() {
+	n, c, y, x := Ax("n"), Ax("c"), Ax("y"), Ax("x")
+
+	// mean[c] = Sum_{n,y,x} X[n,c,y,x]  (scaled by 1/(N·H·W) in the kernel)
+	Std.RegisterStatic(Describe("bn_mean").
+		In("x", 4).Out(c).
+		MustIs(Reduce(Sum, []ReduceAxis{
+			RVar(n, ExtentOf("x", 0)),
+			RVar(y, ExtentOf("x", 2)),
+			RVar(x, ExtentOf("x", 3)),
+		}, At("x", n, c, y, x))))
+
+	// var[c] = Sum_{n,y,x} (X[n,c,y,x] - mean[c])²
+	Std.RegisterStatic(Describe("bn_var").
+		In("x", 4).In("mean", 1).Out(c).
+		MustIs(Reduce(Sum, []ReduceAxis{
+			RVar(n, ExtentOf("x", 0)),
+			RVar(y, ExtentOf("x", 2)),
+			RVar(x, ExtentOf("x", 3)),
+		}, Apply("square", Sub(At("x", n, c, y, x), At("mean", c))))))
+
+	// Y[n,c,y,x] = (X - mean[c])·rsqrt(var[c])·gamma[c] + beta[c]
+	Std.RegisterStatic(Describe("bn_norm").
+		In("x", 4).In("mean", 1).In("var", 1).In("gamma", 1).In("beta", 1).
+		Out(n, c, y, x).
+		MustIs(Add(
+			Mul(Mul(Sub(At("x", n, c, y, x), At("mean", c)), Apply("rsqrt", At("var", c))), At("gamma", c)),
+			At("beta", c))))
+
+	// dGamma[c] = Sum_{n,y,x} dY[n,c,y,x]·xhat[n,c,y,x]
+	Std.RegisterStatic(Describe("bn_gamma_grad").
+		In("dy", 4).In("xhat", 4).Out(c).
+		MustIs(Reduce(Sum, []ReduceAxis{
+			RVar(n, ExtentOf("dy", 0)),
+			RVar(y, ExtentOf("dy", 2)),
+			RVar(x, ExtentOf("dy", 3)),
+		}, Mul(At("dy", n, c, y, x), At("xhat", n, c, y, x)))))
+
+	// dBeta[c] = Sum_{n,y,x} dY[n,c,y,x]
+	Std.RegisterStatic(Describe("bn_beta_grad").
+		In("dy", 4).Out(c).
+		MustIs(Reduce(Sum, []ReduceAxis{
+			RVar(n, ExtentOf("dy", 0)),
+			RVar(y, ExtentOf("dy", 2)),
+			RVar(x, ExtentOf("dy", 3)),
+		}, At("dy", n, c, y, x))))
+
+	// dX[n,c,y,x] = bn_dx(dY, X, mean[c], var[c], gamma[c]) — per-channel
+	// elementwise combination of already-reduced statistics.
+	Std.RegisterStatic(Describe("bn_data_grad").
+		In("dy", 4).In("x", 4).In("mean", 1).In("var", 1).In("gamma", 1).
+		Out(n, c, y, x).
+		MustIs(Apply("bn_dx", Add(
+			Mul(At("dy", n, c, y, x), At("gamma", c)),
+			Mul(Sub(At("x", n, c, y, x), At("mean", c)), Apply("rsqrt", At("var", c)))))))
+}
+
+// --- softmax / loss -------------------------------------------------------
+
+func registerSoftmax() {
+	i, j, k := Ax("i"), Ax("j"), Ax("k")
+
+	// Y[i,j] = exp(X[i,j]) / Sum_k exp(X[i,k]) — the normalizer is a nested
+	// (non-top-level) reduction, so softmax has no output-reduction strategy.
+	Std.RegisterStatic(Describe("softmax").
+		In("x", 2).Out(i, j).
+		MustIs(Div(
+			Apply("exp", At("x", i, j)),
+			Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("x", 1))},
+				Apply("exp", At("x", i, k))))))
+
+	// dX[i,j] = Y[i,j] - labels[i,j] (dense one-hot labels)
+	Std.RegisterStatic(Describe("softmax_ce_grad").
+		In("y", 2).In("labels", 2).Out(i, j).
+		MustIs(Sub(At("y", i, j), At("labels", i, j))))
+}
+
+// --- shape manipulation -----------------------------------------------
+
+func registerShapeOps() {
+	i, j := Ax("i"), Ax("j")
+
+	// Y[i,j] = X[i, j+offset] — gate slicing for LSTM cells.
+	Std.MustRegister("slice_axis1", func(attrs Attrs) (*OpDesc, error) {
+		off := float64(attrs.Get("offset", 0))
+		return Describe("slice_axis1").
+			In("x", 2).Out(i, j).
+			Is(At("x", i, j.PlusConst(off)))
+	})
+
+	// dX[i,j] = dY[i, j-offset] (zero outside the slice; scatter of a slice).
+	Std.MustRegister("slice_axis1_grad", func(attrs Attrs) (*OpDesc, error) {
+		off := float64(attrs.Get("offset", 0))
+		return Describe("slice_axis1_grad").
+			In("dy", 2).Out(i, j).
+			Is(At("dy", i, j.PlusConst(-off)))
+	})
+}
+
+// --- opaque functions -------------------------------------------------
+
+func registerOpaqueOps() {
+	b, i, j := Ax("b"), Ax("i"), Ax("j")
+
+	// The paper's opaque example (Fig 3): batched Cholesky. Only the batch
+	// dimension is partitionable.
+	Std.RegisterStatic(Describe("batch_cholesky").
+		In("batch_mat", 3).Out(b, i, j).
+		MustIs(Opaque("Cholesky", []string{"i", "j"},
+			SliceArg{Tensor: "batch_mat", Dims: []SliceDim{IdxDim(Ax("b")), FullDim(), FullDim()}})))
+
+	// Batched matrix inverse: same partitioning structure.
+	Std.RegisterStatic(Describe("batch_inverse").
+		In("batch_mat", 3).Out(b, i, j).
+		MustIs(Opaque("Inverse", []string{"i", "j"},
+			SliceArg{Tensor: "batch_mat", Dims: []SliceDim{IdxDim(Ax("b")), FullDim(), FullDim()}})))
+}

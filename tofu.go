@@ -1,0 +1,197 @@
+// Package tofu is a from-scratch Go reproduction of Tofu, the automatic
+// dataflow-graph partitioner of "Supporting Very Large Models using
+// Automatic Dataflow Graph Partitioning" (Wang, Huang, Li — EuroSys 2019).
+//
+// Tofu trains DNN models too large for one GPU by partitioning every tensor
+// and operator of a fine-grained dataflow graph across devices. Operators
+// are described in TDL, a Halide-inspired tensor description language; a
+// symbolic interval analysis derives each operator's partition-n-reduce
+// strategies; a recursive dynamic program over the coarsened graph picks the
+// plan minimizing total communication; and a generator materializes the
+// per-worker execution. Because the original testbed (8x NVIDIA K80) is
+// hardware, this library ships a calibrated discrete-event simulator that
+// reproduces the paper's comparisons; see DESIGN.md for the substitution
+// map and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	m, _ := tofu.RNN(6, 4096, 512, 20)
+//	summary, _ := tofu.Partition(m.G, 8)
+//	res := tofu.Simulate(summary, m.Batch)
+//	fmt.Printf("%.0f samples/s, %.1f GB/GPU\n",
+//	    res.Throughput, float64(summary.Memory.PeakBytes)/(1<<30))
+package tofu
+
+import (
+	"tofu/internal/baselines"
+	"tofu/internal/core"
+	"tofu/internal/graph"
+	"tofu/internal/models"
+	"tofu/internal/partition"
+	"tofu/internal/plan"
+	"tofu/internal/shape"
+	"tofu/internal/sim"
+	"tofu/internal/tdl"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the single
+// source of truth while giving users one import.
+type (
+	// Graph is a fine-grained tensor dataflow graph (the MXNet role).
+	Graph = graph.Graph
+	// Tensor is one dataflow edge.
+	Tensor = graph.Tensor
+	// Node is one operator instance.
+	Node = graph.Node
+	// Attrs parameterizes operator instances (stride, slice offsets, ...).
+	Attrs = tdl.Attrs
+	// Shape is a dense tensor shape.
+	Shape = shape.Shape
+	// Model is a benchmark training graph with metadata.
+	Model = models.Model
+	// ModelConfig identifies a benchmark model variant.
+	ModelConfig = models.Config
+	// Plan is a recursive partition plan.
+	Plan = plan.Plan
+	// Summary is the result of the end-to-end pipeline.
+	Summary = core.Summary
+	// HW describes the simulated machine.
+	HW = sim.HW
+	// SimResult is one simulated training iteration.
+	SimResult = sim.Result
+	// System names a baseline system for comparisons.
+	System = baselines.System
+	// Outcome is one (model, system) evaluation.
+	Outcome = baselines.Outcome
+	// OpDesc is a TDL operator description.
+	OpDesc = tdl.OpDesc
+	// OpBuilder assembles TDL descriptions fluently.
+	OpBuilder = tdl.Builder
+	// ReduceAxisBinding binds a reduction axis to its extent.
+	ReduceAxisBinding = tdl.ReduceAxis
+)
+
+// Baseline systems (Sec 7.1 and 7.3).
+const (
+	Ideal         = baselines.Ideal
+	SmallBatch    = baselines.SmallBatch
+	Swap          = baselines.Swap
+	OpPlacement   = baselines.OpPlacement
+	TFOpPlacement = baselines.TFOpPlacement
+	TofuSystem    = baselines.Tofu
+	AllRowGreedy  = baselines.AllRowGreedy
+	Spartan       = baselines.Spartan
+	EqualChop     = baselines.EqualChop
+	ICML18        = baselines.ICML18
+)
+
+// NewGraph creates an empty dataflow graph bound to the standard operator
+// registry (every operator the model zoo uses, plus extras).
+func NewGraph() *Graph { return graph.New() }
+
+// ShapeOf builds a shape from extents.
+func ShapeOf(dims ...int64) Shape { return shape.Of(dims...) }
+
+// MLP, RNN and WResNet build the paper's benchmark training graphs
+// (forward + loss + backward + Adam update).
+func MLP(layers int, dim, batch int64) (*Model, error) { return models.MLP(layers, dim, batch) }
+
+// RNN builds the multi-layer LSTM benchmark unrolled for steps timesteps.
+func RNN(layers int, hidden, batch int64, steps int) (*Model, error) {
+	return models.RNN(layers, hidden, batch, steps)
+}
+
+// WResNet builds the Wide ResNet benchmark (depth 50/101/152, widened 4-10x).
+func WResNet(depth int, widen, batch int64) (*Model, error) {
+	return models.WResNet(depth, widen, batch)
+}
+
+// BuildModel constructs a benchmark model from a config.
+func BuildModel(c ModelConfig) (*Model, error) { return models.Build(c) }
+
+// Partition runs the full Tofu pipeline (strategy discovery, coarsening,
+// recursive DP search, partitioned-graph generation, memory planning) for k
+// workers with default options.
+func Partition(g *Graph, k int64) (*Summary, error) {
+	return core.Partition(g, k, core.DefaultOptions())
+}
+
+// PartitionWithOptions exposes the pipeline's knobs (search restrictions,
+// generation optimizations, memory planner, hardware model).
+func PartitionWithOptions(g *Graph, k int64, opts core.Options) (*Summary, error) {
+	return core.Partition(g, k, opts)
+}
+
+// PipelineOptions re-exports the pipeline knobs.
+type PipelineOptions = core.Options
+
+// DefaultPipelineOptions matches the full system.
+func DefaultPipelineOptions() PipelineOptions { return core.DefaultOptions() }
+
+// Simulate executes one training iteration of the partitioned graph on the
+// default simulated machine (8x 12 GB GPUs, 21 GB/s PCIe peer links).
+func Simulate(s *Summary, batch int64) SimResult {
+	return core.Simulate(s, batch, core.DefaultOptions())
+}
+
+// DefaultHW is the simulated p2.8xlarge the evaluation uses.
+func DefaultHW() HW { return sim.DefaultHW() }
+
+// EvaluateSystem runs one baseline system (or Tofu itself) on a benchmark
+// model configuration — the building block of Figures 8-10 and Table 3.
+func EvaluateSystem(cfg ModelConfig, sys System, hw HW) (Outcome, error) {
+	return baselines.Evaluate(cfg, sys, hw)
+}
+
+// DescribeOp starts a TDL description for a custom operator; register the
+// result with RegisterOp to make it partitionable.
+func DescribeOp(name string) *OpBuilder { return tdl.Describe(name) }
+
+// OpStrategies lists the basic partition strategies the analyzer discovers
+// for a (possibly custom) operator — the automatic replacement for prior
+// work's hand-written per-layer strategies.
+func OpStrategies(name string, attrs Attrs) ([]string, error) {
+	d, err := tdl.Std.Describe(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, s := range partition.Enumerate(d) {
+		out = append(out, s.String())
+	}
+	return out, nil
+}
+
+// RegisterOp installs a custom operator description in the standard
+// registry (see examples/customop).
+func RegisterOp(d *OpDesc) error { return tdl.Std.RegisterStatic(d) }
+
+// TDL expression constructors for custom operator descriptions.
+var (
+	// Ax names an index variable.
+	Ax = tdl.Ax
+	// At accesses an input tensor at affine indices.
+	At = tdl.At
+	// Mul/Add/Sub/Div build scalar arithmetic.
+	Mul = tdl.Mul
+	Add = tdl.Add
+	Sub = tdl.Sub
+	Div = tdl.Div
+	// Reduce aggregates over reduction axes; Sum/Max/Min/Prod are the
+	// built-in reducers.
+	Reduce = tdl.Reduce
+	// RVar binds a reduction axis to an extent.
+	RVar = tdl.RVar
+	// ExtentOf binds an extent to an input dimension.
+	ExtentOf = tdl.ExtentOf
+	// Apply applies a named scalar function elementwise.
+	Apply = tdl.Apply
+)
+
+// Reducers.
+const (
+	Sum  = tdl.Sum
+	Max  = tdl.Max
+	Min  = tdl.Min
+	Prod = tdl.Prod
+)

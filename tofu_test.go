@@ -1,0 +1,91 @@
+package tofu_test
+
+import (
+	"strings"
+	"testing"
+
+	"tofu"
+)
+
+// TestPublicAPIQuickstart exercises the documented flow end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	m, err := tofu.RNN(2, 1024, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tofu.Partition(m.G, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Plan.Steps) != 3 {
+		t.Fatalf("8-way plan has %d steps", len(s.Plan.Steps))
+	}
+	if !s.Plan.Monotone() {
+		t.Fatal("plan violates Theorem 2")
+	}
+	res := tofu.Simulate(s, m.Batch)
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	if s.Memory.PeakBytes <= 0 {
+		t.Fatal("no memory accounting")
+	}
+}
+
+func TestPublicAPICustomOperator(t *testing.T) {
+	i, j, k := tofu.Ax("i"), tofu.Ax("j"), tofu.Ax("k")
+	d, err := tofu.DescribeOp("test_matmul_like").
+		In("a", 2).In("b", 2).Out(i, j).
+		Is(tofu.Reduce(tofu.Sum,
+			[]tofu.ReduceAxisBinding{tofu.RVar(k, tofu.ExtentOf("a", 1))},
+			tofu.Mul(tofu.At("a", i, k), tofu.At("b", k, j))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tofu.RegisterOp(d); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := tofu.OpStrategies("test_matmul_like", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 3 {
+		t.Fatalf("strategies = %v, want 2 output splits + 1 reduction", ss)
+	}
+	joined := strings.Join(ss, " ")
+	if !strings.Contains(joined, "split-reduce(k/Sum)") {
+		t.Fatalf("missing output-reduction strategy in %v", ss)
+	}
+}
+
+func TestPublicAPIBuildersAndEvaluate(t *testing.T) {
+	cfg := tofu.ModelConfig{Family: "mlp", Depth: 2, Width: 256, Batch: 32}
+	m, err := tofu.BuildModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Batch != 32 {
+		t.Fatal("batch lost")
+	}
+	out, err := tofu.EvaluateSystem(cfg, tofu.Ideal, tofu.DefaultHW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Throughput <= 0 {
+		t.Fatal("ideal evaluation failed")
+	}
+}
+
+func TestPublicAPIGraphConstruction(t *testing.T) {
+	g := tofu.NewGraph()
+	x := g.Input("x", tofu.ShapeOf(16, 64))
+	w := g.Weight("w", tofu.ShapeOf(64, 64))
+	h := g.Apply("matmul", nil, x, w)
+	h = g.Apply("relu", nil, h)
+	if !h.Shape.Equal(tofu.ShapeOf(16, 64)) {
+		t.Fatalf("shape inference broken: %v", h.Shape)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
