@@ -13,11 +13,13 @@ package tofu_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"tofu"
+	"tofu/internal/dp"
 	"tofu/internal/experiments"
 	"tofu/internal/models"
 	"tofu/internal/recursive"
@@ -127,6 +129,62 @@ func BenchmarkPartitionSearch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPartitionSearchParallel measures the worker-pool scaling of the
+// partition search: the serial path (par=1) against the default pool
+// (par=GOMAXPROCS) on the same paper-scale models. The emitted plan is
+// byte-identical across settings (see TestParallelSearchDeterminism); only
+// wall-clock changes. Speedup shows up on multi-core machines.
+func BenchmarkPartitionSearchParallel(b *testing.B) {
+	cfgs := []models.Config{
+		{Family: "wresnet", Depth: 152, Width: 10, Batch: 8},
+		{Family: "rnn", Depth: 10, Width: 8192, Batch: 128},
+	}
+	if testing.Short() {
+		cfgs = []models.Config{{Family: "mlp", Depth: 4, Width: 512, Batch: 64}}
+	}
+	pars := []int{1, runtime.GOMAXPROCS(0)}
+	for _, cfg := range cfgs {
+		m, err := models.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, par := range pars {
+			b.Run(fmt.Sprintf("%s/par=%d", cfg, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := recursive.Partition(m.G, 8, recursive.Options{Parallelism: par}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPartitionSearchWarmCache measures the steady-state search cost
+// when the pricing cache is shared across searches — the regime of the
+// experiment drivers, which sweep many (model × system) cells over the
+// same graphs.
+func BenchmarkPartitionSearchWarmCache(b *testing.B) {
+	cfg := models.Config{Family: "rnn", Depth: 10, Width: 8192, Batch: 128}
+	if testing.Short() {
+		cfg = models.Config{Family: "mlp", Depth: 4, Width: 512, Batch: 64}
+	}
+	m, err := models.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := dp.NewPriceCache()
+	if _, err := recursive.Partition(m.G, 8, recursive.Options{Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recursive.Partition(m.G, 8, recursive.Options{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tofu-bench [-exp all|table1|table2|table3|fig8|fig9|fig10|fig11|ablations]
-//	           [-quick] [-flat-budget 20s]
+//	           [-quick] [-flat-budget 20s] [-parallel N]
 package main
 
 import (
@@ -23,9 +23,11 @@ func main() {
 	quick := flag.Bool("quick", false, "trimmed sweeps for a fast look")
 	budget := flag.Duration("flat-budget", 20*time.Second,
 		"wall-clock budget for the non-recursive DP measurement (Table 1)")
+	parallel := flag.Int("parallel", 0,
+		"worker goroutines for experiment cells and DP search (0 = GOMAXPROCS, 1 = serial); artifacts are identical either way")
 	flag.Parse()
 
-	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget}
+	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}
 	hw := sim.DefaultHW()
 
 	type driver struct {

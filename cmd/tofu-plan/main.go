@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tofu-plan [-family wresnet|rnn|mlp] [-depth 152] [-width 10]
-//	          [-batch 8] [-workers 8]
+//	          [-batch 8] [-workers 8] [-parallel N]
 package main
 
 import (
@@ -23,6 +23,8 @@ func main() {
 	batch := flag.Int64("batch", 8, "global batch size")
 	workers := flag.Int64("workers", 8, "number of GPUs")
 	jsonOut := flag.String("json", "", "also write the plan as JSON to this file")
+	parallel := flag.Int("parallel", 0,
+		"DP search worker goroutines (0 = GOMAXPROCS, 1 = serial); the plan is identical either way")
 	flag.Parse()
 
 	m, err := tofu.BuildModel(tofu.ModelConfig{
@@ -31,7 +33,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := tofu.Partition(m.G, *workers)
+	popts := tofu.DefaultPipelineOptions()
+	popts.Search.Parallelism = *parallel
+	s, err := tofu.PartitionWithOptions(m.G, *workers, popts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tofu-search [-flat-budget 20s] [-quick]
+//	tofu-search [-flat-budget 20s] [-quick] [-parallel N]
 package main
 
 import (
@@ -20,9 +20,11 @@ func main() {
 	budget := flag.Duration("flat-budget", 20*time.Second,
 		"wall-clock budget for the non-recursive DP before extrapolating")
 	quick := flag.Bool("quick", false, "small models for a fast look")
+	parallel := flag.Int("parallel", 0,
+		"DP search worker goroutines (0 = GOMAXPROCS, 1 = serial); the plan is identical either way")
 	flag.Parse()
 
-	out, err := experiments.Table1(experiments.Opts{Quick: *quick, FlatBudget: *budget})
+	out, err := experiments.Table1(experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module tofu
+
+go 1.24

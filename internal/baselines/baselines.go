@@ -57,8 +57,24 @@ type Outcome struct {
 	CommBytes      float64 // plan communication (partition systems only)
 }
 
+// SearchOptions tune the partition-search half of an evaluation.
+type SearchOptions struct {
+	// Parallelism is the DP worker-pool size (0 = GOMAXPROCS, 1 = serial);
+	// the chosen plan is identical for every setting.
+	Parallelism int
+	// Cache shares priced strategy enumerations between searches — across
+	// the partition-algorithm variants over one model, and across recursive
+	// steps within each (nil = a fresh cache per search).
+	Cache *dp.PriceCache
+}
+
 // Evaluate runs one system on one model configuration at a fixed batch.
 func Evaluate(cfg models.Config, sys System, hw sim.HW) (Outcome, error) {
+	return EvaluateWith(cfg, sys, hw, SearchOptions{})
+}
+
+// EvaluateWith is Evaluate with explicit search options.
+func EvaluateWith(cfg models.Config, sys System, hw sim.HW, so SearchOptions) (Outcome, error) {
 	switch sys {
 	case Ideal:
 		return runSingle(cfg, sys, hw, false)
@@ -71,7 +87,7 @@ func Evaluate(cfg models.Config, sys System, hw sim.HW) (Outcome, error) {
 	case TFOpPlacement:
 		return runPlacement(cfg, hw, true)
 	case Tofu, AllRowGreedy, Spartan, EqualChop, ICML18:
-		return runPartitioned(cfg, sys, hw)
+		return runPartitioned(cfg, sys, hw, so)
 	default:
 		return Outcome{}, fmt.Errorf("baselines: unknown system %q", sys)
 	}
@@ -186,14 +202,20 @@ func runPlacement(cfg models.Config, hw sim.HW, tf bool) (Outcome, error) {
 
 // --- partitioned family -----------------------------------------------
 
-func runPartitioned(cfg models.Config, sys System, hw sim.HW) (Outcome, error) {
+func runPartitioned(cfg models.Config, sys System, hw sim.HW, so SearchOptions) (Outcome, error) {
+	if so.Cache == nil {
+		// Batch-halving retries rebuild the model with divided shapes;
+		// sharing one cache across them still deduplicates the shapes that
+		// repeat (weights don't depend on the batch).
+		so.Cache = dp.NewPriceCache()
+	}
 	batch := cfg.Batch
 	for {
 		m, err := models.Build(withBatch(cfg, batch))
 		if err != nil {
 			return Outcome{}, err
 		}
-		p, err := PlanFor(m, sys, int64(hw.NumGPUs))
+		p, err := PlanForOpts(m, sys, int64(hw.NumGPUs), so)
 		if err != nil {
 			// Heuristics can be infeasible (e.g. AllRow-Greedy on a batch
 			// already smaller than the worker count).
@@ -228,24 +250,34 @@ func runPartitioned(cfg models.Config, sys System, hw sim.HW) (Outcome, error) {
 
 // PlanFor produces the partition plan a given algorithm finds for a model.
 func PlanFor(m *models.Model, sys System, k int64) (*plan.Plan, error) {
+	return PlanForOpts(m, sys, k, SearchOptions{})
+}
+
+// PlanForOpts is PlanFor with explicit search options. Strategy pricing is
+// filter-independent (filters restrict a cached full enumeration), so one
+// cache can serve every algorithm variant over the same model.
+func PlanForOpts(m *models.Model, sys System, k int64, so SearchOptions) (*plan.Plan, error) {
+	base := recursive.Options{Parallelism: so.Parallelism, Cache: so.Cache}
 	switch sys {
 	case Tofu:
-		return recursive.Partition(m.G, k, recursive.Options{})
+		return recursive.Partition(m.G, k, base)
 	case ICML18:
 		// The ICML18 DP lacks output-reduction strategies (Sec 7.3).
-		return recursive.Partition(m.G, k, recursive.Options{
-			StrategyFilter: func(s partition.Strategy) bool {
-				return s.Kind != partition.SplitReduce
-			},
-		})
+		opts := base
+		opts.StrategyFilter = func(s partition.Strategy) bool {
+			return s.Kind != partition.SplitReduce
+		}
+		return recursive.Partition(m.G, k, opts)
 	case EqualChop:
 		// Tofu's DP, but each tensor chopped along one dimension in a
 		// single k-way step.
-		return recursive.Partition(m.G, k, recursive.Options{Factors: []int64{k}})
+		opts := base
+		opts.Factors = []int64{k}
+		return recursive.Partition(m.G, k, opts)
 	case AllRowGreedy:
-		return heuristicPlan(m, k, allRowAssign)
+		return heuristicPlan(m, k, so, allRowAssign)
 	case Spartan:
-		return heuristicPlan(m, k, spartanAssign)
+		return heuristicPlan(m, k, so, spartanAssign)
 	default:
 		return nil, fmt.Errorf("baselines: %q is not a partition algorithm", sys)
 	}
@@ -258,7 +290,7 @@ func withBatch(cfg models.Config, b int64) models.Config {
 
 // heuristicPlan evaluates a heuristic variable assignment as a single k-way
 // step and wraps it in a plan.
-func heuristicPlan(m *models.Model, k int64,
+func heuristicPlan(m *models.Model, k int64, so SearchOptions,
 	assignFn func(*dp.Evaluator, *coarsen.Coarse) (map[int]int, error)) (*plan.Plan, error) {
 
 	c, err := coarsen.Coarsen(m.G)
@@ -269,7 +301,8 @@ func heuristicPlan(m *models.Model, k int64,
 	for _, t := range m.G.Tensors {
 		shapes[t.ID] = t.Shape.Clone()
 	}
-	prob := &dp.Problem{Coarse: c, K: k, Shapes: shapes, DType: shape.Float32}
+	prob := &dp.Problem{Coarse: c, K: k, Shapes: shapes, DType: shape.Float32,
+		Parallelism: so.Parallelism, Cache: so.Cache}
 	ev, err := dp.NewEvaluator(prob)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,92 @@
+package dp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tofu/internal/graph"
+	"tofu/internal/partition"
+	"tofu/internal/shape"
+)
+
+// PriceCache memoizes the priced strategy enumerations of operator slots.
+// By Lemma 1 the DP prices every basic plan at the graph's ORIGINAL shapes,
+// so a slot's pricing — the expensive part of each dp.Solve call, one
+// symbolic interval analysis per (strategy, worker) — depends only on the
+// operator's structural signature (description, attributes, original
+// shapes), the step's group count K and the dtype. One cache therefore
+// serves every recursive factor step, every baseline variant over the same
+// model (per-step strategy filters become cheap Restrict views of the full
+// enumeration), and even structurally identical slots of different models.
+//
+// The zero value is not usable; call NewPriceCache. A nil *PriceCache is a
+// valid "no caching" sentinel. All methods are safe for concurrent use.
+type PriceCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once   sync.Once
+	priced *partition.Priced
+	err    error
+}
+
+// NewPriceCache returns an empty cache.
+func NewPriceCache() *PriceCache {
+	return &PriceCache{m: map[string]*cacheEntry{}}
+}
+
+// priced returns the cached full pricing for key, building it at most once
+// (concurrent callers for the same key block on the first build). A nil
+// receiver builds without caching.
+func (c *PriceCache) priced(key string, build func() (*partition.Priced, error)) (*partition.Priced, error) {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.priced, e.err = build() })
+	return e.priced, e.err
+}
+
+// Len reports how many distinct slot pricings the cache holds.
+func (c *PriceCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// slotKey is the structural signature a pricing is memoized under: operator
+// name, sorted attributes, original input/output shapes, dtype and K. Two
+// slots with equal keys price identically regardless of which graph, model
+// variant or recursive step they come from.
+func slotKey(rep *graph.Node, sp *partition.Spec, k int64, dt shape.DType) string {
+	var sb strings.Builder
+	sb.WriteString(rep.Op)
+	if len(rep.Attrs) > 0 {
+		keys := make([]string, 0, len(rep.Attrs))
+		for a := range rep.Attrs {
+			keys = append(keys, a)
+		}
+		sort.Strings(keys)
+		for _, a := range keys {
+			fmt.Fprintf(&sb, ";%s=%d", a, rep.Attrs[a])
+		}
+	}
+	for _, s := range sp.InShapes {
+		fmt.Fprintf(&sb, "|%v", s)
+	}
+	fmt.Fprintf(&sb, ">%v@%d/%d", sp.OutShape, dt, k)
+	return sb.String()
+}

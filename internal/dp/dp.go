@@ -13,8 +13,10 @@ package dp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"tofu/internal/coarsen"
 	"tofu/internal/partition"
@@ -47,6 +49,25 @@ type Problem struct {
 	// space; with a bound, only the cheapest MaxStates states survive each
 	// step (beam search: near-optimal in practice, no optimality proof).
 	MaxStates int
+	// Parallelism is the number of worker goroutines evaluating the
+	// frontier sweep's (state × strategy-combination) expansions and the
+	// per-slot pricing analyses (0 = runtime.GOMAXPROCS(0), 1 = serial).
+	// The merge is deterministic: ties between equal-cost expansions break
+	// by canonical sweep order, so the chosen plan is byte-identical for
+	// every setting.
+	Parallelism int
+	// Cache, if non-nil, memoizes priced strategy enumerations across Solve
+	// calls — across recursive factor steps and across baseline variants
+	// over the same model (see PriceCache).
+	Cache *PriceCache
+}
+
+// parallelism resolves the effective worker count.
+func (p *Problem) parallelism() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is the chosen basic partition plan for one step.
@@ -78,7 +99,10 @@ type slotEval struct {
 	inVars []*coarsen.Var
 	outVar *coarsen.Var
 	mult   float64
-	memo   map[string]slotBest
+	// memo caches best-strategy lookups per cut assignment; guarded because
+	// the parallel frontier sweep shares evaluators across workers.
+	mu   sync.RWMutex
+	memo map[string]slotBest
 }
 
 type slotBest struct {
@@ -112,19 +136,17 @@ func Solve(p *Problem) (*Result, error) {
 		varConfigs[v.ID] = dims
 	}
 
-	// Prepare slot evaluators (interval analysis once per slot).
-	evals := make(map[*coarsen.Slot]*slotEval)
-	for _, g := range c.Groups {
-		for _, s := range g.Slots {
-			ev, err := newSlotEval(p, s)
-			if err != nil {
-				return nil, err
-			}
-			evals[s] = ev
-		}
+	// Prepare slot evaluators (interval analysis once per slot, fanned out
+	// across the worker pool — slots are independent).
+	evals, err := prepareSlotEvals(p)
+	if err != nil {
+		return nil, err
 	}
 
-	// Frontier DP over groups.
+	// Frontier DP over groups. Each group's (state × strategy-combination)
+	// expansion is evaluated by the worker pool; the merge is deterministic
+	// (cheapest wins, ties break by canonical sweep order), so the result is
+	// byte-identical for every Parallelism setting.
 	states := map[string]dpEntry{"": {cost: 0}}
 	res := &Result{
 		VarCut: map[int]int{}, TensorCut: map[int]int{},
@@ -139,37 +161,12 @@ func Solve(p *Problem) (*Result, error) {
 				newVars = append(newVars, v)
 			}
 		}
-		next := map[string]dpEntry{}
-		for key, st := range states {
-			assign := decodeState(key)
-			combos := enumCombos(newVars, varConfigs)
-			for _, combo := range combos {
-				res.Configs++
-				full := make(map[int]int, len(assign)+len(combo))
-				for k, v := range assign {
-					full[k] = v
-				}
-				for k, v := range combo {
-					full[k] = v
-				}
-				cost, err := groupCost(g, evals, full)
-				if err != nil {
-					return nil, err
-				}
-				// Drop variables whose liveness ends at this group.
-				nextAssign := make(map[int]int, len(full))
-				for id, dim := range full {
-					if varByID(c, id).Last > gi {
-						nextAssign[id] = dim
-					}
-				}
-				nk := encodeState(nextAssign)
-				total := st.cost + cost
-				if old, ok := next[nk]; !ok || total < old.cost {
-					next[nk] = dpEntry{cost: total, parent: key, decided: combo}
-				}
-			}
+		combos := enumCombos(newVars, varConfigs)
+		next, err := expandGroup(p, c, g, gi, evals, states, combos)
+		if err != nil {
+			return nil, err
 		}
+		res.Configs += len(states) * len(combos)
 		if len(next) == 0 {
 			return nil, fmt.Errorf("dp: no feasible assignment at group %d", gi)
 		}
@@ -182,27 +179,22 @@ func Solve(p *Problem) (*Result, error) {
 	}
 
 	// The final frontier must be empty (every variable's liveness closed).
+	key := ""
 	final, ok := states[""]
 	if !ok {
-		// Defensive: pick the cheapest remaining state.
-		bestKey, bestCost := "", math.Inf(1)
-		for k, e := range states {
-			if e.cost < bestCost {
-				bestKey, bestCost = k, e.cost
+		// Defensive: pick the cheapest remaining state (smallest key on
+		// ties, for determinism).
+		bestCost := math.Inf(1)
+		for _, k := range sortedStateKeys(states) {
+			if e := states[k]; e.cost < bestCost {
+				key, bestCost = k, e.cost
 			}
 		}
-		final = states[bestKey]
+		final = states[key]
 	}
 	res.CommBytes = final.cost
 
 	// Backtrack decisions.
-	key := ""
-	if _, ok := states[""]; !ok {
-		for k := range states {
-			key = k
-			break
-		}
-	}
 	cur := key
 	for gi := len(c.Groups) - 1; gi >= 0; gi-- {
 		e := trace[gi][cur]
@@ -244,6 +236,198 @@ func Solve(p *Problem) (*Result, error) {
 
 func varByID(c *coarsen.Coarse, id int) *coarsen.Var { return c.Vars[id] }
 
+// prepareSlotEvals builds every slot's evaluator, fanning the pricing
+// analyses across the worker pool.
+func prepareSlotEvals(p *Problem) (map[*coarsen.Slot]*slotEval, error) {
+	var slots []*coarsen.Slot
+	for _, g := range p.Coarse.Groups {
+		slots = append(slots, g.Slots...)
+	}
+	built := make([]*slotEval, len(slots))
+	errs := make([]error, len(slots))
+	forEachChunk(p.parallelism(), len(slots), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			built[i], errs[i] = newSlotEval(p, slots[i])
+		}
+	})
+	evals := make(map[*coarsen.Slot]*slotEval, len(slots))
+	for i, s := range slots {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		evals[s] = built[i]
+	}
+	return evals, nil
+}
+
+// candidate is one (state × combo) expansion outcome contending for a next
+// frontier state. order is its position in the canonical serial sweep
+// (states sorted by key, combos in enumeration order); equal-cost
+// candidates break ties by it so every worker-pool size emits the same
+// plan.
+type candidate struct {
+	cost    float64
+	parent  string
+	decided map[int]int
+	order   int64
+}
+
+func betterCandidate(a, b candidate) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.order < b.order
+}
+
+// expandGroup evaluates every (state × combo) pair for one group on the
+// worker pool and merges the per-worker bests deterministically. The work
+// is chunked over the flattened (state × combo) index space, so even a
+// single-state frontier (always the first group) parallelizes across its
+// combos.
+func expandGroup(p *Problem, c *coarsen.Coarse, g *coarsen.Group, gi int,
+	evals map[*coarsen.Slot]*slotEval, states map[string]dpEntry,
+	combos []map[int]int) (map[string]dpEntry, error) {
+
+	keys := sortedStateKeys(states)
+	chunks := chunkRanges(p.parallelism(), len(keys)*len(combos))
+	locals := make([]map[string]candidate, len(chunks))
+	errs := make([]error, len(chunks))
+
+	runChunks(chunks, func(w, lo, hi int) {
+		best := map[string]candidate{}
+		locals[w] = best
+		// Chunks are contiguous in flat order, so the state index is
+		// non-decreasing: decode each state once as it comes into view.
+		curSi := -1
+		var key string
+		var st dpEntry
+		var assign map[int]int
+		for idx := lo; idx < hi; idx++ {
+			si, ci := idx/len(combos), idx%len(combos)
+			if si != curSi {
+				curSi = si
+				key = keys[si]
+				st = states[key]
+				assign = decodeState(key)
+			}
+			combo := combos[ci]
+			full := make(map[int]int, len(assign)+len(combo))
+			for k, v := range assign {
+				full[k] = v
+			}
+			for k, v := range combo {
+				full[k] = v
+			}
+			cost, err := groupCost(g, evals, full)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			// Drop variables whose liveness ends at this group.
+			nextAssign := make(map[int]int, len(full))
+			for id, dim := range full {
+				if varByID(c, id).Last > gi {
+					nextAssign[id] = dim
+				}
+			}
+			nk := encodeState(nextAssign)
+			cand := candidate{
+				cost:    st.cost + cost,
+				parent:  key,
+				decided: combo,
+				order:   int64(idx),
+			}
+			if old, ok := best[nk]; !ok || betterCandidate(cand, old) {
+				best[nk] = cand
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge worker-local bests. The comparator is a total order, so the
+	// merge result is independent of worker count and merge order.
+	merged := map[string]candidate{}
+	for _, best := range locals {
+		if best == nil {
+			continue
+		}
+		for nk, cand := range best {
+			if old, ok := merged[nk]; !ok || betterCandidate(cand, old) {
+				merged[nk] = cand
+			}
+		}
+	}
+	next := make(map[string]dpEntry, len(merged))
+	for nk, cand := range merged {
+		next[nk] = dpEntry{cost: cand.cost, parent: cand.parent, decided: cand.decided}
+	}
+	return next, nil
+}
+
+// chunkRanges splits [0, n) into at most workers contiguous [lo, hi)
+// ranges. Callers size their per-chunk state by len(ranges), so the split
+// arithmetic lives in exactly one place.
+func chunkRanges(workers, n int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return [][2]int{{0, n}}
+	}
+	chunk := (n + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// runChunks executes fn(chunkIdx, lo, hi) for each range, concurrently
+// when there is more than one (inline otherwise).
+func runChunks(ranges [][2]int, fn func(w, lo, hi int)) {
+	if len(ranges) == 0 {
+		return
+	}
+	if len(ranges) == 1 {
+		fn(0, ranges[0][0], ranges[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	for w, r := range ranges {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+}
+
+// forEachChunk runs fn over [0, n) split into at most workers chunks.
+func forEachChunk(workers, n int, fn func(w, lo, hi int)) {
+	runChunks(chunkRanges(workers, n), fn)
+}
+
+func sortedStateKeys(states map[string]dpEntry) []string {
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // dpEntry is one frontier state: its accumulated cost, the predecessor
 // state's key, and the variables decided at the transition into it.
 type dpEntry struct {
@@ -252,7 +436,8 @@ type dpEntry struct {
 	decided map[int]int
 }
 
-// pruneStates keeps the cheapest max states (beam bound).
+// pruneStates keeps the cheapest max states (beam bound). Equal costs break
+// by state key so the surviving beam is deterministic.
 func pruneStates(next map[string]dpEntry, max int) map[string]dpEntry {
 	type kc struct {
 		key  string
@@ -262,7 +447,12 @@ func pruneStates(next map[string]dpEntry, max int) map[string]dpEntry {
 	for k, e := range next {
 		costs = append(costs, kc{key: k, cost: e.cost})
 	}
-	sort.Slice(costs, func(i, j int) bool { return costs[i].cost < costs[j].cost })
+	sort.Slice(costs, func(i, j int) bool {
+		if costs[i].cost != costs[j].cost {
+			return costs[i].cost < costs[j].cost
+		}
+		return costs[i].key < costs[j].key
+	})
 	out := make(map[string]dpEntry, max)
 	for _, c := range costs[:max] {
 		out[c.key] = next[c.key]
@@ -339,7 +529,16 @@ func newSlotEval(p *Problem, s *coarsen.Slot) (*slotEval, error) {
 		OutShape: rep.Output.Shape,
 		DType:    p.DType,
 	}
-	filter := func(st partition.Strategy) bool {
+	// The full pricing (every strategy applicable at original shapes) is
+	// step-invariant, so it is memoized in the cache; the per-step strategy
+	// filter and current-shape gate become a cheap Restrict view.
+	full, err := p.Cache.priced(slotKey(rep, spec, p.K, p.DType), func() (*partition.Priced, error) {
+		return partition.Price(spec, p.K, nil)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dp: pricing %v: %w", rep, err)
+	}
+	ev.priced, err = full.Restrict(func(st partition.Strategy) bool {
 		if p.StrategyFilter != nil && !p.StrategyFilter(st) {
 			return false
 		}
@@ -351,8 +550,7 @@ func newSlotEval(p *Problem, s *coarsen.Slot) (*slotEval, error) {
 			return false
 		}
 		return ext >= p.K && ext%p.K == 0
-	}
-	ev.priced, err = partition.Price(spec, p.K, filter)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dp: pricing %v: %w", rep, err)
 	}
@@ -378,14 +576,21 @@ func (ev *slotEval) best(assign map[int]int) (int, float64, error) {
 	}
 	fmt.Fprintf(&sb, "|%d", od)
 	key := sb.String()
-	if b, ok := ev.memo[key]; ok {
+	ev.mu.RLock()
+	b, ok := ev.memo[key]
+	ev.mu.RUnlock()
+	if ok {
 		return b.si, b.cost, nil
 	}
 	si, cost := ev.priced.Best(inCuts, partition.Cut{Dim: od})
 	if si < 0 {
 		return 0, 0, fmt.Errorf("dp: no strategy for slot %v", ev.slot.Rep())
 	}
+	// Concurrent misses recompute the same deterministic value; last store
+	// wins harmlessly.
+	ev.mu.Lock()
 	ev.memo[key] = slotBest{si: si, cost: cost}
+	ev.mu.Unlock()
 	return si, cost, nil
 }
 

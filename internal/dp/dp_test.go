@@ -269,3 +269,97 @@ func TestSolveFlatBudgetExtrapolates(t *testing.T) {
 		t.Fatalf("no extrapolation: %+v", rep)
 	}
 }
+
+// TestPriceCacheReuse asserts the pricing cache is exact: a Solve with a
+// warm cache returns the same result as a cold one, the cache is populated
+// once per distinct slot signature, and per-step strategy filters still
+// apply (they restrict the cached full enumeration).
+func TestPriceCacheReuse(t *testing.T) {
+	m, err := models.MLP(2, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := problemFor(t, m, 2)
+	want, err := Solve(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewPriceCache()
+	first := problemFor(t, m, 2)
+	first.Cache = cache
+	got1, err := Solve(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := cache.Len()
+	if entries == 0 {
+		t.Fatal("cache not populated")
+	}
+	second := problemFor(t, m, 2)
+	second.Cache = cache
+	got2, err := Solve(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != entries {
+		t.Fatalf("second identical solve grew the cache: %d -> %d", entries, cache.Len())
+	}
+	for _, got := range []*Result{got1, got2} {
+		if got.CommBytes != want.CommBytes {
+			t.Fatalf("cached solve cost %g != cold %g", got.CommBytes, want.CommBytes)
+		}
+		for id, dim := range want.VarCut {
+			if got.VarCut[id] != dim {
+				t.Fatalf("cached solve cut var %d along %d, cold chose %d", id, got.VarCut[id], dim)
+			}
+		}
+	}
+
+	// The same cache serves a filtered search: filters must still hold.
+	filtered := problemFor(t, m, 2)
+	filtered.Cache = cache
+	filtered.StrategyFilter = func(s partition.Strategy) bool { return s.Kind != partition.SplitReduce }
+	fres, err := Solve(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fres.OpStrategy {
+		if s.Kind == partition.SplitReduce {
+			t.Fatal("cached pricing leaked a filtered strategy")
+		}
+	}
+}
+
+// TestSolveParallelMatchesSerial checks Solve itself (not just the
+// recursive driver) is parallelism-invariant, including States/Configs
+// search-effort accounting.
+func TestSolveParallelMatchesSerial(t *testing.T) {
+	m, err := models.RNN(2, 512, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := problemFor(t, m, 2)
+	serial.Parallelism = 1
+	want, err := Solve(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		p := problemFor(t, m, 2)
+		p.Parallelism = par
+		got, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CommBytes != want.CommBytes || got.States != want.States || got.Configs != want.Configs {
+			t.Fatalf("parallelism %d: (cost, states, configs) = (%g, %d, %d), want (%g, %d, %d)",
+				par, got.CommBytes, got.States, got.Configs, want.CommBytes, want.States, want.Configs)
+		}
+		for id, dim := range want.VarCut {
+			if got.VarCut[id] != dim {
+				t.Fatalf("parallelism %d: var %d cut %d, want %d", par, id, got.VarCut[id], dim)
+			}
+		}
+	}
+}

@@ -110,7 +110,8 @@ func SolveFlat(p *Problem, factors []int64, budget time.Duration) (*FlatReport, 
 	for _, g := range c.Groups {
 		for _, s := range g.Slots {
 			for _, k := range factors {
-				sub := &Problem{Coarse: c, K: k, Shapes: p.Shapes, DType: p.DType, StrategyFilter: p.StrategyFilter}
+				sub := &Problem{Coarse: c, K: k, Shapes: p.Shapes, DType: p.DType,
+					StrategyFilter: p.StrategyFilter, Cache: p.Cache}
 				ev, err := newSlotEval(sub, s)
 				if err != nil {
 					return nil, err
@@ -186,7 +187,10 @@ func SolveFlat(p *Problem, factors []int64, budget time.Duration) (*FlatReport, 
 				combos = grown
 			}
 			for _, combo := range combos {
-				if rep.Evaluated%512 == 0 && time.Since(start) > budget {
+				// Never bail before the first batch: extrapolation needs a
+				// nonzero measured rate even when setup ate the whole budget
+				// (tiny budgets, race-detector builds).
+				if rep.Evaluated > 0 && rep.Evaluated%512 == 0 && time.Since(start) > budget {
 					rep.Elapsed = time.Since(start)
 					rate := float64(rep.Evaluated) / rep.Elapsed.Seconds()
 					if rate > 0 {

@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"tofu/internal/baselines"
+	"tofu/internal/dp"
 	"tofu/internal/graphgen"
 	"tofu/internal/memplan"
 	"tofu/internal/models"
+	"tofu/internal/plan"
 	"tofu/internal/sim"
 )
 
@@ -23,59 +25,70 @@ func Ablations(o Opts, hw sim.HW) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	p, err := baselines.PlanFor(m, baselines.Tofu, int64(hw.NumGPUs))
+	// One cache serves the Tofu and ICML18 searches (same model, different
+	// strategy filters over the same cached enumerations). The up-front
+	// Tofu search runs before the cell fan-out, so it gets the whole
+	// worker pool; the ICML18 search inside a cell stays serial.
+	cache := dp.NewPriceCache()
+	p, err := baselines.PlanForOpts(m, baselines.Tofu, int64(hw.NumGPUs),
+		baselines.SearchOptions{Parallelism: o.Parallelism, Cache: cache})
+	if err != nil {
+		return "", err
+	}
+	so := baselines.SearchOptions{Parallelism: 1, Cache: cache}
+
+	noMultiFetch := graphgen.DefaultOptions()
+	noMultiFetch.MultiFetch = false
+	noSpread := graphgen.DefaultOptions()
+	noSpread.SpreadReduction = false
+	noReuse := memplan.DefaultOptions()
+	noReuse.Reuse = false
+	noInPlace := memplan.DefaultOptions()
+	noInPlace.InPlaceAggregation = false
+
+	type ablation struct {
+		name  string
+		plan  func() (*plan.Plan, error)
+		gopts graphgen.Options
+		mopts memplan.Options
+	}
+	tofuPlan := func() (*plan.Plan, error) { return p, nil }
+	cases := []ablation{
+		{"full Tofu (all optimizations)", tofuPlan, graphgen.DefaultOptions(), memplan.DefaultOptions()},
+		{"- MultiFetch fusion", tofuPlan, noMultiFetch, memplan.DefaultOptions()},
+		{"- spread-out reduction", tofuPlan, noSpread, memplan.DefaultOptions()},
+		{"- control deps (no buffer reuse)", tofuPlan, graphgen.DefaultOptions(), noReuse},
+		{"- in-place gradient aggregation", tofuPlan, graphgen.DefaultOptions(), noInPlace},
+		// Output reduction ablation: the ICML18 plan on the same model.
+		{"- output reduction (ICML18 plan)", func() (*plan.Plan, error) {
+			return baselines.PlanForOpts(m, baselines.ICML18, int64(hw.NumGPUs), so)
+		}, graphgen.DefaultOptions(), memplan.DefaultOptions()},
+	}
+
+	// Each ablation cell regenerates and simulates independently; fan out.
+	rows := make([][]string, len(cases))
+	err = fanOut(o.Parallelism, len(cases), func(i int) error {
+		ab := cases[i]
+		ap, err := ab.plan()
+		if err != nil {
+			return err
+		}
+		sh, err := graphgen.Generate(m.G, ap, ab.gopts)
+		if err != nil {
+			return err
+		}
+		res := sim.Run(sh, hw, cfg.Batch, ab.mopts, sim.RunOptions{})
+		rows[i] = []string{ab.name, fmt.Sprintf("%.3f", res.IterSeconds),
+			gb(float64(res.Mem.PeakBytes)), gb(float64(res.Mem.CommBufferPeak))}
+		return nil
+	})
 	if err != nil {
 		return "", err
 	}
 
 	t := &table{header: []string{"configuration", "iter(s)", "peak/GPU(GB)", "comm-buffers(GB)"}}
-	run := func(name string, gopts graphgen.Options, mopts memplan.Options) error {
-		sh, err := graphgen.Generate(m.G, p, gopts)
-		if err != nil {
-			return err
-		}
-		res := sim.Run(sh, hw, cfg.Batch, mopts, sim.RunOptions{})
-		t.add(name, fmt.Sprintf("%.3f", res.IterSeconds),
-			gb(float64(res.Mem.PeakBytes)), gb(float64(res.Mem.CommBufferPeak)))
-		return nil
+	for _, r := range rows {
+		t.add(r...)
 	}
-
-	if err := run("full Tofu (all optimizations)", graphgen.DefaultOptions(), memplan.DefaultOptions()); err != nil {
-		return "", err
-	}
-	g := graphgen.DefaultOptions()
-	g.MultiFetch = false
-	if err := run("- MultiFetch fusion", g, memplan.DefaultOptions()); err != nil {
-		return "", err
-	}
-	g = graphgen.DefaultOptions()
-	g.SpreadReduction = false
-	if err := run("- spread-out reduction", g, memplan.DefaultOptions()); err != nil {
-		return "", err
-	}
-	mo := memplan.DefaultOptions()
-	mo.Reuse = false
-	if err := run("- control deps (no buffer reuse)", graphgen.DefaultOptions(), mo); err != nil {
-		return "", err
-	}
-	mo = memplan.DefaultOptions()
-	mo.InPlaceAggregation = false
-	if err := run("- in-place gradient aggregation", graphgen.DefaultOptions(), mo); err != nil {
-		return "", err
-	}
-
-	// Output reduction ablation: the ICML18 plan on the same model.
-	icml, err := baselines.PlanFor(m, baselines.ICML18, int64(hw.NumGPUs))
-	if err != nil {
-		return "", err
-	}
-	sh, err := graphgen.Generate(m.G, icml, graphgen.DefaultOptions())
-	if err != nil {
-		return "", err
-	}
-	res := sim.Run(sh, hw, cfg.Batch, memplan.DefaultOptions(), sim.RunOptions{})
-	t.add("- output reduction (ICML18 plan)", fmt.Sprintf("%.3f", res.IterSeconds),
-		gb(float64(res.Mem.PeakBytes)), gb(float64(res.Mem.CommBufferPeak)))
-
 	return fmt.Sprintf("Ablations on %s (Tofu plan, 8 GPUs)\n", cfg) + t.String(), nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tofu/internal/baselines"
+	"tofu/internal/dp"
 	"tofu/internal/graphgen"
 	"tofu/internal/memplan"
 	"tofu/internal/models"
@@ -21,30 +22,57 @@ func Figure8(o Opts, hw sim.HW) (string, error) {
 		depths, widths = []int{50}, []int64{4}
 	}
 	systems := []baselines.System{baselines.Ideal, baselines.SmallBatch, baselines.Swap, baselines.Tofu}
+	var cfgs []models.Config
+	for _, d := range depths {
+		for _, w := range widths {
+			cfgs = append(cfgs, models.Config{Family: "wresnet", Depth: d, Width: w, Batch: 128})
+		}
+	}
+	outs, err := evaluateGrid(o, cfgs, systems, hw)
+	if err != nil {
+		return "", err
+	}
 	var sb strings.Builder
 	sb.WriteString("Figure 8: WResNet throughput normalized to Ideal (absolute samples/sec in label)\n")
-	for _, d := range depths {
-		fmt.Fprintf(&sb, "\n-- WResNet-%d --\n", d)
-		for _, w := range widths {
-			cfg := models.Config{Family: "wresnet", Depth: d, Width: w, Batch: 128}
-			ideal, err := baselines.Evaluate(cfg, baselines.Ideal, hw)
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&sb, "W=%d (ideal %.1f samples/s):\n", w, ideal.Throughput)
-			for _, sys := range systems {
-				out, err := baselines.Evaluate(cfg, sys, hw)
-				if err != nil {
-					return "", err
-				}
-				oom := out.Throughput == 0
-				fmt.Fprintf(&sb, "  %-12s %s\n", sys,
-					bar(out.Throughput/ideal.Throughput,
-						fmt.Sprintf("%.1f (batch %d)", out.Throughput, out.Batch), oom))
-			}
+	for ci, cfg := range cfgs {
+		if ci%len(widths) == 0 {
+			fmt.Fprintf(&sb, "\n-- WResNet-%d --\n", cfg.Depth)
+		}
+		ideal := outs[ci][0]
+		fmt.Fprintf(&sb, "W=%d (ideal %.1f samples/s):\n", cfg.Width, ideal.Throughput)
+		for si, sys := range systems {
+			out := outs[ci][si]
+			oom := out.Throughput == 0
+			fmt.Fprintf(&sb, "  %-12s %s\n", sys,
+				bar(out.Throughput/ideal.Throughput,
+					fmt.Sprintf("%.1f (batch %d)", out.Throughput, out.Batch), oom))
 		}
 	}
 	return sb.String(), nil
+}
+
+// evaluateGrid fans the independent (model × system) cells across the
+// worker pool, collecting all errors; outs[cfg][sys] mirrors the serial
+// sweep exactly. All partition searches share one pricing cache and run
+// serial internally — the parallelism budget is spent at the cell level.
+func evaluateGrid(o Opts, cfgs []models.Config, systems []baselines.System,
+	hw sim.HW) ([][]baselines.Outcome, error) {
+
+	outs := make([][]baselines.Outcome, len(cfgs))
+	for i := range outs {
+		outs[i] = make([]baselines.Outcome, len(systems))
+	}
+	so := baselines.SearchOptions{Parallelism: 1, Cache: dp.NewPriceCache()}
+	err := fanOut(o.Parallelism, len(cfgs)*len(systems), func(i int) error {
+		ci, si := i/len(systems), i%len(systems)
+		out, err := baselines.EvaluateWith(cfgs[ci], systems[si], hw, so)
+		if err != nil {
+			return fmt.Errorf("%v/%s: %w", cfgs[ci], systems[si], err)
+		}
+		outs[ci][si] = out
+		return nil
+	})
+	return outs, err
 }
 
 // Figure9 reproduces the RNN throughput comparison: Ideal, SmallBatch,
@@ -60,27 +88,30 @@ func Figure9(o Opts, hw sim.HW) (string, error) {
 		baselines.Ideal, baselines.SmallBatch, baselines.Swap,
 		baselines.OpPlacement, baselines.Tofu,
 	}
+	var cfgs []models.Config
+	for _, l := range layers {
+		for _, h := range hiddens {
+			cfgs = append(cfgs, models.Config{Family: "rnn", Depth: l, Width: h, Batch: 512})
+		}
+	}
+	outs, err := evaluateGrid(o, cfgs, systems, hw)
+	if err != nil {
+		return "", err
+	}
 	var sb strings.Builder
 	sb.WriteString("Figure 9: RNN throughput normalized to Ideal (absolute samples/sec in label)\n")
-	for _, l := range layers {
-		fmt.Fprintf(&sb, "\n-- %d-layer RNN --\n", l)
-		for _, h := range hiddens {
-			cfg := models.Config{Family: "rnn", Depth: l, Width: h, Batch: 512}
-			ideal, err := baselines.Evaluate(cfg, baselines.Ideal, hw)
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&sb, "H=%dK (ideal %.1f samples/s):\n", h/1024, ideal.Throughput)
-			for _, sys := range systems {
-				out, err := baselines.Evaluate(cfg, sys, hw)
-				if err != nil {
-					return "", err
-				}
-				oom := out.Throughput == 0
-				fmt.Fprintf(&sb, "  %-12s %s\n", sys,
-					bar(out.Throughput/ideal.Throughput,
-						fmt.Sprintf("%.1f (batch %d)", out.Throughput, out.Batch), oom))
-			}
+	for ci, cfg := range cfgs {
+		if ci%len(hiddens) == 0 {
+			fmt.Fprintf(&sb, "\n-- %d-layer RNN --\n", cfg.Depth)
+		}
+		ideal := outs[ci][0]
+		fmt.Fprintf(&sb, "H=%dK (ideal %.1f samples/s):\n", cfg.Width/1024, ideal.Throughput)
+		for si, sys := range systems {
+			out := outs[ci][si]
+			oom := out.Throughput == 0
+			fmt.Fprintf(&sb, "  %-12s %s\n", sys,
+				bar(out.Throughput/ideal.Throughput,
+					fmt.Sprintf("%.1f (batch %d)", out.Throughput, out.Batch), oom))
 		}
 	}
 	return sb.String(), nil
@@ -102,36 +133,55 @@ func Figure10(o Opts, hw sim.HW) (string, error) {
 		baselines.AllRowGreedy, baselines.Spartan, baselines.EqualChop,
 		baselines.ICML18, baselines.Tofu,
 	}
-	var sb strings.Builder
-	sb.WriteString("Figure 10: partition algorithm comparison (time per batch, 8 GPUs)\n")
-	for _, cfg := range workloads {
-		fmt.Fprintf(&sb, "\n-- %s --\n", cfg)
+	// Every (workload × algorithm) cell is independent: fan them out,
+	// rendering each cell into its slot. One pricing cache serves every
+	// algorithm variant (the searches differ only in filters/factors, which
+	// restrict the same cached strategy enumerations).
+	ms := make([]*models.Model, len(workloads))
+	for i, cfg := range workloads {
 		m, err := models.Build(cfg)
 		if err != nil {
 			return "", err
 		}
-		for _, algo := range algos {
-			p, err := baselines.PlanFor(m, algo, int64(hw.NumGPUs))
-			if err != nil {
-				fmt.Fprintf(&sb, "  %-14s infeasible (%v)\n", algo, err)
-				continue
-			}
-			sh, err := graphgen.Generate(m.G, p, graphgen.DefaultOptions())
-			if err != nil {
-				return "", err
-			}
-			full := sim.Run(sh, hw, cfg.Batch, memplan.DefaultOptions(), sim.RunOptions{})
-			pure := sim.Run(sh, hw, cfg.Batch, memplan.DefaultOptions(), sim.RunOptions{DisableComm: true})
-			if full.OOM {
-				fmt.Fprintf(&sb, "  %-14s OOM (needs %s GB/GPU)\n", algo, gb(float64(full.Mem.PeakBytes)))
-				continue
-			}
-			overhead := 0.0
-			if full.IterSeconds > 0 {
-				overhead = (full.IterSeconds - pure.IterSeconds) / full.IterSeconds * 100
-			}
-			fmt.Fprintf(&sb, "  %-14s %6.2fs/batch  compute %5.2fs  comm-overhead %4.1f%%  plan-comm %s GB\n",
-				algo, full.IterSeconds, pure.IterSeconds, overhead, gb(p.TotalComm()))
+		ms[i] = m
+	}
+	so := baselines.SearchOptions{Parallelism: 1, Cache: dp.NewPriceCache()}
+	lines := make([]string, len(workloads)*len(algos))
+	err := fanOut(o.Parallelism, len(lines), func(i int) error {
+		wi, ai := i/len(algos), i%len(algos)
+		cfg, m, algo := workloads[wi], ms[wi], algos[ai]
+		p, err := baselines.PlanForOpts(m, algo, int64(hw.NumGPUs), so)
+		if err != nil {
+			lines[i] = fmt.Sprintf("  %-14s infeasible (%v)\n", algo, err)
+			return nil
+		}
+		sh, err := graphgen.Generate(m.G, p, graphgen.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		full := sim.Run(sh, hw, cfg.Batch, memplan.DefaultOptions(), sim.RunOptions{})
+		pure := sim.Run(sh, hw, cfg.Batch, memplan.DefaultOptions(), sim.RunOptions{DisableComm: true})
+		if full.OOM {
+			lines[i] = fmt.Sprintf("  %-14s OOM (needs %s GB/GPU)\n", algo, gb(float64(full.Mem.PeakBytes)))
+			return nil
+		}
+		overhead := 0.0
+		if full.IterSeconds > 0 {
+			overhead = (full.IterSeconds - pure.IterSeconds) / full.IterSeconds * 100
+		}
+		lines[i] = fmt.Sprintf("  %-14s %6.2fs/batch  compute %5.2fs  comm-overhead %4.1f%%  plan-comm %s GB\n",
+			algo, full.IterSeconds, pure.IterSeconds, overhead, gb(p.TotalComm()))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 10: partition algorithm comparison (time per batch, 8 GPUs)\n")
+	for wi, cfg := range workloads {
+		fmt.Fprintf(&sb, "\n-- %s --\n", cfg)
+		for ai := range algos {
+			sb.WriteString(lines[wi*len(algos)+ai])
 		}
 	}
 	return sb.String(), nil

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// fanOut runs n independent experiment cells on up to par goroutines
+// (par <= 0 means GOMAXPROCS) and returns every error the cells produced,
+// joined. Cells write their results into caller-owned, index-addressed
+// slots, so the rendered artifact is identical to the serial sweep.
+func fanOut(par, n int, cell func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	errs := make([]error, n)
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = cell(i)
+		}
+		return errors.Join(errs...)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = cell(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

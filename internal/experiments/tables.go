@@ -21,6 +21,11 @@ type Opts struct {
 	// paper's 8h/>24h row); the completion time is extrapolated from the
 	// exact remaining combination count.
 	FlatBudget time.Duration
+	// Parallelism sizes the worker pools: the independent (model × system)
+	// cells of each driver fan out across this many goroutines, and each
+	// partition search uses it for its DP sweep (0 = GOMAXPROCS, 1 =
+	// serial). Rendered artifacts are identical for every setting.
+	Parallelism int
 }
 
 // DefaultOpts is the full-fidelity configuration.
@@ -44,6 +49,9 @@ func Table1(o Opts) (string, error) {
 		t.header = []string{"search algorithm", cfgs[0].String(), cfgs[1].String()}
 	}
 
+	// Cells stay serial here — Table 1 measures wall-clock search time, and
+	// concurrent cells would contend for the very cores the parallel search
+	// uses. The search itself still gets the worker pool.
 	flatCells := make([]string, len(cfgs))
 	recCells := make([]string, len(cfgs))
 	for i, cfg := range cfgs {
@@ -53,7 +61,7 @@ func Table1(o Opts) (string, error) {
 		}
 		// Recursion (the Tofu algorithm).
 		start := time.Now()
-		if _, err := recursive.Partition(m.G, 8, recursive.Options{}); err != nil {
+		if _, err := recursive.Partition(m.G, 8, recursive.Options{Parallelism: o.Parallelism}); err != nil {
 			return "", err
 		}
 		recCells[i] = time.Since(start).Round(time.Millisecond).String()
@@ -160,22 +168,31 @@ func Table3(o Opts, hw sim.HW) (string, error) {
 		baselines.OpPlacement:   "MX-OpPlacement",
 		baselines.TFOpPlacement: "TF-OpPlacement",
 	}
-	for _, sys := range systems {
-		cells := []string{names[sys]}
-		for _, l := range layers {
-			out, err := baselines.Evaluate(models.Config{
-				Family: "rnn", Depth: l, Width: hidden, Batch: batch,
-			}, sys, hw)
-			if err != nil {
-				return "", err
-			}
-			if out.OOM && out.Throughput == 0 {
-				cells = append(cells, "OOM")
-			} else {
-				cells = append(cells, fmt.Sprintf("%.0f", out.Throughput))
-			}
+	// The (system × model) cells are independent; fan them out and render
+	// in order. Each cell's own search runs serial — the parallelism budget
+	// is spent at the cell level — but all cells share one pricing cache.
+	so := baselines.SearchOptions{Parallelism: 1, Cache: dp.NewPriceCache()}
+	cells := make([]string, len(systems)*len(layers))
+	err := fanOut(o.Parallelism, len(cells), func(i int) error {
+		sys, l := systems[i/len(layers)], layers[i%len(layers)]
+		out, err := baselines.EvaluateWith(models.Config{
+			Family: "rnn", Depth: l, Width: hidden, Batch: batch,
+		}, sys, hw, so)
+		if err != nil {
+			return err
 		}
-		t.add(cells...)
+		if out.OOM && out.Throughput == 0 {
+			cells[i] = "OOM"
+		} else {
+			cells[i] = fmt.Sprintf("%.0f", out.Throughput)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for si, sys := range systems {
+		t.add(append([]string{names[sys]}, cells[si*len(layers):(si+1)*len(layers)]...)...)
 	}
 	return "Table 3: RNN throughput (samples/sec), hidden size 4096\n" + t.String(), nil
 }

@@ -51,6 +51,26 @@ func Price(sp *Spec, k int64, filter func(Strategy) bool) (*Priced, error) {
 	return p, nil
 }
 
+// Restrict returns a view of p holding only the strategies keep accepts,
+// in the original enumeration order. The view shares the underlying region
+// analyses, so restricting a cached full pricing to one recursive step's
+// applicable strategies costs a few slice appends instead of re-running the
+// symbolic interval analysis (see dp.PriceCache).
+func (p *Priced) Restrict(keep func(Strategy) bool) (*Priced, error) {
+	out := &Priced{Spec: p.Spec, K: p.K, outBytes: p.outBytes}
+	for si, s := range p.Strategies {
+		if keep != nil && !keep(s) {
+			continue
+		}
+		out.Strategies = append(out.Strategies, s)
+		out.regions = append(out.regions, p.regions[si])
+	}
+	if len(out.Strategies) == 0 {
+		return nil, fmt.Errorf("partition: no applicable strategy for %s at k=%d", p.Spec.Desc.Name, p.K)
+	}
+	return out, nil
+}
+
 // Parts itemizes a strategy's communication into the input-fetch bytes
 // (MultiFetch traffic before the kernel runs) and the output bytes
 // (redistribution or reduction after it), summed across all workers.

@@ -1,0 +1,79 @@
+package recursive
+
+import (
+	"bytes"
+	"testing"
+
+	"tofu/internal/dp"
+	"tofu/internal/models"
+)
+
+// planJSON runs the search at a given parallelism and serializes the plan.
+func planJSON(t *testing.T, m *models.Model, k int64, par int, cache *dp.PriceCache) []byte {
+	t.Helper()
+	p, err := Partition(m.G, k, Options{Parallelism: par, Cache: cache})
+	if err != nil {
+		t.Fatalf("parallelism %d: %v", par, err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSearchDeterminism asserts the tentpole guarantee: the
+// parallel frontier sweep emits a byte-identical plan JSON to the serial
+// search for every worker-pool size, on each benchmark model family.
+func TestParallelSearchDeterminism(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func() (*models.Model, error)
+	}{
+		{"mlp", func() (*models.Model, error) { return models.MLP(4, 512, 64) }},
+		{"rnn", func() (*models.Model, error) { return models.RNN(2, 1024, 64, 4) }},
+		{"wresnet", func() (*models.Model, error) { return models.WResNet(50, 2, 8) }},
+	}
+	for _, b := range builds {
+		t.Run(b.name, func(t *testing.T) {
+			m, err := b.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := planJSON(t, m, 8, 1, nil)
+			if len(serial) == 0 {
+				t.Fatal("empty plan JSON")
+			}
+			// Shared cache across runs must not change the result either.
+			cache := dp.NewPriceCache()
+			for _, par := range []int{1, 2, 8} {
+				got := planJSON(t, m, 8, par, nil)
+				if !bytes.Equal(serial, got) {
+					t.Errorf("parallelism %d diverged from serial plan:\nserial: %s\npar:    %s",
+						par, serial, got)
+				}
+				got = planJSON(t, m, 8, par, cache)
+				if !bytes.Equal(serial, got) {
+					t.Errorf("parallelism %d with shared cache diverged from serial plan", par)
+				}
+			}
+			if cache.Len() == 0 {
+				t.Error("shared cache was never populated")
+			}
+		})
+	}
+}
+
+// TestDefaultParallelismMatchesSerial locks the default (GOMAXPROCS) path
+// to the serial plan as well.
+func TestDefaultParallelismMatchesSerial(t *testing.T) {
+	m, err := models.MLP(3, 256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := planJSON(t, m, 8, 1, nil)
+	def := planJSON(t, m, 8, 0, nil)
+	if !bytes.Equal(serial, def) {
+		t.Fatal("default parallelism diverged from serial plan")
+	}
+}

@@ -32,10 +32,21 @@ type Options struct {
 	// dp.Problem.MaxStates; useful for high-cutwidth graphs such as
 	// attention blocks.
 	MaxStates int
+	// Parallelism is the worker-goroutine count for each step's DP sweep
+	// and pricing (0 = runtime.GOMAXPROCS(0), 1 = serial). The chosen plan
+	// is byte-identical for every setting (see dp.Problem.Parallelism).
+	Parallelism int
+	// Cache reuses priced strategy enumerations across the recursive factor
+	// steps and — when shared by the caller — across searches over the same
+	// model (nil = one fresh cache per Partition call, which still
+	// deduplicates pricing across this search's steps).
+	Cache *dp.PriceCache
 }
 
 // Partition searches for the best partition plan of a training graph across
-// k workers.
+// k workers. k = 1 yields a valid trivial plan with zero steps (every
+// tensor whole on the single worker), which flows through graph generation
+// and simulation unchanged.
 func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("recursive: worker count %d invalid", k)
@@ -66,6 +77,13 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 		shapes[t.ID] = t.Shape.Clone()
 	}
 
+	// One cache serves every factor step: pricing happens once at original
+	// shapes (Lemma 1) instead of once per dp.Solve call.
+	cache := opts.Cache
+	if cache == nil {
+		cache = dp.NewPriceCache()
+	}
+
 	p := &plan.Plan{K: k, FinalShapes: shapes}
 	mult := int64(1)
 	for _, ki := range factors {
@@ -76,6 +94,8 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 			DType:          opts.DType,
 			StrategyFilter: opts.StrategyFilter,
 			MaxStates:      opts.MaxStates,
+			Parallelism:    opts.Parallelism,
+			Cache:          cache,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("recursive: step %d (x%d): %w", len(p.Steps)+1, ki, err)
@@ -107,8 +127,10 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 	return p, nil
 }
 
-// Factorize decomposes k into prime-power factors in non-increasing order,
-// the paper's k = k1*k2*...*km with ki >= k(i+1).
+// Factorize decomposes k into its prime factors in non-increasing order
+// (8 → [2 2 2], 12 → [3 2 2]) — the paper's k = k1*k2*...*km with
+// ki >= k(i+1). k = 1 factors into the empty list: the recursion runs zero
+// steps and Partition returns the trivial single-worker plan.
 func Factorize(k int64) []int64 {
 	var out []int64
 	for f := int64(2); f*f <= k; f++ {

@@ -116,8 +116,11 @@ func Partition(g *Graph, k int64) (*Summary, error) {
 	return core.Partition(g, k, core.DefaultOptions())
 }
 
-// PartitionWithOptions exposes the pipeline's knobs (search restrictions,
-// generation optimizations, memory planner, hardware model).
+// PartitionWithOptions exposes the pipeline's knobs (search restrictions
+// and parallelism, generation optimizations, memory planner, hardware
+// model). The search fans its DP sweep across Search.Parallelism worker
+// goroutines (0 = GOMAXPROCS) with a deterministic merge, so the chosen
+// plan is byte-identical for every setting.
 func PartitionWithOptions(g *Graph, k int64, opts core.Options) (*Summary, error) {
 	return core.Partition(g, k, opts)
 }

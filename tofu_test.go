@@ -89,3 +89,33 @@ func TestPublicAPIGraphConstruction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSingleWorkerTrivialPlan locks in the k=1 contract: Factorize(1) is
+// the empty factor list, so Partition returns a valid zero-step plan
+// (every tensor whole on the one worker) that flows through graph
+// generation, memory planning and simulation end to end.
+func TestSingleWorkerTrivialPlan(t *testing.T) {
+	m, err := tofu.MLP(2, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tofu.Partition(m.G, 1)
+	if err != nil {
+		t.Fatalf("k=1 partition: %v", err)
+	}
+	if len(s.Plan.Steps) != 0 {
+		t.Fatalf("trivial plan has %d steps, want 0", len(s.Plan.Steps))
+	}
+	if c := s.Plan.TotalComm(); c != 0 {
+		t.Fatalf("trivial plan has communication %g, want 0", c)
+	}
+	for _, ten := range m.G.Tensors {
+		if fs, ok := s.Plan.FinalShapes[ten.ID]; ok && !fs.Equal(ten.Shape) {
+			t.Fatalf("tensor %v shard %v != full shape %v", ten, fs, ten.Shape)
+		}
+	}
+	res := tofu.Simulate(s, m.Batch)
+	if res.Throughput <= 0 || res.OOM {
+		t.Fatalf("trivial plan does not simulate: throughput %g, oom %v", res.Throughput, res.OOM)
+	}
+}
