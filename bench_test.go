@@ -49,7 +49,9 @@ func runExperiment(b *testing.B, name string, fn func(experiments.Opts) (string,
 // 8 workers with the coarsened-but-flat DP (measured under budget and
 // extrapolated) versus Tofu's recursion.
 func BenchmarkTable1SearchTime(b *testing.B) {
-	runExperiment(b, "Table 1", experiments.Table1)
+	runExperiment(b, "Table 1", func(o experiments.Opts) (string, error) {
+		return experiments.Table1(o, sim.DefaultTopology())
+	})
 }
 
 // BenchmarkTable2WeightSizes regenerates Table 2: total weight tensor sizes
@@ -62,7 +64,7 @@ func BenchmarkTable2WeightSizes(b *testing.B) {
 // placement vs TensorFlow operator placement on RNNs with hidden size 4096.
 func BenchmarkTable3RNNComparison(b *testing.B) {
 	runExperiment(b, "Table 3", func(o experiments.Opts) (string, error) {
-		return experiments.Table3(o, sim.DefaultHW())
+		return experiments.Table3(o, sim.DefaultTopology())
 	})
 }
 
@@ -70,7 +72,7 @@ func BenchmarkTable3RNNComparison(b *testing.B) {
 // for Ideal/SmallBatch/Swap/Tofu, normalized to ideal, with OOM markers.
 func BenchmarkFigure8WResNet(b *testing.B) {
 	runExperiment(b, "Figure 8", func(o experiments.Opts) (string, error) {
-		return experiments.Figure8(o, sim.DefaultHW())
+		return experiments.Figure8(o, sim.DefaultTopology())
 	})
 }
 
@@ -78,7 +80,7 @@ func BenchmarkFigure8WResNet(b *testing.B) {
 // Ideal/SmallBatch/Swap/Op-Placement/Tofu.
 func BenchmarkFigure9RNN(b *testing.B) {
 	runExperiment(b, "Figure 9", func(o experiments.Opts) (string, error) {
-		return experiments.Figure9(o, sim.DefaultHW())
+		return experiments.Figure9(o, sim.DefaultTopology())
 	})
 }
 
@@ -87,7 +89,7 @@ func BenchmarkFigure9RNN(b *testing.B) {
 // communication-overhead breakdown and OOMs.
 func BenchmarkFigure10Algorithms(b *testing.B) {
 	runExperiment(b, "Figure 10", func(o experiments.Opts) (string, error) {
-		return experiments.Figure10(o, sim.DefaultHW())
+		return experiments.Figure10(o, sim.DefaultTopology())
 	})
 }
 
@@ -97,12 +99,22 @@ func BenchmarkFigure11Plan(b *testing.B) {
 	runExperiment(b, "Figure 11", experiments.Figure11)
 }
 
+// BenchmarkCrossTopology runs the cross-topology scenario sweep: the same
+// models on the flat p2.8xlarge, the NVLink DGX-1 box and the 2x8-node
+// cluster, comparing the topology-aware search against EqualChop and the
+// hierarchical-naive layout.
+func BenchmarkCrossTopology(b *testing.B) {
+	runExperiment(b, "Cross-topology", func(o experiments.Opts) (string, error) {
+		return experiments.CrossTopology(o, sim.DefaultTopology())
+	})
+}
+
 // BenchmarkAblations quantifies the Sec 6 design choices (MultiFetch,
 // control dependencies, spread reductions, in-place aggregation, output
 // reduction).
 func BenchmarkAblations(b *testing.B) {
 	runExperiment(b, "Ablations", func(o experiments.Opts) (string, error) {
-		return experiments.Ablations(o, sim.DefaultHW())
+		return experiments.Ablations(o, sim.DefaultTopology())
 	})
 }
 

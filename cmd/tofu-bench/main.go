@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	tofu-bench [-exp all|table1|table2|table3|fig8|fig9|fig10|fig11|ablations]
+//	tofu-bench [-exp all|table1|table2|table3|fig8|fig9|fig10|fig11|ablations|crosstopo]
 //	           [-quick] [-flat-budget 20s] [-parallel N]
+//	           [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
 package main
 
 import (
@@ -25,24 +26,30 @@ func main() {
 		"wall-clock budget for the non-recursive DP measurement (Table 1)")
 	parallel := flag.Int("parallel", 0,
 		"worker goroutines for experiment cells and DP search (0 = GOMAXPROCS, 1 = serial); artifacts are identical either way")
+	hwArg := flag.String("hw", "p2.8xlarge",
+		"hardware profile name or topology JSON file (profiles: p2.8xlarge, dgx1, cluster-2x8)")
 	flag.Parse()
 
 	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}
-	hw := sim.DefaultHW()
+	topo, err := sim.ResolveTopology(*hwArg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	type driver struct {
 		name string
 		run  func() (string, error)
 	}
 	drivers := []driver{
-		{"table1", func() (string, error) { return experiments.Table1(opts) }},
+		{"table1", func() (string, error) { return experiments.Table1(opts, topo) }},
 		{"table2", func() (string, error) { return experiments.Table2(opts) }},
-		{"table3", func() (string, error) { return experiments.Table3(opts, hw) }},
-		{"fig8", func() (string, error) { return experiments.Figure8(opts, hw) }},
-		{"fig9", func() (string, error) { return experiments.Figure9(opts, hw) }},
-		{"fig10", func() (string, error) { return experiments.Figure10(opts, hw) }},
+		{"table3", func() (string, error) { return experiments.Table3(opts, topo) }},
+		{"fig8", func() (string, error) { return experiments.Figure8(opts, topo) }},
+		{"fig9", func() (string, error) { return experiments.Figure9(opts, topo) }},
+		{"fig10", func() (string, error) { return experiments.Figure10(opts, topo) }},
 		{"fig11", func() (string, error) { return experiments.Figure11(opts) }},
-		{"ablations", func() (string, error) { return experiments.Ablations(opts, hw) }},
+		{"ablations", func() (string, error) { return experiments.Ablations(opts, topo) }},
+		{"crosstopo", func() (string, error) { return experiments.CrossTopology(opts, topo) }},
 	}
 
 	ran := false

@@ -5,6 +5,7 @@
 //
 //	tofu-plan [-family wresnet|rnn|mlp] [-depth 152] [-width 10]
 //	          [-batch 8] [-workers 8] [-parallel N]
+//	          [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
 package main
 
 import (
@@ -25,6 +26,9 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the plan as JSON to this file")
 	parallel := flag.Int("parallel", 0,
 		"DP search worker goroutines (0 = GOMAXPROCS, 1 = serial); the plan is identical either way")
+	hwArg := flag.String("hw", "",
+		"hardware profile name or topology JSON file; overrides -workers with the machine's GPU count "+
+			"and makes the search topology-aware on hierarchical machines")
 	flag.Parse()
 
 	m, err := tofu.BuildModel(tofu.ModelConfig{
@@ -35,6 +39,14 @@ func main() {
 	}
 	popts := tofu.DefaultPipelineOptions()
 	popts.Search.Parallelism = *parallel
+	if *hwArg != "" {
+		topo, err := tofu.ResolveTopology(*hwArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		popts.Topology = &topo
+		*workers = int64(topo.NumGPUs())
+	}
 	s, err := tofu.PartitionWithOptions(m.G, *workers, popts)
 	if err != nil {
 		log.Fatal(err)
@@ -75,7 +87,7 @@ func main() {
 		fmt.Printf("  %-16s %-18s %s\n", w.Name, w.Shape, s.Plan.CutSummary(w.ID))
 	}
 
-	res := tofu.Simulate(s, m.Batch)
+	res := tofu.SimulateWith(s, m.Batch, popts)
 	fmt.Printf("\nsimulated: %.3f s/iteration, %.1f samples/s, OOM=%v\n",
 		res.IterSeconds, res.Throughput, res.OOM)
 }

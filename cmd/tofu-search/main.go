@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tofu-search [-flat-budget 20s] [-quick] [-parallel N]
+//	            [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"tofu/internal/experiments"
+	"tofu/internal/sim"
 )
 
 func main() {
@@ -22,9 +24,15 @@ func main() {
 	quick := flag.Bool("quick", false, "small models for a fast look")
 	parallel := flag.Int("parallel", 0,
 		"DP search worker goroutines (0 = GOMAXPROCS, 1 = serial); the plan is identical either way")
+	hwArg := flag.String("hw", "p2.8xlarge",
+		"hardware profile name or topology JSON file (profiles: p2.8xlarge, dgx1, cluster-2x8)")
 	flag.Parse()
 
-	out, err := experiments.Table1(experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel})
+	topo, err := sim.ResolveTopology(*hwArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := experiments.Table1(experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}, topo)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,6 +40,13 @@ const (
 	Spartan       System = "spartan"
 	EqualChop     System = "equalchop"
 	ICML18        System = "icml18"
+	// HierNaive is the hierarchical-naive comparator of the cross-topology
+	// experiments: the recursion's factors follow the machine hierarchy
+	// innermost first with no bandwidth-weighted ordering search — the
+	// layout a topology-blind runtime gets from default cyclic rank
+	// placement, which parks the heaviest step on the slowest links. On a
+	// flat machine it coincides with Tofu.
+	HierNaive System = "hier-naive"
 )
 
 // Outcome is one (model, system) measurement.
@@ -69,25 +76,25 @@ type SearchOptions struct {
 }
 
 // Evaluate runs one system on one model configuration at a fixed batch.
-func Evaluate(cfg models.Config, sys System, hw sim.HW) (Outcome, error) {
-	return EvaluateWith(cfg, sys, hw, SearchOptions{})
+func Evaluate(cfg models.Config, sys System, topo sim.Topology) (Outcome, error) {
+	return EvaluateWith(cfg, sys, topo, SearchOptions{})
 }
 
 // EvaluateWith is Evaluate with explicit search options.
-func EvaluateWith(cfg models.Config, sys System, hw sim.HW, so SearchOptions) (Outcome, error) {
+func EvaluateWith(cfg models.Config, sys System, topo sim.Topology, so SearchOptions) (Outcome, error) {
 	switch sys {
 	case Ideal:
-		return runSingle(cfg, sys, hw, false)
+		return runSingle(cfg, sys, topo, false)
 	case SmallBatch:
-		return runSingle(cfg, sys, hw, true)
+		return runSingle(cfg, sys, topo, true)
 	case Swap:
-		return runSwap(cfg, hw)
+		return runSwap(cfg, topo)
 	case OpPlacement:
-		return runPlacement(cfg, hw, false)
+		return runPlacement(cfg, topo, false)
 	case TFOpPlacement:
-		return runPlacement(cfg, hw, true)
-	case Tofu, AllRowGreedy, Spartan, EqualChop, ICML18:
-		return runPartitioned(cfg, sys, hw, so)
+		return runPlacement(cfg, topo, true)
+	case Tofu, AllRowGreedy, Spartan, EqualChop, ICML18, HierNaive:
+		return runPartitioned(cfg, sys, topo, so)
 	default:
 		return Outcome{}, fmt.Errorf("baselines: unknown system %q", sys)
 	}
@@ -95,7 +102,7 @@ func EvaluateWith(cfg models.Config, sys System, hw sim.HW, so SearchOptions) (O
 
 // --- single-GPU family --------------------------------------------------
 
-func runSingle(cfg models.Config, sys System, hw sim.HW, fitMemory bool) (Outcome, error) {
+func runSingle(cfg models.Config, sys System, topo sim.Topology, fitMemory bool) (Outcome, error) {
 	batch := cfg.Batch
 	for {
 		m, err := models.Build(withBatch(cfg, batch))
@@ -106,8 +113,8 @@ func runSingle(cfg models.Config, sys System, hw sim.HW, fitMemory bool) (Outcom
 		if err != nil {
 			return Outcome{}, err
 		}
-		res := sim.Run(sh, hw, batch, memplan.DefaultOptions(),
-			sim.RunOptions{Replicas: hw.NumGPUs})
+		res := sim.Run(sh, topo, batch, memplan.DefaultOptions(),
+			sim.RunOptions{Replicas: topo.NumGPUs()})
 		out := Outcome{
 			System: sys, Model: m.Name, Batch: batch,
 			Throughput: res.Throughput, IterSeconds: res.IterSeconds,
@@ -129,7 +136,7 @@ func runSingle(cfg models.Config, sys System, hw sim.HW, fitMemory bool) (Outcom
 	}
 }
 
-func runSwap(cfg models.Config, hw sim.HW) (Outcome, error) {
+func runSwap(cfg models.Config, topo sim.Topology) (Outcome, error) {
 	// Sec 7.1: Swapping "uses the largest batch size that makes the
 	// execution fit in the GPU memory". When shrinking the batch could fit
 	// the model, the swap system runs just past that point (twice the
@@ -138,7 +145,7 @@ func runSwap(cfg models.Config, hw sim.HW) (Outcome, error) {
 	// device), it runs the full batch: weight streaming dominates and a
 	// larger batch amortizes it. Both reproduce the paper's measured
 	// points.
-	fit, err := runSingle(cfg, SmallBatch, hw, true)
+	fit, err := runSingle(cfg, SmallBatch, topo, true)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -157,7 +164,7 @@ func runSwap(cfg models.Config, hw sim.HW) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	res := sim.RunSwap(sh, hw, batch)
+	res := sim.RunSwap(sh, topo, batch)
 	return Outcome{
 		System: Swap, Model: m.Name, Batch: batch,
 		Throughput: res.Throughput, IterSeconds: res.IterSeconds,
@@ -168,7 +175,7 @@ func runSwap(cfg models.Config, hw sim.HW) (Outcome, error) {
 
 // --- operator placement ------------------------------------------------
 
-func runPlacement(cfg models.Config, hw sim.HW, tf bool) (Outcome, error) {
+func runPlacement(cfg models.Config, topo sim.Topology, tf bool) (Outcome, error) {
 	sys := OpPlacement
 	if tf {
 		sys = TFOpPlacement
@@ -179,7 +186,7 @@ func runPlacement(cfg models.Config, hw sim.HW, tf bool) (Outcome, error) {
 		if err != nil {
 			return Outcome{}, err
 		}
-		res, err := sim.RunPipeline(m.G, hw, batch, sim.PipelineOptions{TFMode: tf})
+		res, err := sim.RunPipeline(m.G, topo, batch, sim.PipelineOptions{TFMode: tf})
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -202,7 +209,7 @@ func runPlacement(cfg models.Config, hw sim.HW, tf bool) (Outcome, error) {
 
 // --- partitioned family -----------------------------------------------
 
-func runPartitioned(cfg models.Config, sys System, hw sim.HW, so SearchOptions) (Outcome, error) {
+func runPartitioned(cfg models.Config, sys System, topo sim.Topology, so SearchOptions) (Outcome, error) {
 	if so.Cache == nil {
 		// Batch-halving retries rebuild the model with divided shapes;
 		// sharing one cache across them still deduplicates the shapes that
@@ -215,7 +222,7 @@ func runPartitioned(cfg models.Config, sys System, hw sim.HW, so SearchOptions) 
 		if err != nil {
 			return Outcome{}, err
 		}
-		p, err := PlanForOpts(m, sys, int64(hw.NumGPUs), so)
+		p, err := PlanForOn(m, sys, topo, so)
 		if err != nil {
 			// Heuristics can be infeasible (e.g. AllRow-Greedy on a batch
 			// already smaller than the worker count).
@@ -229,7 +236,7 @@ func runPartitioned(cfg models.Config, sys System, hw sim.HW, so SearchOptions) 
 		if err != nil {
 			return Outcome{}, err
 		}
-		res := sim.Run(sh, hw, batch, memplan.DefaultOptions(), sim.RunOptions{})
+		res := sim.Run(sh, topo, batch, memplan.DefaultOptions(), sim.RunOptions{})
 		out := Outcome{
 			System: sys, Model: m.Name, Batch: batch,
 			Throughput: res.Throughput, IterSeconds: res.IterSeconds,
@@ -248,19 +255,42 @@ func runPartitioned(cfg models.Config, sys System, hw sim.HW, so SearchOptions) 
 	}
 }
 
-// PlanFor produces the partition plan a given algorithm finds for a model.
+// PlanFor produces the partition plan a given algorithm finds for a model
+// on a flat k-worker machine.
 func PlanFor(m *models.Model, sys System, k int64) (*plan.Plan, error) {
 	return PlanForOpts(m, sys, k, SearchOptions{})
 }
 
-// PlanForOpts is PlanFor with explicit search options. Strategy pricing is
-// filter-independent (filters restrict a cached full enumeration), so one
-// cache can serve every algorithm variant over the same model.
+// PlanForOpts is PlanFor with explicit search options.
 func PlanForOpts(m *models.Model, sys System, k int64, so SearchOptions) (*plan.Plan, error) {
-	base := recursive.Options{Parallelism: so.Parallelism, Cache: so.Cache}
+	return planFor(m, sys, k, nil, so)
+}
+
+// PlanForOn plans on an explicit machine: hierarchical topologies make
+// Tofu's search topology-aware (bandwidth-weighted factor-to-level
+// ordering), and every plan comes back annotated with the interconnect
+// level each step crosses. Strategy pricing is filter-independent (filters
+// restrict a cached full enumeration), so one cache can serve every
+// algorithm variant over the same model.
+func PlanForOn(m *models.Model, sys System, topo sim.Topology, so SearchOptions) (*plan.Plan, error) {
+	return planFor(m, sys, int64(topo.NumGPUs()), &topo, so)
+}
+
+func planFor(m *models.Model, sys System, k int64, topo *sim.Topology, so SearchOptions) (*plan.Plan, error) {
+	base := recursive.Options{Parallelism: so.Parallelism, Cache: so.Cache, Topology: topo}
+	annotate := func(p *plan.Plan, err error) (*plan.Plan, error) {
+		if err == nil && topo != nil {
+			topo.AssignLevels(p)
+		}
+		return p, err
+	}
 	switch sys {
 	case Tofu:
 		return recursive.Partition(m.G, k, base)
+	case HierNaive:
+		opts := base
+		opts.TopologyNaive = true
+		return recursive.Partition(m.G, k, opts)
 	case ICML18:
 		// The ICML18 DP lacks output-reduction strategies (Sec 7.3).
 		opts := base
@@ -275,9 +305,9 @@ func PlanForOpts(m *models.Model, sys System, k int64, so SearchOptions) (*plan.
 		opts.Factors = []int64{k}
 		return recursive.Partition(m.G, k, opts)
 	case AllRowGreedy:
-		return heuristicPlan(m, k, so, allRowAssign)
+		return annotate(heuristicPlan(m, k, so, allRowAssign))
 	case Spartan:
-		return heuristicPlan(m, k, so, spartanAssign)
+		return annotate(heuristicPlan(m, k, so, spartanAssign))
 	default:
 		return nil, fmt.Errorf("baselines: %q is not a partition algorithm", sys)
 	}

@@ -27,8 +27,24 @@ type Options struct {
 	Gen graphgen.Options
 	// Mem configures the per-worker memory planner.
 	Mem memplan.Options
-	// HW overrides the simulated machine (DefaultHW when zero).
-	HW *sim.HW
+	// Topology overrides the simulated machine (DefaultTopology when nil)
+	// and, when hierarchical, switches the search into topology-aware mode.
+	Topology *sim.Topology
+}
+
+// SetHW is the flat-machine compatibility setter: it wraps an HW into a
+// single-level topology.
+func (o *Options) SetHW(hw sim.HW) {
+	t := sim.FlatTopology(hw)
+	o.Topology = &t
+}
+
+// topology resolves the effective machine.
+func (o Options) topology() sim.Topology {
+	if o.Topology != nil {
+		return *o.Topology
+	}
+	return sim.DefaultTopology()
 }
 
 // DefaultOptions matches the full system.
@@ -61,10 +77,26 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	search := opts.Search
+	if search.Topology == nil && opts.Topology != nil && int64(opts.Topology.NumGPUs()) == k {
+		// A hierarchical machine makes the search topology-aware; a flat one
+		// (or an explicit Search.Topology) changes nothing. Partitioning for
+		// a different worker count than the simulated machine stays legal —
+		// the search just runs topology-blind, as before.
+		search.Topology = opts.Topology
+	}
 	start := time.Now()
-	p, err := recursive.Partition(g, k, opts.Search)
+	p, err := recursive.Partition(g, k, search)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Topology != nil {
+		// Plans the search could not annotate (k != the machine's GPU count,
+		// so the topology-aware mode stayed off) still run on the real
+		// machine: give them the blind cyclic-placement layout so the
+		// simulator prices their transfers at the levels they actually
+		// cross. Annotated plans are left untouched.
+		opts.Topology.AssignLevels(p)
 	}
 	elapsed := time.Since(start)
 	sh, err := graphgen.Generate(g, p, opts.Gen)
@@ -83,11 +115,10 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 }
 
 // Simulate runs one training iteration of the partitioned graph on the
-// simulated machine and reports timing, throughput and memory.
-func Simulate(s *Summary, batch int64, opts Options) sim.Result {
-	hw := sim.DefaultHW()
-	if opts.HW != nil {
-		hw = *opts.HW
-	}
-	return sim.Run(s.Sharded, hw, batch, opts.Mem, sim.RunOptions{})
+// simulated machine and reports timing, throughput and memory. RunOptions
+// are forwarded to the simulator instead of silently passing the zero value
+// (DisableComm for compute-only breakdowns, Replicas for data-parallel
+// baselines).
+func Simulate(s *Summary, batch int64, opts Options, ro sim.RunOptions) sim.Result {
+	return sim.Run(s.Sharded, opts.topology(), batch, opts.Mem, ro)
 }

@@ -30,7 +30,7 @@ func TestPartitionEndToEnd(t *testing.T) {
 	if s.Memory.PeakBytes <= 0 {
 		t.Fatal("no memory report")
 	}
-	res := Simulate(s, m.Batch, DefaultOptions())
+	res := Simulate(s, m.Batch, DefaultOptions(), sim.RunOptions{})
 	if res.Throughput <= 0 {
 		t.Fatal("no throughput")
 	}
@@ -72,11 +72,45 @@ func TestSimulateWithCustomHW(t *testing.T) {
 	fast := sim.DefaultHW()
 	fast.PeakFLOPS *= 10
 	opts := DefaultOptions()
-	opts.HW = &fast
-	quick := Simulate(s, m.Batch, opts)
-	slow := Simulate(s, m.Batch, DefaultOptions())
+	opts.SetHW(fast)
+	quick := Simulate(s, m.Batch, opts, sim.RunOptions{})
+	slow := Simulate(s, m.Batch, DefaultOptions(), sim.RunOptions{})
 	if quick.IterSeconds >= slow.IterSeconds {
 		t.Fatalf("10x faster GPUs should be faster: %g vs %g", quick.IterSeconds, slow.IterSeconds)
+	}
+}
+
+func TestSubMachinePlanGetsBlindLayout(t *testing.T) {
+	// Partitioning for fewer workers than the machine has GPUs keeps the
+	// search topology-blind, but the plan must still be annotated with the
+	// cyclic-placement layout: 8 workers on the 2x8 cluster sit 4 per node,
+	// so the last recursive step crosses Ethernet and must not be priced at
+	// PCIe speed.
+	m, err := models.RNN(2, 1024, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := sim.Cluster2x8Topology()
+	opts := DefaultOptions()
+	opts.Topology = &cl
+	s, err := Partition(m.G, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossesEthernet := false
+	for _, st := range s.Plan.Steps {
+		if st.Level == len(cl.Levels)-1 {
+			crossesEthernet = true
+		}
+	}
+	if !crossesEthernet {
+		t.Fatalf("sub-machine plan never crosses the outermost level: %+v", s.Plan.Steps)
+	}
+	onCluster := Simulate(s, m.Batch, opts, sim.RunOptions{})
+	onFlat := Simulate(s, m.Batch, DefaultOptions(), sim.RunOptions{})
+	if onCluster.CommSeconds <= onFlat.CommSeconds {
+		t.Fatalf("Ethernet-crossing step priced too fast: %g vs flat %g",
+			onCluster.CommSeconds, onFlat.CommSeconds)
 	}
 }
 

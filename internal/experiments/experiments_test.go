@@ -11,7 +11,7 @@ import (
 func quick() Opts { return Opts{Quick: true, FlatBudget: 2 * time.Second} }
 
 func TestTable1Quick(t *testing.T) {
-	out, err := Table1(quick())
+	out, err := Table1(quick(), sim.DefaultTopology())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestTable2Quick(t *testing.T) {
 }
 
 func TestTable3Quick(t *testing.T) {
-	out, err := Table3(quick(), sim.DefaultHW())
+	out, err := Table3(quick(), sim.DefaultTopology())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestTable3Quick(t *testing.T) {
 }
 
 func TestFigure8Quick(t *testing.T) {
-	out, err := Figure8(quick(), sim.DefaultHW())
+	out, err := Figure8(quick(), sim.DefaultTopology())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestFigure8Quick(t *testing.T) {
 }
 
 func TestFigure9Quick(t *testing.T) {
-	out, err := Figure9(quick(), sim.DefaultHW())
+	out, err := Figure9(quick(), sim.DefaultTopology())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestFigure9Quick(t *testing.T) {
 }
 
 func TestFigure10Quick(t *testing.T) {
-	out, err := Figure10(quick(), sim.DefaultHW())
+	out, err := Figure10(quick(), sim.DefaultTopology())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,8 +92,20 @@ func TestFigure11Quick(t *testing.T) {
 	}
 }
 
+func TestCrossTopologyQuick(t *testing.T) {
+	out, err := CrossTopology(quick(), sim.DefaultTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"p2.8xlarge", "dgx1", "cluster-2x8", "tofu", "equalchop", "hier-naive", "@pcie"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("cross-topology sweep missing %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestAblationsQuick(t *testing.T) {
-	out, err := Ablations(quick(), sim.DefaultHW())
+	out, err := Ablations(quick(), sim.DefaultTopology())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,7 +35,7 @@ func DefaultOpts() Opts { return Opts{FlatBudget: 20 * time.Second} }
 // (WResNet-152 and RNN-10): the original DP is inapplicable to non-linear
 // fine-grained graphs, the coarsened-but-flat DP explodes, recursion
 // finishes in seconds.
-func Table1(o Opts) (string, error) {
+func Table1(o Opts, topo sim.Topology) (string, error) {
 	t := &table{header: []string{"search algorithm", "WResNet-152", "RNN-10"}}
 	cfgs := []models.Config{
 		{Family: "wresnet", Depth: 152, Width: 10, Batch: 8},
@@ -59,9 +59,11 @@ func Table1(o Opts) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		// Recursion (the Tofu algorithm).
+		// Recursion (the Tofu algorithm; topology-aware on hierarchical
+		// machines, where the ordering search multiplies the DP runs).
+		k := int64(topo.NumGPUs())
 		start := time.Now()
-		if _, err := recursive.Partition(m.G, 8, recursive.Options{Parallelism: o.Parallelism}); err != nil {
+		if _, err := recursive.Partition(m.G, k, recursive.Options{Parallelism: o.Parallelism, Topology: &topo}); err != nil {
 			return "", err
 		}
 		recCells[i] = time.Since(start).Round(time.Millisecond).String()
@@ -79,8 +81,8 @@ func Table1(o Opts) (string, error) {
 		if budget == 0 {
 			budget = 20 * time.Second
 		}
-		rep, err := dp.SolveFlat(&dp.Problem{Coarse: c, K: 8, Shapes: shapes, DType: shape.Float32},
-			[]int64{2, 2, 2}, budget)
+		rep, err := dp.SolveFlat(&dp.Problem{Coarse: c, K: k, Shapes: shapes, DType: shape.Float32},
+			recursive.Factorize(k), budget)
 		if err != nil {
 			return "", err
 		}
@@ -95,7 +97,7 @@ func Table1(o Opts) (string, error) {
 	t.add("Original DP [ICML18]", "n/a (graph not linear)", "n/a (graph not linear)")
 	t.add("DP with coarsening", flatCells[0], flatCells[1])
 	t.add("Using recursion (Tofu)", recCells[0], recCells[1])
-	return "Table 1: partition search time, 8 workers\n" + t.String(), nil
+	return fmt.Sprintf("Table 1: partition search time, %d workers\n", topo.NumGPUs()) + t.String(), nil
 }
 
 // Table2 reproduces "Total weight tensor sizes (GB)" — weight + gradient +
@@ -152,7 +154,7 @@ func addWeightRow(t *table, m *models.Model, paper map[string]float64) {
 
 // Table3 reproduces the RNN framework comparison at hidden size 4096:
 // Tofu vs MXNet operator placement vs TensorFlow operator placement.
-func Table3(o Opts, hw sim.HW) (string, error) {
+func Table3(o Opts, topo sim.Topology) (string, error) {
 	t := &table{header: []string{"system", "RNN-6", "RNN-8", "RNN-10"}}
 	layers := []int{6, 8, 10}
 	hidden := int64(4096)
@@ -177,7 +179,7 @@ func Table3(o Opts, hw sim.HW) (string, error) {
 		sys, l := systems[i/len(layers)], layers[i%len(layers)]
 		out, err := baselines.EvaluateWith(models.Config{
 			Family: "rnn", Depth: l, Width: hidden, Batch: batch,
-		}, sys, hw, so)
+		}, sys, topo, so)
 		if err != nil {
 			return err
 		}

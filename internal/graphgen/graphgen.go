@@ -63,6 +63,12 @@ type OpShard struct {
 	// OutCommBytes is the per-worker output redistribution/reduction
 	// traffic.
 	OutCommBytes float64
+	// FetchByLevel/OutByLevel break the same traffic down by the
+	// interconnect level whose links it crosses (indexed by the plan steps'
+	// Level annotations; flat plans put everything at level 0). The
+	// simulator prices each bucket at its level's bandwidth.
+	FetchByLevel []float64
+	OutByLevel   []float64
 }
 
 // Sharded is the per-worker execution structure for a k-way plan.
@@ -103,11 +109,19 @@ func Generate(g *graph.Graph, p *plan.Plan, opts Options) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
+	levels := 1
+	for _, s := range p.Steps {
+		if s.Level+1 > levels {
+			levels = s.Level + 1
+		}
+	}
 	for _, n := range nodes {
 		os := OpShard{
-			Node:     n,
-			FLOPs:    graph.NodeFLOPs(n) / kf,
-			MemBytes: float64(graph.MemBytes(n)) / kf,
+			Node:         n,
+			FLOPs:        graph.NodeFLOPs(n) / kf,
+			MemBytes:     float64(graph.MemBytes(n)) / kf,
+			FetchByLevel: make([]float64, levels),
+			OutByLevel:   make([]float64, levels),
 		}
 		if fs, ok := p.FinalShapes[n.Output.ID]; ok {
 			os.OutShard = fs
@@ -132,17 +146,23 @@ func Generate(g *graph.Graph, p *plan.Plan, opts Options) (*Sharded, error) {
 				continue
 			}
 			os.FetchBytes += parts.InBytes / kf
+			os.FetchByLevel[s.Level] += parts.InBytes / kf
 			if opts.SpreadReduction {
 				os.OutCommBytes += parts.OutBytes / kf
+				os.OutByLevel[s.Level] += parts.OutBytes / kf
 			} else {
 				// All partial outputs funnel through one aggregator link.
 				os.OutCommBytes += parts.OutBytes
+				os.OutByLevel[s.Level] += parts.OutBytes
 			}
 		}
 		os.KernelRows = rows
 		if !opts.MultiFetch {
 			// Staged split/copy/concatenate moves the fetched region twice.
 			os.FetchBytes *= 2
+			for l := range os.FetchByLevel {
+				os.FetchByLevel[l] *= 2
+			}
 		}
 		sh.TotalFetchBytes += os.FetchBytes
 		sh.TotalOutBytes += os.OutCommBytes

@@ -18,9 +18,12 @@ type Export struct {
 
 // StepExport is one basic partition plan.
 type StepExport struct {
-	Ways       int64            `json:"ways"`
-	Multiplier int64            `json:"multiplier"`
-	CommBytes  float64          `json:"comm_bytes"`
+	Ways       int64   `json:"ways"`
+	Multiplier int64   `json:"multiplier"`
+	CommBytes  float64 `json:"comm_bytes"`
+	// Level is the interconnect tier the step's communication crosses;
+	// omitted for flat plans, so their JSON is unchanged.
+	Level      int              `json:"level,omitempty"`
 	TensorCut  map[string]int   `json:"tensor_cut"` // tensor ID (decimal) -> dim
 	OpStrategy map[string]strat `json:"op_strategy"`
 }
@@ -36,7 +39,7 @@ func (p *Plan) ToExport() Export {
 	ex := Export{Workers: p.K, TotalCommBytes: p.TotalComm()}
 	for _, s := range p.Steps {
 		se := StepExport{
-			Ways: s.K, Multiplier: s.Multiplier, CommBytes: s.CommBytes,
+			Ways: s.K, Multiplier: s.Multiplier, CommBytes: s.CommBytes, Level: s.Level,
 			TensorCut:  make(map[string]int, len(s.TensorCut)),
 			OpStrategy: make(map[string]strat, len(s.OpStrategy)),
 		}

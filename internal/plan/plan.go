@@ -34,6 +34,12 @@ type Step struct {
 	// shapes, which by Lemma 1's linearity equals Multiplier · cost(p_i at
 	// the step's divided shapes) — δ_i directly.
 	CommBytes float64
+	// Level is the interconnect tier this step's communication crosses
+	// (index into the topology's levels, 0 = innermost/fastest). Flat
+	// machines and topology-blind searches leave it 0; the topology-aware
+	// search and sim.Topology.AssignLevels set it, and the simulator prices
+	// the step's transfers at that level's bandwidth.
+	Level int
 	// States/Configs record search effort (Table 1).
 	States, Configs int
 }

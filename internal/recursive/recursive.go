@@ -9,6 +9,7 @@ package recursive
 
 import (
 	"fmt"
+	"sort"
 
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
@@ -16,6 +17,7 @@ import (
 	"tofu/internal/partition"
 	"tofu/internal/plan"
 	"tofu/internal/shape"
+	"tofu/internal/topo"
 )
 
 // Options tune the search.
@@ -41,6 +43,21 @@ type Options struct {
 	// model (nil = one fresh cache per Partition call, which still
 	// deduplicates pricing across this search's steps).
 	Cache *dp.PriceCache
+	// Topology switches the search into topology-driven mode on hierarchical
+	// machines: the factor sequence is derived from the level group sizes,
+	// every candidate factor-to-level ordering is searched, each step's DP
+	// cost is weighted by its level's bandwidth, and the winning plan's
+	// steps carry their level annotations. Single-level topologies (and nil)
+	// reduce exactly to the flat algorithm. When Factors is also set, the
+	// factors win and the resulting steps are annotated with the
+	// topology-blind layout instead (topo.Topology.AssignLevels).
+	Topology *topo.Topology
+	// TopologyNaive skips the ordering search: the factor sequence follows
+	// the hierarchy innermost first with no bandwidth weighting — the layout
+	// a topology-blind runtime gets from the scheduler's default cyclic rank
+	// placement, and the hierarchical-naive baseline of the cross-topology
+	// experiments.
+	TopologyNaive bool
 }
 
 // Partition searches for the best partition plan of a training graph across
@@ -50,6 +67,15 @@ type Options struct {
 func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("recursive: worker count %d invalid", k)
+	}
+	if opts.Topology != nil {
+		if got := int64(opts.Topology.NumGPUs()); got != k {
+			return nil, fmt.Errorf("recursive: topology %q has %d GPUs, want %d workers",
+				opts.Topology.Name, got, k)
+		}
+		if opts.Topology.Hierarchical() && opts.Factors == nil {
+			return partitionTopo(g, k, *opts.Topology, opts)
+		}
 	}
 	factors := opts.Factors
 	if factors == nil {
@@ -70,6 +96,27 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = dp.NewPriceCache()
+	}
+	p, err := runSteps(g, c, k, factors, nil, opts, cache)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Topology != nil {
+		// Explicit-factor searches (EqualChop's single chop) still run on
+		// the real machine: annotate the topology-blind layout.
+		opts.Topology.AssignLevels(p)
+	}
+	return p, nil
+}
+
+// runSteps runs the per-factor DP sequence — the body of the recursive
+// algorithm. levels, when non-nil, annotates each step with the interconnect
+// level its communication crosses.
+func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, levels []int,
+	opts Options, cache *dp.PriceCache) (*plan.Plan, error) {
 
 	// Current (progressively divided) shape of every tensor.
 	shapes := make(map[int]shape.Shape, len(g.Tensors))
@@ -77,16 +124,9 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 		shapes[t.ID] = t.Shape.Clone()
 	}
 
-	// One cache serves every factor step: pricing happens once at original
-	// shapes (Lemma 1) instead of once per dp.Solve call.
-	cache := opts.Cache
-	if cache == nil {
-		cache = dp.NewPriceCache()
-	}
-
 	p := &plan.Plan{K: k, FinalShapes: shapes}
 	mult := int64(1)
-	for _, ki := range factors {
+	for i, ki := range factors {
 		res, err := dp.Solve(&dp.Problem{
 			Coarse:         c,
 			K:              ki,
@@ -111,6 +151,9 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 			States:     res.States,
 			Configs:    res.Configs,
 		}
+		if levels != nil {
+			step.Level = levels[i]
+		}
 		p.Steps = append(p.Steps, step)
 		mult *= ki
 
@@ -125,6 +168,191 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// factorLevel is one recursive factor bound to the interconnect level whose
+// links its step's communication crosses.
+type factorLevel struct {
+	f     int64
+	level int
+}
+
+// partitionTopo is the topology-driven search: derive the factor multiset
+// from the level group sizes, try every distinct factor-to-level ordering
+// (each step's per-step DP optimum is weight-invariant — Theorems 1-3 apply
+// per step — but the ordering changes the shapes later steps see), and pick
+// the ordering minimizing bandwidth-weighted communication time
+// Σ δ_i / B(level_i). That puts the communication-heavy steps on the fastest
+// links. All orderings share one pricing cache, so the extra DP runs reuse
+// every strategy pricing.
+func partitionTopo(g *graph.Graph, k int64, topo topo.Topology, opts Options) (*plan.Plan, error) {
+	c, err := coarsen.Coarsen(g)
+	if err != nil {
+		return nil, err
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = dp.NewPriceCache()
+	}
+	orderings := topoOrderings(topo, opts.TopologyNaive)
+	var (
+		best     *plan.Plan
+		bestCost float64
+		firstErr error
+	)
+	for _, ord := range orderings {
+		factors := make([]int64, len(ord))
+		levels := make([]int, len(ord))
+		for i, fl := range ord {
+			factors[i] = fl.f
+			levels[i] = fl.level
+		}
+		p, err := runSteps(g, c, k, factors, levels, opts, cache)
+		if err != nil {
+			// Some orderings are infeasible (a dimension exhausted too
+			// early); they simply drop out of the search.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cost := weightedComm(p, topo)
+		if best == nil || cost < bestCost {
+			best, bestCost = p, cost
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("recursive: no feasible factor-to-level ordering for topology %q: %w",
+			topo.Name, firstErr)
+	}
+	return best, nil
+}
+
+// weightedComm is the topology objective: per-step communication divided by
+// the bandwidth of the level it crosses — a time, not a byte count.
+func weightedComm(p *plan.Plan, topo topo.Topology) float64 {
+	t := 0.0
+	for _, s := range p.Steps {
+		t += s.CommBytes / topo.LevelBandwidth(s.Level)
+	}
+	return t
+}
+
+// maxTopoOrderings bounds the full multiset-permutation enumeration; above
+// it the search falls back to level-block orderings (every permutation of
+// whole levels, factors contiguous within each level).
+const maxTopoOrderings = 96
+
+// topoOrderings enumerates candidate factor-to-level sequences. naive yields
+// the single hierarchy-following layout a topology-blind runtime produces
+// (see topo.Topology.AssignLevels): levels innermost first, factors
+// largest-first inside each level — which, by Theorem 2's monotone deltas,
+// parks the heaviest step on the slowest links. The enumeration is
+// deterministic, so the chosen plan is reproducible.
+func topoOrderings(topo topo.Topology, naive bool) [][]factorLevel {
+	var pool []factorLevel
+	for li := range topo.Levels {
+		for _, f := range Factorize(topo.Levels[li].GroupSize) {
+			pool = append(pool, factorLevel{f: f, level: li})
+		}
+	}
+	if naive || len(pool) <= 1 {
+		return [][]factorLevel{pool}
+	}
+
+	perms := multisetPerms(pool, maxTopoOrderings)
+	if perms != nil {
+		return perms
+	}
+
+	// Too many factor-level permutations: permute whole levels only.
+	var blocks [][]factorLevel
+	for li := range topo.Levels {
+		var b []factorLevel
+		for _, f := range Factorize(topo.Levels[li].GroupSize) {
+			b = append(b, factorLevel{f: f, level: li})
+		}
+		if len(b) > 0 {
+			blocks = append(blocks, b)
+		}
+	}
+	var out [][]factorLevel
+	permuteBlocks(blocks, nil, &out)
+	return out
+}
+
+// multisetPerms lists the distinct permutations of the pool, or nil when
+// there would be more than max.
+func multisetPerms(pool []factorLevel, max int) [][]factorLevel {
+	// Count multiplicities over the distinct elements, sorted for
+	// determinism.
+	type entry struct {
+		fl    factorLevel
+		count int
+	}
+	var uniq []entry
+	for _, fl := range pool {
+		found := false
+		for i := range uniq {
+			if uniq[i].fl == fl {
+				uniq[i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			uniq = append(uniq, entry{fl: fl, count: 1})
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].fl.level != uniq[j].fl.level {
+			return uniq[i].fl.level < uniq[j].fl.level
+		}
+		return uniq[i].fl.f > uniq[j].fl.f
+	})
+
+	// Drawing each position from the distinct entries with counted
+	// multiplicities emits every distinct permutation exactly once.
+	var out [][]factorLevel
+	cur := make([]factorLevel, 0, len(pool))
+	var dfs func() bool
+	dfs = func() bool {
+		if len(cur) == len(pool) {
+			out = append(out, append([]factorLevel(nil), cur...))
+			return len(out) <= max
+		}
+		for i := range uniq {
+			if uniq[i].count == 0 {
+				continue
+			}
+			uniq[i].count--
+			cur = append(cur, uniq[i].fl)
+			ok := dfs()
+			cur = cur[:len(cur)-1]
+			uniq[i].count++
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !dfs() {
+		return nil
+	}
+	return out
+}
+
+func permuteBlocks(blocks [][]factorLevel, cur []factorLevel, out *[][]factorLevel) {
+	if len(blocks) == 0 {
+		*out = append(*out, append([]factorLevel(nil), cur...))
+		return
+	}
+	for i := range blocks {
+		rest := make([][]factorLevel, 0, len(blocks)-1)
+		rest = append(rest, blocks[:i]...)
+		rest = append(rest, blocks[i+1:]...)
+		permuteBlocks(rest, append(cur, blocks[i]...), out)
+	}
 }
 
 // Factorize decomposes k into its prime factors in non-increasing order

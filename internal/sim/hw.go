@@ -9,90 +9,27 @@
 package sim
 
 import (
-	"strings"
-
 	"tofu/internal/graphgen"
+	"tofu/internal/topo"
 )
 
-// HW describes the simulated machine.
-type HW struct {
-	NumGPUs     int
-	GPUMemBytes int64
-	// PeakFLOPS is the per-GPU fp32 peak; efficiency curves scale it down.
-	PeakFLOPS float64
-	// MemBW bounds element-wise/reduction kernels (bytes/s).
-	MemBW float64
-	// P2PBandwidth is the per-GPU PCIe peer bandwidth (bytes/s).
-	P2PBandwidth float64
-	// HostBandwidth is the CPU link all GPUs share (bytes/s) — the swap
-	// baseline's bottleneck.
-	HostBandwidth float64
-	// KernelOverhead is the fixed launch latency per kernel (seconds).
-	KernelOverhead float64
-
-	// Efficiency curve parameters: eff = Max * rows / (rows + Half).
-	MatmulMaxEff   float64
-	MatmulHalfRows float64
-	ConvMaxEff     float64
-	ConvHalfBatch  float64
-	// SwapOverlap is the fraction of swap transfer hidden behind compute
-	// (the baseline's prefetcher, Sec 7.1).
-	SwapOverlap float64
-	// PipelineSyncOverhead is the scheduling/synchronization latency added
-	// to every cross-GPU activation hand-off in operator placement.
-	PipelineSyncOverhead float64
-}
+// HW describes a flat simulated machine: the per-GPU compute parameters plus
+// one uniform peer link. It lives in the topo package as the per-GPU half of
+// a Topology; sim re-exports it and keeps the kernel cost model on top.
+type HW = topo.HW
 
 // DefaultHW is calibrated to the paper's p2.8xlarge: per-GPU throughput in
 // the ballpark of a K80 GK210 (~4.4 TFLOPS peak, ~240 GB/s HBM), 21 GB/s
 // peer-to-peer, 10 GB/s host link shared by all eight GPUs.
-func DefaultHW() HW {
-	return HW{
-		NumGPUs:              8,
-		GPUMemBytes:          12 << 30,
-		PeakFLOPS:            5.1e12,
-		MemBW:                240e9,
-		P2PBandwidth:         21e9,
-		HostBandwidth:        10e9,
-		KernelOverhead:       20e-6,
-		MatmulMaxEff:         0.80,
-		MatmulHalfRows:       200,
-		ConvMaxEff:           0.65,
-		ConvHalfBatch:        2,
-		SwapOverlap:          0.7,
-		PipelineSyncOverhead: 10e-3,
-	}
-}
-
-// kernelClass buckets operators by their performance regime.
-type kernelClass int
-
-const (
-	classMatmul kernelClass = iota
-	classConv
-	classMemBound
-)
-
-func classify(op string) kernelClass {
-	switch {
-	case strings.HasPrefix(op, "matmul"):
-		return classMatmul
-	case strings.HasPrefix(op, "conv"):
-		return classConv
-	case strings.HasPrefix(op, "batch_"): // batched dense linear algebra
-		return classMatmul
-	default:
-		return classMemBound
-	}
-}
+func DefaultHW() HW { return topo.DefaultHW() }
 
 // Eff returns the fraction of peak FLOPS a kernel achieves given its class
 // and leading output extent (rows for matmul, batch for conv).
-func (hw HW) Eff(class kernelClass, rows float64) float64 {
+func Eff(hw HW, class KernelClass, rows float64) float64 {
 	switch class {
-	case classMatmul:
+	case ClassMatmul:
 		return hw.MatmulMaxEff * rows / (rows + hw.MatmulHalfRows)
-	case classConv:
+	case ClassConv:
 		return hw.ConvMaxEff * rows / (rows + hw.ConvHalfBatch)
 	default:
 		return 1
@@ -101,8 +38,8 @@ func (hw HW) Eff(class kernelClass, rows float64) float64 {
 
 // KernelTime prices one operator shard on a GPU: the max of its
 // compute-bound and memory-bound times plus launch overhead.
-func (hw HW) KernelTime(os graphgen.OpShard) float64 {
-	class := classify(os.Node.Op)
+func KernelTime(hw HW, os graphgen.OpShard) float64 {
+	class := Classify(os.Node.Op)
 	rows := os.KernelRows
 	if rows <= 0 {
 		rows = 1
@@ -111,10 +48,10 @@ func (hw HW) KernelTime(os graphgen.OpShard) float64 {
 		}
 	}
 	var compute float64
-	if class == classMemBound {
+	if class == ClassMemBound {
 		compute = 0 // bandwidth term dominates below
 	} else {
-		compute = os.FLOPs / (hw.PeakFLOPS * hw.Eff(class, rows))
+		compute = os.FLOPs / (hw.PeakFLOPS * Eff(hw, class, rows))
 	}
 	mem := os.MemBytes / hw.MemBW
 	t := compute

@@ -28,8 +28,11 @@ type PipelineOptions struct {
 // RNN training graph. Cells are identified by their UnrollTag/Timestep;
 // cell (t,l) depends on (t-1,l) and (t,l-1) forward, and the reverse plus
 // its forward state backward. Activations between layers on different GPUs
-// cross the PCIe link.
-func RunPipeline(g *graph.Graph, hw HW, batch int64, opts PipelineOptions) (Result, error) {
+// cross whatever interconnect level separates those GPUs — the PCIe link on
+// the flat machine, the slower tier when round-robin placement straddles an
+// island or node boundary.
+func RunPipeline(g *graph.Graph, topo Topology, batch int64, opts PipelineOptions) (Result, error) {
+	hw := topo.HW
 	var res Result
 	sh, err := graphgen.Single(g)
 	if err != nil {
@@ -79,7 +82,7 @@ func RunPipeline(g *graph.Graph, hw HW, batch int64, opts PipelineOptions) (Resu
 	}
 	for _, os := range sh.Ops {
 		n := os.Node
-		kt := hw.KernelTime(os) * overhead
+		kt := KernelTime(hw, os) * overhead
 		if n.UnrollTag == "" {
 			if n.Output.Kind == graph.Gradient || n.Op == "adam_update" || n.Op == "sgd_update" {
 				tailTime += kt
@@ -104,7 +107,12 @@ func RunPipeline(g *graph.Graph, hw HW, batch int64, opts PipelineOptions) (Resu
 			break
 		}
 	}
-	xfer := hBytes/hw.P2PBandwidth + hw.PipelineSyncOverhead
+	// Hand-off cost between two layers' GPUs, priced at the narrowest
+	// interconnect level between them (on the flat machine: always the peer
+	// link, exactly the old global xfer).
+	xferBetween := func(la, lb int) float64 {
+		return hBytes/topo.LinkBandwidth(gpuOf(la), gpuOf(lb)) + hw.PipelineSyncOverhead
+	}
 
 	gpuFree := make([]float64, hw.NumGPUs)
 	finish := map[cellKey]float64{}
@@ -120,12 +128,13 @@ func RunPipeline(g *graph.Graph, hw HW, batch int64, opts PipelineOptions) (Resu
 		finish[k] = end
 		res.ComputeSeconds += cellTime[k]
 	}
-	dep := func(k cellKey, sameGPU bool) float64 {
+	dep := func(k cellKey, consumerLayer int, sameGPU bool) float64 {
 		f, ok := finish[k]
 		if !ok {
 			return 0
 		}
 		if !sameGPU {
+			xfer := xferBetween(k.l, consumerLayer)
 			f += xfer
 			res.CommSeconds += xfer
 		}
@@ -138,7 +147,7 @@ func RunPipeline(g *graph.Graph, hw HW, batch int64, opts PipelineOptions) (Resu
 		if l <= 0 || gpuOf(l-1) == gpuOf(l) {
 			return 0
 		}
-		return xfer
+		return xferBetween(l-1, l)
 	}
 
 	// Forward wavefront in anti-diagonal order (t+l ascending): by the time
@@ -152,8 +161,8 @@ func RunPipeline(g *graph.Graph, hw HW, batch int64, opts PipelineOptions) (Resu
 				continue
 			}
 			run(cellKey{l: l, t: t}, recvCost(l),
-				dep(cellKey{l: l, t: t - 1}, true),
-				dep(cellKey{l: l - 1, t: t}, l > 0 && gpuOf(l-1) == gpuOf(l)))
+				dep(cellKey{l: l, t: t - 1}, l, true),
+				dep(cellKey{l: l - 1, t: t}, l, l > 0 && gpuOf(l-1) == gpuOf(l)))
 		}
 	}
 	// Head (loss) on the last layer's GPU.
@@ -170,15 +179,15 @@ func RunPipeline(g *graph.Graph, hw HW, batch int64, opts PipelineOptions) (Resu
 				continue
 			}
 			deps := []float64{
-				dep(cellKey{l: l, t: t + 1, bwd: true}, true),
-				dep(cellKey{l: l + 1, t: t, bwd: true}, l+1 < layers && gpuOf(l+1) == gpuOf(l)),
+				dep(cellKey{l: l, t: t + 1, bwd: true}, l, true),
+				dep(cellKey{l: l + 1, t: t, bwd: true}, l, l+1 < layers && gpuOf(l+1) == gpuOf(l)),
 			}
 			if t == steps-1 && l == layers-1 {
 				deps = append(deps, headDone)
 			}
 			extra := 0.0
 			if l+1 < layers && gpuOf(l+1) != gpuOf(l) {
-				extra = xfer
+				extra = xferBetween(l+1, l)
 			}
 			run(cellKey{l: l, t: t, bwd: true}, extra, deps...)
 		}

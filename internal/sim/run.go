@@ -35,11 +35,30 @@ type RunOptions struct {
 	Replicas int
 }
 
+// transferTime prices a per-level byte breakdown: each bucket crosses its
+// own interconnect tier, so each is priced at that tier's bandwidth. On a
+// single-level topology this is exactly bytes/P2PBandwidth.
+func transferTime(topo Topology, byLevel []float64, total float64) float64 {
+	if len(byLevel) == 0 {
+		return total / topo.LevelBandwidth(0)
+	}
+	t := 0.0
+	for l, b := range byLevel {
+		if b > 0 {
+			t += b / topo.LevelBandwidth(l)
+		}
+	}
+	return t
+}
+
 // Run simulates one training iteration of a sharded execution on one
 // (representative, symmetric) worker: a compute engine executes kernels in
 // topological order while a communication engine overlaps MultiFetch and
-// reduction transfers; producers gate consumers.
-func Run(sh *graphgen.Sharded, hw HW, batch int64, memOpts memplan.Options, ro RunOptions) Result {
+// reduction transfers; producers gate consumers. Each transfer is priced at
+// the bandwidth of the interconnect level it crosses (its plan step's level
+// annotation) — on a flat topology that is the single peer bandwidth.
+func Run(sh *graphgen.Sharded, topo Topology, batch int64, memOpts memplan.Options, ro RunOptions) Result {
+	hw := topo.HW
 	var res Result
 	res.Mem = memplan.Plan(sh, memOpts)
 	res.OOM = !res.Mem.Fits(hw.GPUMemBytes)
@@ -58,12 +77,12 @@ func Run(sh *graphgen.Sharded, hw HW, batch int64, memOpts memplan.Options, ro R
 		startReady := depReady
 		if !ro.DisableComm && os.FetchBytes > 0 {
 			fs := maxf(commFree, depReady)
-			fe := fs + os.FetchBytes/hw.P2PBandwidth
+			fe := fs + transferTime(topo, os.FetchByLevel, os.FetchBytes)
 			commFree = fe
 			res.CommSeconds += fe - fs
 			startReady = fe
 		}
-		kt := hw.KernelTime(os)
+		kt := KernelTime(hw, os)
 		cs := maxf(computeFree, startReady)
 		ce := cs + kt
 		computeFree = ce
@@ -72,7 +91,7 @@ func Run(sh *graphgen.Sharded, hw HW, batch int64, memOpts memplan.Options, ro R
 		avail := ce
 		if !ro.DisableComm && os.OutCommBytes > 0 {
 			rs := maxf(commFree, ce)
-			re := rs + os.OutCommBytes/hw.P2PBandwidth
+			re := rs + transferTime(topo, os.OutByLevel, os.OutCommBytes)
 			commFree = re
 			res.CommSeconds += re - rs
 			avail = re

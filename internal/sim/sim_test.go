@@ -24,7 +24,7 @@ func TestRunBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	hw := DefaultHW()
-	res := Run(singleSharded(t, m), hw, 64, memplan.DefaultOptions(), RunOptions{})
+	res := Run(singleSharded(t, m), FlatTopology(hw), 64, memplan.DefaultOptions(), RunOptions{})
 	if res.IterSeconds <= 0 || res.Throughput <= 0 {
 		t.Fatalf("degenerate result %+v", res)
 	}
@@ -42,8 +42,8 @@ func TestReplicasScaleThroughput(t *testing.T) {
 		t.Fatal(err)
 	}
 	hw := DefaultHW()
-	one := Run(singleSharded(t, m), hw, 32, memplan.DefaultOptions(), RunOptions{Replicas: 1})
-	eight := Run(singleSharded(t, m), hw, 32, memplan.DefaultOptions(), RunOptions{Replicas: 8})
+	one := Run(singleSharded(t, m), FlatTopology(hw), 32, memplan.DefaultOptions(), RunOptions{Replicas: 1})
+	eight := Run(singleSharded(t, m), FlatTopology(hw), 32, memplan.DefaultOptions(), RunOptions{Replicas: 8})
 	if eight.Throughput < one.Throughput*7.9 || eight.Throughput > one.Throughput*8.1 {
 		t.Fatalf("replicas scaling wrong: %g vs %g", eight.Throughput, one.Throughput)
 	}
@@ -63,8 +63,8 @@ func TestCommOverlapsButGates(t *testing.T) {
 		t.Fatal(err)
 	}
 	hw := DefaultHW()
-	with := Run(sh, hw, 64, memplan.DefaultOptions(), RunOptions{})
-	without := Run(sh, hw, 64, memplan.DefaultOptions(), RunOptions{DisableComm: true})
+	with := Run(sh, FlatTopology(hw), 64, memplan.DefaultOptions(), RunOptions{})
+	without := Run(sh, FlatTopology(hw), 64, memplan.DefaultOptions(), RunOptions{DisableComm: true})
 	if with.IterSeconds < without.IterSeconds {
 		t.Fatal("communication cannot speed execution up")
 	}
@@ -80,31 +80,31 @@ func TestCommOverlapsButGates(t *testing.T) {
 func TestKernelEfficiencyCurves(t *testing.T) {
 	hw := DefaultHW()
 	// Matmul efficiency grows with rows and saturates.
-	if hw.Eff(classMatmul, 64) >= hw.Eff(classMatmul, 512) {
+	if Eff(hw, ClassMatmul, 64) >= Eff(hw, ClassMatmul, 512) {
 		t.Fatal("matmul efficiency must grow with rows")
 	}
-	if hw.Eff(classMatmul, 1<<20) > hw.MatmulMaxEff {
+	if Eff(hw, ClassMatmul, 1<<20) > hw.MatmulMaxEff {
 		t.Fatal("matmul efficiency exceeds max")
 	}
 	// Conv stays efficient even at small batch (Sec 7.2): batch 8 within
 	// 25% of batch 128.
-	if hw.Eff(classConv, 8) < hw.Eff(classConv, 128)*0.75 {
+	if Eff(hw, ClassConv, 8) < Eff(hw, ClassConv, 128)*0.75 {
 		t.Fatal("conv efficiency collapsed at small batch")
 	}
 	// Element-wise kernels are memory-bound.
-	if hw.Eff(classMemBound, 1) != 1 {
+	if Eff(hw, ClassMemBound, 1) != 1 {
 		t.Fatal("mem-bound class should not scale FLOPs")
 	}
 }
 
 func TestClassify(t *testing.T) {
-	cases := map[string]kernelClass{
-		"matmul": classMatmul, "matmul_nt": classMatmul, "batch_cholesky": classMatmul,
-		"conv2d": classConv, "conv2d_bwd_weight": classConv,
-		"relu": classMemBound, "bn_mean": classMemBound,
+	cases := map[string]KernelClass{
+		"matmul": ClassMatmul, "matmul_nt": ClassMatmul, "batch_cholesky": ClassMatmul,
+		"conv2d": ClassConv, "conv2d_bwd_weight": ClassConv,
+		"relu": ClassMemBound, "bn_mean": ClassMemBound,
 	}
 	for op, want := range cases {
-		if got := classify(op); got != want {
+		if got := Classify(op); got != want {
 			t.Errorf("classify(%s) = %v, want %v", op, got, want)
 		}
 	}
@@ -117,7 +117,7 @@ func TestSwapFitsWithoutTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	hw := DefaultHW()
-	res := RunSwap(singleSharded(t, m), hw, 32)
+	res := RunSwap(singleSharded(t, m), FlatTopology(hw), 32)
 	if res.CommSeconds != 0 {
 		t.Fatalf("tiny model should not swap, traffic time %g", res.CommSeconds)
 	}
@@ -139,7 +139,7 @@ func TestSwapOverflowsGracefully(t *testing.T) {
 	if rep.Fits(hw.GPUMemBytes) {
 		t.Skipf("model unexpectedly fits (%d bytes)", rep.PeakBytes)
 	}
-	res := RunSwap(sh, hw, 512)
+	res := RunSwap(sh, FlatTopology(hw), 512)
 	if res.OOM {
 		t.Fatal("swap should enable execution")
 	}
@@ -157,7 +157,7 @@ func TestPipelineRNN(t *testing.T) {
 		t.Fatal(err)
 	}
 	hw := DefaultHW()
-	res, err := RunPipeline(m.G, hw, 64, PipelineOptions{})
+	res, err := RunPipeline(m.G, FlatTopology(hw), 64, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestPipelineRNN(t *testing.T) {
 	}
 	// Pipelining cannot beat perfect parallelism over the busiest GPU:
 	// with 4 layers on 8 GPUs, at most half the machine is busy.
-	ideal := Run(singleSharded(t, m), hw, 64, memplan.DefaultOptions(), RunOptions{Replicas: 8})
+	ideal := Run(singleSharded(t, m), FlatTopology(hw), 64, memplan.DefaultOptions(), RunOptions{Replicas: 8})
 	if res.Throughput >= ideal.Throughput {
 		t.Fatalf("pipeline %g must not reach ideal %g", res.Throughput, ideal.Throughput)
 	}
@@ -178,11 +178,11 @@ func TestPipelineTFModeSlower(t *testing.T) {
 		t.Fatal(err)
 	}
 	hw := DefaultHW()
-	mx, err := RunPipeline(m.G, hw, 64, PipelineOptions{})
+	mx, err := RunPipeline(m.G, FlatTopology(hw), 64, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tf, err := RunPipeline(m.G, hw, 64, PipelineOptions{TFMode: true})
+	tf, err := RunPipeline(m.G, FlatTopology(hw), 64, PipelineOptions{TFMode: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestPipelineNeedsUnrolledModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunPipeline(m.G, DefaultHW(), 8, PipelineOptions{}); err == nil {
+	if _, err := RunPipeline(m.G, DefaultTopology(), 8, PipelineOptions{}); err == nil {
 		t.Fatal("expected error for non-unrolled model")
 	}
 }
@@ -216,11 +216,11 @@ func TestPipelineMemoryImbalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	hw := DefaultHW()
-	r10, err := RunPipeline(m10.G, hw, 16, PipelineOptions{})
+	r10, err := RunPipeline(m10.G, FlatTopology(hw), 16, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := RunPipeline(m8.G, hw, 16, PipelineOptions{})
+	r8, err := RunPipeline(m8.G, FlatTopology(hw), 16, PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,9 +21,11 @@ import (
 //   - any memory block may spill, not just activations;
 //   - read-only tensors (weights, inputs, optimizer state) are copied to
 //     host once and dropped on eviction — only reloads cost;
-//   - all NumGPUs replicas share the host link, so each sees
-//     HostBandwidth/NumGPUs (the Sec 7.2 bottleneck).
-func RunSwap(sh *graphgen.Sharded, hw HW, batch int64) Result {
+//   - all of one host's replicas share that host's CPU link, so each sees
+//     HostBandwidth/GPUsPerHost (the Sec 7.2 bottleneck; on a flat machine
+//     that is HostBandwidth/NumGPUs exactly as before).
+func RunSwap(sh *graphgen.Sharded, topo Topology, batch int64) Result {
+	hw := topo.HW
 	var res Result
 	res.Mem = memplan.Plan(sh, memplan.DefaultOptions())
 
@@ -158,7 +160,7 @@ func RunSwap(sh *graphgen.Sharded, hw HW, batch int64) Result {
 			res.OOM = true // one operator's working set exceeds device memory
 			return res
 		}
-		compute += hw.KernelTime(os)
+		compute += KernelTime(hw, os)
 
 		// Dead buffers are deallocated by the memory manager, not swapped:
 		// no writeback, no future reload.
@@ -188,7 +190,7 @@ func RunSwap(sh *graphgen.Sharded, hw HW, batch int64) Result {
 		trafficBytes += float64(steps) * float64(overflow)
 	}
 
-	share := hw.HostBandwidth / float64(hw.NumGPUs)
+	share := hw.HostBandwidth / float64(topo.GPUsPerHost())
 	transfer := trafficBytes / share
 	res.CommSeconds = transfer
 	// The prefetcher hides SwapOverlap of whichever side is shorter.
@@ -198,7 +200,7 @@ func RunSwap(sh *graphgen.Sharded, hw HW, batch int64) Result {
 	}
 	res.IterSeconds = hi + (1-hw.SwapOverlap)*lo
 	if res.IterSeconds > 0 {
-		res.Throughput = float64(batch) / res.IterSeconds * float64(hw.NumGPUs)
+		res.Throughput = float64(batch) / res.IterSeconds * float64(topo.NumGPUs())
 	}
 	return res
 }

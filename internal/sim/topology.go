@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"tofu/internal/topo"
+)
+
+// The hardware model lives in the topo package (so the search can consume it
+// without depending on the simulator); sim re-exports it under the
+// historical names.
+type (
+	// Topology describes a (possibly hierarchical) simulated machine.
+	Topology = topo.Topology
+	// Level is one interconnect tier of a Topology.
+	Level = topo.Level
+)
+
+// FlatTopology wraps a flat machine into a single-level topology.
+func FlatTopology(hw HW) Topology { return topo.FlatTopology(hw) }
+
+// DefaultTopology is the calibrated p2.8xlarge profile.
+func DefaultTopology() Topology { return topo.DefaultTopology() }
+
+// DGX1Topology is the NVLink-island profile.
+func DGX1Topology() Topology { return topo.DGX1Topology() }
+
+// Cluster2x8Topology is the two-node Ethernet cluster profile.
+func Cluster2x8Topology() Topology { return topo.Cluster2x8Topology() }
+
+// Profile returns a named topology from the library.
+func Profile(name string) (Topology, error) { return topo.Profile(name) }
+
+// ProfileNames lists the built-in machine profiles, sorted.
+func ProfileNames() []string { return topo.ProfileNames() }
+
+// ResolveTopology interprets a -hw argument: profile name or JSON path.
+func ResolveTopology(arg string) (Topology, error) { return topo.ResolveTopology(arg) }
+
+// LoadTopology reads a user-defined machine from a JSON file.
+func LoadTopology(path string) (Topology, error) { return topo.LoadTopology(path) }

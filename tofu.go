@@ -55,8 +55,14 @@ type (
 	Plan = plan.Plan
 	// Summary is the result of the end-to-end pipeline.
 	Summary = core.Summary
-	// HW describes the simulated machine.
+	// HW describes a flat simulated machine (the per-GPU half of a
+	// Topology, and the single-level compatibility view).
 	HW = sim.HW
+	// Topology describes a (possibly hierarchical) simulated machine:
+	// per-GPU parameters plus an ordered interconnect hierarchy.
+	Topology = sim.Topology
+	// TopologyLevel is one interconnect tier of a Topology.
+	TopologyLevel = sim.Level
 	// SimResult is one simulated training iteration.
 	SimResult = sim.Result
 	// System names a baseline system for comparisons.
@@ -83,6 +89,7 @@ const (
 	Spartan       = baselines.Spartan
 	EqualChop     = baselines.EqualChop
 	ICML18        = baselines.ICML18
+	HierNaive     = baselines.HierNaive
 )
 
 // NewGraph creates an empty dataflow graph bound to the standard operator
@@ -134,16 +141,51 @@ func DefaultPipelineOptions() PipelineOptions { return core.DefaultOptions() }
 // Simulate executes one training iteration of the partitioned graph on the
 // default simulated machine (8x 12 GB GPUs, 21 GB/s PCIe peer links).
 func Simulate(s *Summary, batch int64) SimResult {
-	return core.Simulate(s, batch, core.DefaultOptions())
+	return core.Simulate(s, batch, core.DefaultOptions(), sim.RunOptions{})
 }
 
-// DefaultHW is the simulated p2.8xlarge the evaluation uses.
+// SimulateWith is Simulate honoring the caller's pipeline options — in
+// particular the hardware topology and memory planner the summary was
+// produced under, which plain Simulate ignores.
+func SimulateWith(s *Summary, batch int64, opts PipelineOptions) SimResult {
+	return core.Simulate(s, batch, opts, sim.RunOptions{})
+}
+
+// DefaultHW is the simulated p2.8xlarge the evaluation uses, as a flat
+// machine.
 func DefaultHW() HW { return sim.DefaultHW() }
+
+// DefaultTopology is the same machine as a (single-level) topology.
+func DefaultTopology() Topology { return sim.DefaultTopology() }
+
+// TopologyProfile returns a machine from the built-in profile library
+// (see TopologyProfiles).
+func TopologyProfile(name string) (Topology, error) { return sim.Profile(name) }
+
+// TopologyProfiles lists the built-in machine profiles.
+func TopologyProfiles() []string { return sim.ProfileNames() }
+
+// LoadTopology reads a user-defined machine from a topology JSON file
+// (write one with Topology.WriteJSON).
+func LoadTopology(path string) (Topology, error) { return sim.LoadTopology(path) }
+
+// ResolveTopology interprets a -hw style argument: a built-in profile name
+// or a path to a topology JSON file.
+func ResolveTopology(arg string) (Topology, error) { return sim.ResolveTopology(arg) }
 
 // EvaluateSystem runs one baseline system (or Tofu itself) on a benchmark
 // model configuration — the building block of Figures 8-10 and Table 3.
+// The flat HW is wrapped into a single-level topology; use
+// EvaluateSystemOn for hierarchical machines.
 func EvaluateSystem(cfg ModelConfig, sys System, hw HW) (Outcome, error) {
-	return baselines.Evaluate(cfg, sys, hw)
+	return baselines.Evaluate(cfg, sys, sim.FlatTopology(hw))
+}
+
+// EvaluateSystemOn is EvaluateSystem on an explicit (possibly hierarchical)
+// machine topology: partition searches become topology-aware and every
+// transfer is priced at the interconnect level it crosses.
+func EvaluateSystemOn(cfg ModelConfig, sys System, topo Topology) (Outcome, error) {
+	return baselines.Evaluate(cfg, sys, topo)
 }
 
 // DescribeOp starts a TDL description for a custom operator; register the

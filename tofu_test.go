@@ -90,6 +90,50 @@ func TestPublicAPIGraphConstruction(t *testing.T) {
 	}
 }
 
+// TestPublicAPITopology exercises the topology surface: profiles, the
+// topology-aware pipeline, and SimulateWith honoring the machine the
+// summary was produced for (plain Simulate ignores the caller's hardware).
+func TestPublicAPITopology(t *testing.T) {
+	names := tofu.TopologyProfiles()
+	if len(names) < 3 {
+		t.Fatalf("profile library too small: %v", names)
+	}
+	dgx, err := tofu.TopologyProfile("dgx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tofu.RNN(2, 1024, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tofu.DefaultPipelineOptions()
+	opts.Topology = &dgx
+	s, err := tofu.PartitionWithOptions(m.G, int64(dgx.NumGPUs()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDGX := tofu.SimulateWith(s, m.Batch, opts)
+	if onDGX.Throughput <= 0 {
+		t.Fatal("no throughput on dgx1")
+	}
+	// Same summary priced on the slower flat default machine: NVLink-level
+	// transfers must not be slower than all-PCIe ones.
+	onFlat := tofu.SimulateWith(s, m.Batch, tofu.DefaultPipelineOptions())
+	if onDGX.CommSeconds > onFlat.CommSeconds {
+		t.Fatalf("dgx1 comm %g slower than flat %g", onDGX.CommSeconds, onFlat.CommSeconds)
+	}
+
+	out, err := tofu.EvaluateSystemOn(
+		tofu.ModelConfig{Family: "rnn", Depth: 2, Width: 1024, Batch: 64},
+		tofu.TofuSystem, dgx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Throughput <= 0 {
+		t.Fatal("EvaluateSystemOn produced no throughput")
+	}
+}
+
 // TestSingleWorkerTrivialPlan locks in the k=1 contract: Factorize(1) is
 // the empty factor list, so Partition returns a valid zero-step plan
 // (every tensor whole on the one worker) that flows through graph
