@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"tofu/internal/models"
+	"tofu/internal/recursive"
+)
+
+// regressionThreshold is the allowed growth of ns/op and allocs/op over the
+// committed baseline before the gate fails (20%).
+const regressionThreshold = 1.20
+
+// BenchRecord is one benchmark measurement, with the baseline comparison
+// filled in when a baseline file was supplied.
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+	NsRatio             float64 `json:"ns_ratio,omitempty"`
+	AllocsRatio         float64 `json:"allocs_ratio,omitempty"`
+}
+
+// BenchFile is the BENCH_*.json artifact schema.
+type BenchFile struct {
+	GoOS       string        `json:"go_os"`
+	GoArch     string        `json:"go_arch"`
+	NumCPU     int           `json:"num_cpu"`
+	Short      bool          `json:"short,omitempty"`
+	Benchmarks []BenchRecord `json:"benchmarks"`
+}
+
+// runSearchBenchmarks measures recursive.Partition on the benchmark
+// configs, writes the JSON artifact, and (optionally) gates against a
+// committed baseline.
+func runSearchBenchmarks(outPath string, short bool, baselinePath string) error {
+	cfgs := []models.Config{
+		{Family: "wresnet", Depth: 152, Width: 10, Batch: 8},
+		{Family: "rnn", Depth: 10, Width: 8192, Batch: 128},
+	}
+	if short {
+		cfgs = []models.Config{
+			{Family: "mlp", Depth: 4, Width: 512, Batch: 64},
+			{Family: "rnn", Depth: 2, Width: 1024, Batch: 64},
+			{Family: "wresnet", Depth: 50, Width: 2, Batch: 8},
+		}
+	}
+
+	out := BenchFile{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU(), Short: short}
+	for _, cfg := range cfgs {
+		m, err := models.Build(cfg)
+		if err != nil {
+			return fmt.Errorf("building %s: %w", cfg, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := recursive.Partition(m.G, 8, recursive.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec := BenchRecord{
+			Name:        "search/" + cfg.String(),
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		fmt.Printf("%-28s %14.0f ns/op %12d B/op %10d allocs/op (%d iters)\n",
+			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.Iterations)
+		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+
+	var regressions []string
+	if baselinePath != "" {
+		base, err := readBenchFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		// ns/op is wall-clock: only gate it when the baseline was recorded
+		// on matching hardware. allocs/op is machine-stable and always
+		// gated.
+		gateNs := base.GoOS == out.GoOS && base.GoArch == out.GoArch && base.NumCPU == out.NumCPU
+		if !gateNs {
+			fmt.Fprintf(os.Stderr,
+				"note: baseline %s was recorded on %s/%s with %d CPUs (this host: %s/%s, %d); gating allocs/op only\n",
+				baselinePath, base.GoOS, base.GoArch, base.NumCPU, out.GoOS, out.GoArch, out.NumCPU)
+		}
+		byName := map[string]BenchRecord{}
+		for _, b := range base.Benchmarks {
+			byName[b.Name] = b
+		}
+		for i := range out.Benchmarks {
+			rec := &out.Benchmarks[i]
+			b, ok := byName[rec.Name]
+			if !ok {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: missing from baseline %s", rec.Name, baselinePath))
+				continue
+			}
+			rec.BaselineNsPerOp = b.NsPerOp
+			rec.BaselineAllocsPerOp = b.AllocsPerOp
+			if b.NsPerOp > 0 {
+				rec.NsRatio = rec.NsPerOp / b.NsPerOp
+			}
+			if b.AllocsPerOp > 0 {
+				rec.AllocsRatio = float64(rec.AllocsPerOp) / float64(b.AllocsPerOp)
+			}
+			if gateNs && rec.NsRatio > regressionThreshold {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: ns/op regressed %.2fx (%.0f -> %.0f)", rec.Name, rec.NsRatio, b.NsPerOp, rec.NsPerOp))
+			}
+			if rec.AllocsRatio > regressionThreshold {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: allocs/op regressed %.2fx (%d -> %d)", rec.Name, rec.AllocsRatio, b.AllocsPerOp, rec.AllocsPerOp))
+			}
+		}
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) above %.0f%%",
+			len(regressions), (regressionThreshold-1)*100)
+	}
+	return nil
+}
+
+func readBenchFile(path string) (BenchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	defer f.Close()
+	var b BenchFile
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return BenchFile{}, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return b, nil
+}

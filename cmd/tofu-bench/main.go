@@ -1,11 +1,19 @@
 // Command tofu-bench regenerates the paper's evaluation artifacts (Tables
-// 1-3, Figures 8-11, ablations) on the simulated 8-GPU machine.
+// 1-3, Figures 8-11, ablations) on the simulated 8-GPU machine, and runs
+// the partition-search regression benchmarks.
 //
 // Usage:
 //
 //	tofu-bench [-exp all|table1|table2|table3|fig8|fig9|fig10|fig11|ablations|crosstopo]
 //	           [-quick] [-flat-budget 20s] [-parallel N]
 //	           [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
+//
+//	tofu-bench -bench-json BENCH.json [-bench-short] [-bench-baseline BENCH_CI.json]
+//
+// The second form measures the recursive partition search (ns/op,
+// bytes/op, allocs/op) and records the numbers as a JSON artifact. With
+// -bench-baseline it compares against a committed baseline file and exits
+// non-zero on a >20% ns/op or allocs/op regression — the CI gate.
 package main
 
 import (
@@ -28,7 +36,20 @@ func main() {
 		"worker goroutines for experiment cells and DP search (0 = GOMAXPROCS, 1 = serial); artifacts are identical either way")
 	hwArg := flag.String("hw", "p2.8xlarge",
 		"hardware profile name or topology JSON file (profiles: p2.8xlarge, dgx1, cluster-2x8)")
+	benchJSON := flag.String("bench-json", "",
+		"run the partition-search benchmarks and write ns/op + allocs/op to this JSON file")
+	benchShort := flag.Bool("bench-short", false,
+		"benchmark the small config set (CI); default is the paper-scale set")
+	benchBaseline := flag.String("bench-baseline", "",
+		"compare the benchmark run against this baseline JSON; exit non-zero on >20% ns/op or allocs/op regression")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runSearchBenchmarks(*benchJSON, *benchShort, *benchBaseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}
 	topo, err := sim.ResolveTopology(*hwArg)

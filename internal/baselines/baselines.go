@@ -348,7 +348,7 @@ func heuristicPlan(m *models.Model, k int64, so SearchOptions,
 
 	final := make(map[int]shape.Shape, len(shapes))
 	for tid, s := range shapes {
-		if d, ok := res.TensorCut[tid]; ok {
+		if d := res.TensorCut[tid]; d >= 0 {
 			ns, err := s.Split(d, k)
 			if err != nil {
 				return nil, err

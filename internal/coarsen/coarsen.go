@@ -22,6 +22,7 @@ import (
 
 	"tofu/internal/graph"
 	"tofu/internal/shape"
+	"tofu/internal/tdl"
 )
 
 // Var is one partition decision variable: a set of same-shaped tensors that
@@ -56,6 +57,10 @@ func (v *Var) String() string {
 // partition strategy; its cost is priced once and multiplied.
 type Slot struct {
 	Ops []*graph.Node
+	// Desc is the representative operator's TDL description, captured
+	// during coarsening (which describes every node anyway) so downstream
+	// passes skip the registry lookup.
+	Desc *tdl.OpDesc
 }
 
 // Rep returns the representative operator.
@@ -69,14 +74,24 @@ type Group struct {
 	Slots []*Slot
 	// Vars lists every variable any member op touches, sorted by ID.
 	Vars []*Var
+	// NewVars lists the variables whose liveness starts at this group
+	// (First == ID), sorted by ID — the DP decides their cuts here.
+	NewVars []*Var
+	// LiveAfter lists the variables live across the boundary after this
+	// group (First <= ID < Last), sorted by ID. It is the DP's frontier
+	// at this boundary: together with each variable's cut-dim alphabet it
+	// fixes the packed mixed-radix state encoding.
+	LiveAfter []*Var
 }
 
-// Coarse is the coarsened view of a training graph.
+// Coarse is the coarsened view of a training graph. Vars is a dense index:
+// Vars[i].ID == i, so a variable's ID addresses per-variable side tables
+// (the DP's cut-dim alphabets and packed state digits) directly.
 type Coarse struct {
 	G      *graph.Graph
 	Vars   []*Var
 	Groups []*Group
-	varOf  map[int]*Var // tensor ID -> var
+	varOf  []*Var // tensor ID -> var
 }
 
 // VarOf returns the variable owning a tensor.
@@ -87,14 +102,8 @@ func (c *Coarse) VarOf(t *graph.Tensor) *Var { return c.varOf[t.ID] }
 // claim (MLP/CNN/RNN coarsen to chains) shows up here as a small constant.
 func (c *Coarse) MaxFrontier() int {
 	max := 0
-	for gi := range c.Groups {
-		live := 0
-		for _, v := range c.Vars {
-			if v.First <= gi && v.Last > gi {
-				live++
-			}
-		}
-		if live > max {
+	for _, g := range c.Groups {
+		if live := len(g.LiveAfter); live > max {
 			max = live
 		}
 	}
@@ -113,11 +122,13 @@ func Coarsen(g *graph.Graph) (*Coarse, error) {
 	// Element-wise coalescing: inputs and output of an element-wise op share
 	// a partition.
 	ewNode := make([]bool, len(g.Nodes))
+	descs := make([]*tdl.OpDesc, len(g.Nodes))
 	for i, n := range g.Nodes {
 		d, err := g.Describe(n)
 		if err != nil {
 			return nil, fmt.Errorf("coarsen: %v: %w", n, err)
 		}
+		descs[i] = d
 		if !d.IsElementwise() {
 			continue
 		}
@@ -145,12 +156,12 @@ func Coarsen(g *graph.Graph) (*Coarse, error) {
 	}
 
 	// Materialize variables.
-	c := &Coarse{G: g, varOf: make(map[int]*Var, len(g.Tensors))}
-	roots := map[int]*Var{}
+	c := &Coarse{G: g, varOf: make([]*Var, len(g.Tensors))}
+	roots := make([]*Var, len(g.Tensors))
 	for _, t := range g.Tensors {
 		r := tuf.find(t.ID)
-		v, ok := roots[r]
-		if !ok {
+		v := roots[r]
+		if v == nil {
 			v = &Var{ID: len(c.Vars), Shape: t.Shape}
 			roots[r] = v
 			c.Vars = append(c.Vars, v)
@@ -214,7 +225,7 @@ func Coarsen(g *graph.Graph) (*Coarse, error) {
 		}
 	}
 
-	if err := buildGroups(c, g, nuf, slots); err != nil {
+	if err := buildGroups(c, g, nuf, slots, descs); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -227,23 +238,28 @@ func indexOf(g *graph.Graph, n *graph.Node) int { return n.ID }
 // the same timestep); instances whose shapes disagree are left unmerged.
 func buildSlots(g *graph.Graph) [][]*graph.Node {
 	type key struct {
-		tag, op, attrs string
-		ordinal        int
+		tag, op string
+		attrs   tdl.AttrsKey
+		ordinal int
 	}
-	perStepCount := map[string]map[key]int{} // tag/timestep -> key -> count
+	// ordCount disambiguates several same-signature ops inside one
+	// timestep: it counts occurrences per (timestep, signature), flat in
+	// one map.
+	type ordKey struct {
+		ts int
+		k  key
+	}
+	ordCount := map[ordKey]int{}
 	bySlot := map[key][]*graph.Node{}
 	var order []key
 	for _, n := range g.Nodes {
 		if n.UnrollTag == "" {
 			continue
 		}
-		stepID := fmt.Sprintf("%s@%d", n.UnrollTag, n.Timestep)
-		if perStepCount[stepID] == nil {
-			perStepCount[stepID] = map[key]int{}
-		}
 		k := key{tag: n.UnrollTag, op: n.Op, attrs: attrSig(n)}
-		k.ordinal = perStepCount[stepID][key{tag: k.tag, op: k.op, attrs: k.attrs}]
-		perStepCount[stepID][key{tag: k.tag, op: k.op, attrs: k.attrs}]++
+		ok := ordKey{ts: n.Timestep, k: k}
+		k.ordinal = ordCount[ok]
+		ordCount[ok]++
 		if _, seen := bySlot[k]; !seen {
 			order = append(order, k)
 		}
@@ -280,27 +296,18 @@ func sameSignature(a, b *graph.Node) bool {
 	return a.Output.Shape.Equal(b.Output.Shape)
 }
 
-func attrSig(n *graph.Node) string {
-	if len(n.Attrs) == 0 {
-		return ""
-	}
-	keys := make([]string, 0, len(n.Attrs))
-	for k := range n.Attrs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	s := ""
-	for _, k := range keys {
-		s += fmt.Sprintf("%s=%d;", k, n.Attrs[k])
-	}
-	return s
+// attrSig buckets a node by its attribute signature (tdl.AttrsKey: inline
+// and allocation-free for the ≤ 4-attribute operators of the standard
+// library).
+func attrSig(n *graph.Node) tdl.AttrsKey {
+	return tdl.MakeAttrsKey(n.Attrs)
 }
 
 // buildGroups materializes groups from the node union-find, orders them by
 // earliest member node, slices each into slots, and computes variable
 // liveness (First/Last group references).
-func buildGroups(c *Coarse, g *graph.Graph, nuf *uf, slots [][]*graph.Node) error {
-	members := map[int][]*graph.Node{}
+func buildGroups(c *Coarse, g *graph.Graph, nuf *uf, slots [][]*graph.Node, descs []*tdl.OpDesc) error {
+	members := make([][]*graph.Node, len(g.Nodes)) // union root -> members
 	for _, n := range g.Nodes {
 		r := nuf.find(n.ID)
 		members[r] = append(members[r], n)
@@ -312,6 +319,9 @@ func buildGroups(c *Coarse, g *graph.Graph, nuf *uf, slots [][]*graph.Node) erro
 	}
 	var gps []gp
 	for _, ns := range members {
+		if ns == nil {
+			continue
+		}
 		min := ns[0].ID
 		for _, n := range ns {
 			if n.ID < min {
@@ -323,20 +333,21 @@ func buildGroups(c *Coarse, g *graph.Graph, nuf *uf, slots [][]*graph.Node) erro
 	sort.Slice(gps, func(i, j int) bool { return gps[i].min < gps[j].min })
 
 	// Slot membership lookup: node -> slot leader node.
-	slotLeader := map[int]*graph.Node{}
+	slotLeader := make([]*graph.Node, len(g.Nodes))
 	for _, ops := range slots {
 		for _, n := range ops {
 			slotLeader[n.ID] = ops[0]
 		}
 	}
 
+	seen := make([]int, len(c.Vars)) // var ID -> last group stamp + 1
 	for gi, grp := range gps {
 		group := &Group{ID: gi}
 		bySlot := map[int]*Slot{}
 		var slotOrder []int
 		for _, n := range grp.ns {
 			leader := n
-			if l, ok := slotLeader[n.ID]; ok {
+			if l := slotLeader[n.ID]; l != nil {
 				leader = l
 			}
 			s, ok := bySlot[leader.ID]
@@ -348,21 +359,21 @@ func buildGroups(c *Coarse, g *graph.Graph, nuf *uf, slots [][]*graph.Node) erro
 			s.Ops = append(s.Ops, n)
 		}
 		sort.Ints(slotOrder)
-		seen := map[int]bool{}
 		for _, id := range slotOrder {
 			s := bySlot[id]
+			s.Desc = descs[s.Ops[0].ID]
 			group.Slots = append(group.Slots, s)
 			for _, n := range s.Ops {
 				for _, in := range n.Inputs {
 					v := c.varOf[in.ID]
-					if !seen[v.ID] {
-						seen[v.ID] = true
+					if seen[v.ID] != gi+1 {
+						seen[v.ID] = gi + 1
 						group.Vars = append(group.Vars, v)
 					}
 				}
 				v := c.varOf[n.Output.ID]
-				if !seen[v.ID] {
-					seen[v.ID] = true
+				if seen[v.ID] != gi+1 {
+					seen[v.ID] = gi + 1
 					group.Vars = append(group.Vars, v)
 				}
 			}
@@ -385,6 +396,21 @@ func buildGroups(c *Coarse, g *graph.Graph, nuf *uf, slots [][]*graph.Node) erro
 	}
 	// Variables never referenced by any op (dangling tensors) live nowhere;
 	// they are dropped from the DP by construction.
+
+	// Dense per-group liveness slices (c.Vars is ID-ordered, so appends in
+	// Var order keep both slices sorted by ID).
+	for gi, grp := range c.Groups {
+		for _, v := range grp.Vars {
+			if v.First == gi {
+				grp.NewVars = append(grp.NewVars, v)
+			}
+		}
+		for _, v := range c.Vars {
+			if v.First <= gi && v.Last > gi {
+				grp.LiveAfter = append(grp.LiveAfter, v)
+			}
+		}
+	}
 	return nil
 }
 

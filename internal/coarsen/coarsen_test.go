@@ -229,3 +229,52 @@ func TestVarBytes(t *testing.T) {
 		t.Fatalf("Bytes = %d (members %d)", v.Bytes(), len(v.Tensors))
 	}
 }
+
+// TestLivenessSlices checks the dense per-group liveness index: NewVars and
+// LiveAfter must agree with the First/Last liveness ranges, stay sorted by
+// ID, and capture every slot's TDL description.
+func TestLivenessSlices(t *testing.T) {
+	m, err := models.RNN(2, 128, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Coarsen(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range c.Groups {
+		var wantNew, wantLive []*Var
+		for _, v := range g.Vars {
+			if v.First == gi {
+				wantNew = append(wantNew, v)
+			}
+		}
+		for _, v := range c.Vars {
+			if v.First <= gi && v.Last > gi {
+				wantLive = append(wantLive, v)
+			}
+		}
+		if len(wantNew) != len(g.NewVars) || len(wantLive) != len(g.LiveAfter) {
+			t.Fatalf("group %d: NewVars/LiveAfter sizes (%d, %d), want (%d, %d)",
+				gi, len(g.NewVars), len(g.LiveAfter), len(wantNew), len(wantLive))
+		}
+		for i, v := range wantNew {
+			if g.NewVars[i] != v {
+				t.Fatalf("group %d: NewVars[%d] = %v, want %v", gi, i, g.NewVars[i], v)
+			}
+		}
+		for i, v := range wantLive {
+			if g.LiveAfter[i] != v {
+				t.Fatalf("group %d: LiveAfter[%d] = %v, want %v", gi, i, g.LiveAfter[i], v)
+			}
+			if i > 0 && wantLive[i-1].ID >= v.ID {
+				t.Fatalf("group %d: LiveAfter not ID-sorted", gi)
+			}
+		}
+		for _, s := range g.Slots {
+			if s.Desc == nil {
+				t.Fatalf("group %d: slot %v missing captured description", gi, s.Rep())
+			}
+		}
+	}
+}

@@ -1,9 +1,8 @@
 package dp
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 
 	"tofu/internal/graph"
@@ -70,10 +69,11 @@ func (c *PriceCache) Len() int {
 // slotKey is the structural signature a pricing is memoized under: operator
 // name, sorted attributes, original input/output shapes, dtype and K. Two
 // slots with equal keys price identically regardless of which graph, model
-// variant or recursive step they come from.
-func slotKey(rep *graph.Node, sp *partition.Spec, k int64, dt shape.DType) string {
-	var sb strings.Builder
-	sb.WriteString(rep.Op)
+// variant or recursive step they come from. Built with plain byte appends —
+// it runs once per slot per step, inside the pooled evaluator build.
+func slotKey(rep *graph.Node, k int64, dt shape.DType) string {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, rep.Op...)
 	if len(rep.Attrs) > 0 {
 		keys := make([]string, 0, len(rep.Attrs))
 		for a := range rep.Attrs {
@@ -81,12 +81,31 @@ func slotKey(rep *graph.Node, sp *partition.Spec, k int64, dt shape.DType) strin
 		}
 		sort.Strings(keys)
 		for _, a := range keys {
-			fmt.Fprintf(&sb, ";%s=%d", a, rep.Attrs[a])
+			buf = append(buf, ';')
+			buf = append(buf, a...)
+			buf = append(buf, '=')
+			buf = strconv.AppendInt(buf, rep.Attrs[a], 10)
 		}
 	}
-	for _, s := range sp.InShapes {
-		fmt.Fprintf(&sb, "|%v", s)
+	appendShape := func(s shape.Shape) {
+		buf = append(buf, '(')
+		for i := 0; i < s.Rank(); i++ {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, s.Dim(i), 10)
+		}
+		buf = append(buf, ')')
 	}
-	fmt.Fprintf(&sb, ">%v@%d/%d", sp.OutShape, dt, k)
-	return sb.String()
+	for _, in := range rep.Inputs {
+		buf = append(buf, '|')
+		appendShape(in.Shape)
+	}
+	buf = append(buf, '>')
+	appendShape(rep.Output.Shape)
+	buf = append(buf, '@')
+	buf = strconv.AppendInt(buf, int64(dt), 10)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, k, 10)
+	return string(buf)
 }

@@ -8,6 +8,12 @@
 // Within each group the search brute-forces the member operators' strategy
 // choices — the paper's "combinatorial search among all member
 // operators/tensors within the group".
+//
+// The sweep is allocation-free integer arithmetic: states are packed
+// mixed-radix numbers over per-variable cut-dim alphabets (state.go), and
+// every slot's cost under any assignment comes from a dense table built
+// once per step (table.go). See DESIGN.md, "Packed frontier states and
+// dense slot tables".
 package dp
 
 import (
@@ -15,7 +21,6 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"tofu/internal/coarsen"
@@ -60,6 +65,23 @@ type Problem struct {
 	// calls — across recursive factor steps and across baseline variants
 	// over the same model (see PriceCache).
 	Cache *PriceCache
+	// Reuse, if non-nil, carries prepared slot evaluators between
+	// consecutive Solve calls over the same Coarse (the recursive driver's
+	// factor steps). A slot's evaluator — its restricted pricing and dense
+	// cost table — is reused when the step's K matches, its touched
+	// variables' alphabets are unchanged and every surviving strategy still
+	// passes the current-shape gate. That test is sound because shapes only
+	// shrink across steps and the factors are prime, so a once-dropped
+	// strategy can never become applicable again (K prime dividing ext/m
+	// implies K divides ext). Callers must keep Coarse, DType and
+	// StrategyFilter fixed across the Solves sharing one Reuse.
+	Reuse *EvalReuse
+}
+
+// EvalReuse is the cross-step evaluator carrier; see Problem.Reuse.
+type EvalReuse struct {
+	k   int64
+	set *slotSet
 }
 
 // parallelism resolves the effective worker count.
@@ -74,14 +96,16 @@ func (p *Problem) parallelism() int {
 type Result struct {
 	// VarCut maps coarsened-variable ID to the chosen cut dimension.
 	VarCut map[int]int
-	// TensorCut expands VarCut to every member tensor ID.
-	TensorCut map[int]int
-	// OpStrategy maps node ID to the chosen partition strategy.
-	OpStrategy map[int]partition.Strategy
+	// TensorCut expands VarCut to every member tensor ID — dense by tensor
+	// ID, -1 for uncut tensors.
+	TensorCut []int
+	// OpStrategy is the chosen partition strategy per node ID (dense); an
+	// empty Axis marks nodes without one.
+	OpStrategy []partition.Strategy
 	// OpComm itemizes each node's communication (fetch vs output bytes,
-	// summed over all workers at this step) — the graph generator turns
-	// these into MultiFetch and reduce tasks.
-	OpComm map[int]partition.Parts
+	// summed over all workers at this step), dense by node ID — the graph
+	// generator turns these into MultiFetch and reduce tasks.
+	OpComm []partition.Parts
 	// CommBytes is δ_i for this basic plan: total communication across all
 	// worker groups, priced at the graph's original shapes (see Problem).
 	CommBytes float64
@@ -92,22 +116,28 @@ type Result struct {
 	Configs int
 }
 
-type slotEval struct {
-	slot   *coarsen.Slot
-	spec   *partition.Spec
-	priced *partition.Priced
-	inVars []*coarsen.Var
-	outVar *coarsen.Var
-	mult   float64
-	// memo caches best-strategy lookups per cut assignment; guarded because
-	// the parallel frontier sweep shares evaluators across workers.
-	mu   sync.RWMutex
-	memo map[string]slotBest
-}
+// maxSweep bounds a single group's (states × combinations) sweep; beyond it
+// the search could not complete anyway, and the bound keeps the flattened
+// index arithmetic safely inside int64.
+const maxSweep = int64(1) << 40
 
-type slotBest struct {
-	si   int
-	cost float64
+// minParallelSweep is the (states × combinations) size below which a
+// group's sweep runs inline instead of fanning out.
+const minParallelSweep = 1 << 9
+
+// newResult allocates a Result with dense per-tensor/per-node tables sized
+// for the graph.
+func newResult(c *coarsen.Coarse) *Result {
+	res := &Result{
+		VarCut:     make(map[int]int, len(c.Vars)),
+		TensorCut:  make([]int, len(c.G.Tensors)),
+		OpStrategy: make([]partition.Strategy, len(c.G.Nodes)),
+		OpComm:     make([]partition.Parts, len(c.G.Nodes)),
+	}
+	for i := range res.TensorCut {
+		res.TensorCut[i] = -1
+	}
+	return res
 }
 
 // Solve runs the frontier DP.
@@ -117,28 +147,9 @@ func Solve(p *Problem) (*Result, error) {
 		return nil, fmt.Errorf("dp: K must be >= 2, got %d", p.K)
 	}
 
-	// Enumerate per-variable configs (cuttable dimensions at this step).
-	varConfigs := make(map[int][]int, len(c.Vars))
-	for _, v := range c.Vars {
-		if v.First < 0 {
-			continue // never referenced by an operator
-		}
-		s := p.Shapes[v.Tensors[0].ID]
-		var dims []int
-		for d := 0; d < s.Rank(); d++ {
-			if s.CanSplit(d, p.K) {
-				dims = append(dims, d)
-			}
-		}
-		if len(dims) == 0 {
-			return nil, fmt.Errorf("dp: variable %v shape %v has no dimension divisible by %d", v, s, p.K)
-		}
-		varConfigs[v.ID] = dims
-	}
-
-	// Prepare slot evaluators (interval analysis once per slot, fanned out
-	// across the worker pool — slots are independent).
-	evals, err := prepareSlotEvals(p)
+	// Per-variable alphabets, slot evaluators and their dense cost tables
+	// (fanned out across the worker pool — slots are independent).
+	sl, err := prepareSlotEvals(p)
 	if err != nil {
 		return nil, err
 	}
@@ -147,61 +158,65 @@ func Solve(p *Problem) (*Result, error) {
 	// expansion is evaluated by the worker pool; the merge is deterministic
 	// (cheapest wins, ties break by canonical sweep order), so the result is
 	// byte-identical for every Parallelism setting.
-	states := map[string]dpEntry{"": {cost: 0}}
-	res := &Result{
-		VarCut: map[int]int{}, TensorCut: map[int]int{},
-		OpStrategy: map[int]partition.Strategy{}, OpComm: map[int]partition.Parts{},
-	}
-	trace := make([]map[string]dpEntry, len(c.Groups))
-
+	res := newResult(c)
+	fronts := make([]*frontier, len(c.Groups))
+	comboLays := make([]layout, len(c.Groups))
+	prev := initialFrontier()
 	for gi, g := range c.Groups {
-		var newVars []*coarsen.Var
-		for _, v := range g.Vars {
-			if v.First == gi {
-				newVars = append(newVars, v)
-			}
+		comboLays[gi] = makeLayout(g.NewVars, sl.alphas)
+		// Guard the flattened index arithmetic: combination and state
+		// indices must fit int32 (they are stored as compact trace
+		// entries), and the product must fit the sweep bound. Division
+		// avoids overflowing the product check itself (makeLayout clamps
+		// runaway sizes to maxStateSpace).
+		nCombos := comboLays[gi].size
+		if nCombos > math.MaxInt32 || int64(prev.count()) > math.MaxInt32 {
+			return nil, fmt.Errorf("dp: group %d sweep exceeds index range", gi)
 		}
-		combos := enumCombos(newVars, varConfigs)
-		next, err := expandGroup(p, c, g, gi, evals, states, combos)
+		if int64(prev.count()) > maxSweep/nCombos {
+			return nil, fmt.Errorf("dp: group %d sweep exceeds %d combinations", gi, maxSweep)
+		}
+		next, err := expandGroup(p, sl.byGroup[gi], prev, comboLays[gi], makeLayout(g.LiveAfter, sl.alphas))
 		if err != nil {
 			return nil, err
 		}
-		res.Configs += len(states) * len(combos)
-		if len(next) == 0 {
+		res.Configs += prev.live * int(comboLays[gi].size)
+		if next.live == 0 {
 			return nil, fmt.Errorf("dp: no feasible assignment at group %d", gi)
 		}
-		if p.MaxStates > 0 && len(next) > p.MaxStates {
-			next = pruneStates(next, p.MaxStates)
+		if p.MaxStates > 0 && next.live > p.MaxStates {
+			next.prune(p.MaxStates)
 		}
-		trace[gi] = next
-		states = next
-		res.States += len(next)
+		fronts[gi] = next
+		prev = next
+		res.States += next.live
 	}
 
-	// The final frontier must be empty (every variable's liveness closed).
-	key := ""
-	final, ok := states[""]
-	if !ok {
-		// Defensive: pick the cheapest remaining state (smallest key on
-		// ties, for determinism).
-		bestCost := math.Inf(1)
-		for _, k := range sortedStateKeys(states) {
-			if e := states[k]; e.cost < bestCost {
-				key, bestCost = k, e.cost
-			}
+	// The final frontier must be the single empty state (every variable's
+	// liveness closed).
+	fi := 0
+	fc := prev.cost[0]
+	if len(prev.lay.vars) != 0 || math.IsInf(fc, 1) {
+		// Defensive: pick the cheapest remaining state (smallest packed
+		// order on ties, for determinism).
+		fi, fc = prev.best()
+		if fi < 0 {
+			return nil, fmt.Errorf("dp: empty final frontier")
 		}
-		final = states[key]
 	}
-	res.CommBytes = final.cost
+	res.CommBytes = fc
 
-	// Backtrack decisions.
-	cur := key
+	// Backtrack decisions through the compact parent/combo indices.
+	cur := fi
 	for gi := len(c.Groups) - 1; gi >= 0; gi-- {
-		e := trace[gi][cur]
-		for id, dim := range e.decided {
-			res.VarCut[id] = dim
+		f := fronts[gi]
+		ci := int64(f.combo[cur])
+		cl := &comboLays[gi]
+		for j, v := range cl.vars {
+			dg := (ci / cl.stride[j]) % cl.radix[j]
+			res.VarCut[v.ID] = sl.alphas[v.ID].dims[dg]
 		}
-		cur = e.parent
+		cur = int(f.parent[cur])
 	}
 
 	// Expand to tensors and pick per-op strategies under the final cuts.
@@ -214,9 +229,8 @@ func Solve(p *Problem) (*Result, error) {
 			res.TensorCut[t.ID] = dim
 		}
 	}
-	for _, g := range c.Groups {
-		for _, s := range g.Slots {
-			ev := evals[s]
+	for gi := range c.Groups {
+		for _, ev := range sl.byGroup[gi] {
 			si, _, err := ev.best(res.VarCut)
 			if err != nil {
 				return nil, err
@@ -225,7 +239,7 @@ func Solve(p *Problem) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, n := range s.Ops {
+			for _, n := range ev.slot.Ops {
 				res.OpStrategy[n.ID] = ev.priced.Strategies[si]
 				res.OpComm[n.ID] = parts
 			}
@@ -234,112 +248,42 @@ func Solve(p *Problem) (*Result, error) {
 	return res, nil
 }
 
-func varByID(c *coarsen.Coarse, id int) *coarsen.Var { return c.Vars[id] }
+// slotSet is every prepared slot evaluator of a problem, plus the
+// per-variable alphabets their tables are indexed by.
+type slotSet struct {
+	alphas []varAlpha
+	// ordered lists evaluators in group/slot order; byGroup slices the same
+	// backing array per group.
+	ordered []*slotEval
+	byGroup [][]*slotEval
+}
 
-// prepareSlotEvals builds every slot's evaluator, fanning the pricing
-// analyses across the worker pool.
-func prepareSlotEvals(p *Problem) (map[*coarsen.Slot]*slotEval, error) {
+// prepareSlotEvals builds every slot's evaluator and dense cost table,
+// fanning the pricing analyses across the worker pool.
+func prepareSlotEvals(p *Problem) (*slotSet, error) {
+	alphas, err := buildAlphas(p)
+	if err != nil {
+		return nil, err
+	}
 	var slots []*coarsen.Slot
 	for _, g := range p.Coarse.Groups {
 		slots = append(slots, g.Slots...)
+	}
+	var prevSet *slotSet
+	if p.Reuse != nil && p.Reuse.k == p.K {
+		prevSet = p.Reuse.set
 	}
 	built := make([]*slotEval, len(slots))
 	errs := make([]error, len(slots))
 	forEachChunk(p.parallelism(), len(slots), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			built[i], errs[i] = newSlotEval(p, slots[i])
-		}
-	})
-	evals := make(map[*coarsen.Slot]*slotEval, len(slots))
-	for i, s := range slots {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		evals[s] = built[i]
-	}
-	return evals, nil
-}
-
-// candidate is one (state × combo) expansion outcome contending for a next
-// frontier state. order is its position in the canonical serial sweep
-// (states sorted by key, combos in enumeration order); equal-cost
-// candidates break ties by it so every worker-pool size emits the same
-// plan.
-type candidate struct {
-	cost    float64
-	parent  string
-	decided map[int]int
-	order   int64
-}
-
-func betterCandidate(a, b candidate) bool {
-	if a.cost != b.cost {
-		return a.cost < b.cost
-	}
-	return a.order < b.order
-}
-
-// expandGroup evaluates every (state × combo) pair for one group on the
-// worker pool and merges the per-worker bests deterministically. The work
-// is chunked over the flattened (state × combo) index space, so even a
-// single-state frontier (always the first group) parallelizes across its
-// combos.
-func expandGroup(p *Problem, c *coarsen.Coarse, g *coarsen.Group, gi int,
-	evals map[*coarsen.Slot]*slotEval, states map[string]dpEntry,
-	combos []map[int]int) (map[string]dpEntry, error) {
-
-	keys := sortedStateKeys(states)
-	chunks := chunkRanges(p.parallelism(), len(keys)*len(combos))
-	locals := make([]map[string]candidate, len(chunks))
-	errs := make([]error, len(chunks))
-
-	runChunks(chunks, func(w, lo, hi int) {
-		best := map[string]candidate{}
-		locals[w] = best
-		// Chunks are contiguous in flat order, so the state index is
-		// non-decreasing: decode each state once as it comes into view.
-		curSi := -1
-		var key string
-		var st dpEntry
-		var assign map[int]int
-		for idx := lo; idx < hi; idx++ {
-			si, ci := idx/len(combos), idx%len(combos)
-			if si != curSi {
-				curSi = si
-				key = keys[si]
-				st = states[key]
-				assign = decodeState(key)
-			}
-			combo := combos[ci]
-			full := make(map[int]int, len(assign)+len(combo))
-			for k, v := range assign {
-				full[k] = v
-			}
-			for k, v := range combo {
-				full[k] = v
-			}
-			cost, err := groupCost(g, evals, full)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			// Drop variables whose liveness ends at this group.
-			nextAssign := make(map[int]int, len(full))
-			for id, dim := range full {
-				if varByID(c, id).Last > gi {
-					nextAssign[id] = dim
+			if prevSet != nil && i < len(prevSet.ordered) {
+				if pe := prevSet.ordered[i]; pe.slot == slots[i] && pe.reusable(p, alphas) {
+					built[i] = pe
+					continue
 				}
 			}
-			nk := encodeState(nextAssign)
-			cand := candidate{
-				cost:    st.cost + cost,
-				parent:  key,
-				decided: combo,
-				order:   int64(idx),
-			}
-			if old, ok := best[nk]; !ok || betterCandidate(cand, old) {
-				best[nk] = cand
-			}
+			built[i], errs[i] = newSlotEval(p, slots[i], alphas)
 		}
 	})
 	for _, err := range errs {
@@ -347,25 +291,170 @@ func expandGroup(p *Problem, c *coarsen.Coarse, g *coarsen.Group, gi int,
 			return nil, err
 		}
 	}
+	ss := &slotSet{alphas: alphas, ordered: built}
+	off := 0
+	for _, g := range p.Coarse.Groups {
+		ss.byGroup = append(ss.byGroup, built[off:off+len(g.Slots)])
+		off += len(g.Slots)
+	}
+	if p.Reuse != nil {
+		p.Reuse.k = p.K
+		p.Reuse.set = ss
+	}
+	return ss, nil
+}
 
-	// Merge worker-local bests. The comparator is a total order, so the
-	// merge result is independent of worker count and merge order.
-	merged := map[string]candidate{}
-	for _, best := range locals {
-		if best == nil {
-			continue
+// spCand is one sparse-frontier contender: its accumulated cost and the
+// compact (parent state, combination) indices that replace the legacy
+// decided-map trace.
+type spCand struct {
+	cost   float64
+	parent int32
+	combo  int32
+}
+
+// expandGroup evaluates every (state × combination) pair for one group on
+// the worker pool and merges the per-worker bests deterministically. The
+// work is chunked over the flattened (state × combination) index space, so
+// even a single-state frontier (always the first group) parallelizes across
+// its combinations. Within a worker the sweep runs in ascending flat order
+// and replaces only on strictly cheaper cost; workers merge in chunk order
+// the same way — so ties always resolve to the earliest candidate in
+// canonical sweep order, independent of the worker count.
+func expandGroup(p *Problem, slots []*slotEval, prev *frontier, combos, next layout) (*frontier, error) {
+	nVars := len(p.Coarse.Vars)
+	nCombos := int(combos.size)
+	total := prev.count() * nCombos
+	workers := p.parallelism()
+	// Tiny sweeps (the common case on chain graphs) run inline: goroutine
+	// fan-out and per-worker merge buffers cost more than the sweep.
+	if total < minParallelSweep {
+		workers = 1
+	}
+	chunks := chunkRanges(workers, total)
+
+	dcost := make([][]float64, len(chunks))
+	dparent := make([][]int32, len(chunks))
+	dcombo := make([][]int32, len(chunks))
+	smaps := make([]map[string]spCand, len(chunks))
+
+	runChunks(chunks, func(w, lo, hi int) {
+		digit := make([]uint8, nVars)
+		var (
+			bc     []float64
+			bp, bb []int32
+			m      map[string]spCand
+			keyBuf []byte
+		)
+		if next.dense {
+			bc = make([]float64, next.size)
+			for i := range bc {
+				bc[i] = math.Inf(1)
+			}
+			bp = make([]int32, next.size)
+			bb = make([]int32, next.size)
+			dcost[w], dparent[w], dcombo[w] = bc, bp, bb
+		} else {
+			m = make(map[string]spCand)
+			smaps[w] = m
+			keyBuf = make([]byte, len(next.vars))
 		}
-		for nk, cand := range best {
-			if old, ok := merged[nk]; !ok || betterCandidate(cand, old) {
-				merged[nk] = cand
+		curSi := -1
+		stCost := 0.0
+		skip := false
+		for idx := lo; idx < hi; idx++ {
+			si, ci := idx/nCombos, idx%nCombos
+			if si != curSi {
+				curSi = si
+				stCost = prev.cost[si]
+				skip = math.IsInf(stCost, 1)
+				if !skip {
+					prev.decode(si, digit)
+				}
+			}
+			if skip {
+				// Pruned predecessor: skip its whole combo block at once.
+				idx = (si+1)*nCombos - 1
+				continue
+			}
+			cil := int64(ci)
+			for j, v := range combos.vars {
+				digit[v.ID] = uint8((cil / combos.stride[j]) % combos.radix[j])
+			}
+			cost := 0.0
+			for _, ev := range slots {
+				cost += ev.costAt(digit)
+			}
+			cost = stCost + cost
+			if next.dense {
+				ni := int64(0)
+				for j, v := range next.vars {
+					ni += next.stride[j] * int64(digit[v.ID])
+				}
+				if cost < bc[ni] {
+					bc[ni] = cost
+					bp[ni] = int32(si)
+					bb[ni] = int32(ci)
+				}
+			} else {
+				for j, v := range next.vars {
+					keyBuf[j] = digit[v.ID]
+				}
+				if old, ok := m[string(keyBuf)]; !ok || cost < old.cost {
+					m[string(keyBuf)] = spCand{cost: cost, parent: int32(si), combo: int32(ci)}
+				}
+			}
+		}
+	})
+
+	// Merge worker-local bests in chunk order; strictly-cheaper replacement
+	// makes the result independent of worker count.
+	f := &frontier{lay: next}
+	if next.dense {
+		bc, bp, bb := dcost[0], dparent[0], dcombo[0]
+		for w := 1; w < len(chunks); w++ {
+			wc := dcost[w]
+			for i, c := range wc {
+				if c < bc[i] {
+					bc[i] = c
+					bp[i] = dparent[w][i]
+					bb[i] = dcombo[w][i]
+				}
+			}
+		}
+		f.cost, f.parent, f.combo = bc, bp, bb
+		for _, c := range bc {
+			if !math.IsInf(c, 1) {
+				f.live++
+			}
+		}
+		return f, nil
+	}
+	merged := smaps[0]
+	for w := 1; w < len(chunks); w++ {
+		for k, cand := range smaps[w] {
+			if old, ok := merged[k]; !ok || cand.cost < old.cost {
+				merged[k] = cand
 			}
 		}
 	}
-	next := make(map[string]dpEntry, len(merged))
-	for nk, cand := range merged {
-		next[nk] = dpEntry{cost: cand.cost, parent: cand.parent, decided: cand.decided}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
 	}
-	return next, nil
+	sort.Strings(keys)
+	f.keys = keys
+	f.cost = make([]float64, len(keys))
+	f.parent = make([]int32, len(keys))
+	f.combo = make([]int32, len(keys))
+	for i, k := range keys {
+		cand := merged[k]
+		f.cost[i] = cand.cost
+		f.parent[i] = cand.parent
+		f.combo[i] = cand.combo
+	}
+	f.live = len(keys)
+	return f, nil
 }
 
 // chunkRanges splits [0, n) into at most workers contiguous [lo, hi)
@@ -419,63 +508,21 @@ func forEachChunk(workers, n int, fn func(w, lo, hi int)) {
 	runChunks(chunkRanges(workers, n), fn)
 }
 
-func sortedStateKeys(states map[string]dpEntry) []string {
-	keys := make([]string, 0, len(states))
-	for k := range states {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// dpEntry is one frontier state: its accumulated cost, the predecessor
-// state's key, and the variables decided at the transition into it.
-type dpEntry struct {
-	cost    float64
-	parent  string
-	decided map[int]int
-}
-
-// pruneStates keeps the cheapest max states (beam bound). Equal costs break
-// by state key so the surviving beam is deterministic.
-func pruneStates(next map[string]dpEntry, max int) map[string]dpEntry {
-	type kc struct {
-		key  string
-		cost float64
-	}
-	costs := make([]kc, 0, len(next))
-	for k, e := range next {
-		costs = append(costs, kc{key: k, cost: e.cost})
-	}
-	sort.Slice(costs, func(i, j int) bool {
-		if costs[i].cost != costs[j].cost {
-			return costs[i].cost < costs[j].cost
-		}
-		return costs[i].key < costs[j].key
-	})
-	out := make(map[string]dpEntry, max)
-	for _, c := range costs[:max] {
-		out[c.key] = next[c.key]
-	}
-	return out
-}
-
 // Evaluate prices a complete variable assignment without searching — the
 // heuristic baselines (AllRow-Greedy, Spartan) choose cuts by their own
 // rules and use this to cost them, and tests use it to cross-check the DP's
-// optimality.
+// optimality. The slot evaluators (and their pricing analyses) are built on
+// the worker pool, exactly like Solve's.
 func Evaluate(p *Problem, varCut map[int]int) (*Result, error) {
-	c := p.Coarse
-	res := &Result{
-		VarCut: varCut, TensorCut: map[int]int{},
-		OpStrategy: map[int]partition.Strategy{}, OpComm: map[int]partition.Parts{},
+	sl, err := prepareSlotEvals(p)
+	if err != nil {
+		return nil, err
 	}
-	for _, g := range c.Groups {
-		for _, s := range g.Slots {
-			ev, err := newSlotEval(p, s)
-			if err != nil {
-				return nil, err
-			}
+	c := p.Coarse
+	res := newResult(c)
+	res.VarCut = varCut
+	for gi := range c.Groups {
+		for _, ev := range sl.byGroup[gi] {
 			si, cost, err := ev.best(varCut)
 			if err != nil {
 				return nil, err
@@ -484,8 +531,8 @@ func Evaluate(p *Problem, varCut map[int]int) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.CommBytes += cost * ev.mult
-			for _, n := range s.Ops {
+			res.CommBytes += cost
+			for _, n := range ev.slot.Ops {
 				res.OpStrategy[n.ID] = ev.priced.Strategies[si]
 				res.OpComm[n.ID] = parts
 			}
@@ -503,101 +550,10 @@ func Evaluate(p *Problem, varCut map[int]int) (*Result, error) {
 	return res, nil
 }
 
-func newSlotEval(p *Problem, s *coarsen.Slot) (*slotEval, error) {
-	rep := s.Rep()
-	ev := &slotEval{slot: s, mult: float64(len(s.Ops)), memo: map[string]slotBest{}}
-
-	curIn := make([]shape.Shape, len(rep.Inputs))
-	origIn := make([]shape.Shape, len(rep.Inputs))
-	for i, in := range rep.Inputs {
-		curIn[i] = p.Shapes[in.ID]
-		origIn[i] = in.Shape
-		ev.inVars = append(ev.inVars, p.Coarse.VarOf(in))
-	}
-	ev.outVar = p.Coarse.VarOf(rep.Output)
-	curOut := p.Shapes[rep.Output.ID]
-
-	desc, err := p.Coarse.G.Describe(rep)
-	if err != nil {
-		return nil, err
-	}
-	// Price at ORIGINAL shapes (see Problem); gate applicability on the
-	// CURRENT shapes, where earlier steps may have exhausted a dimension.
-	spec := &partition.Spec{
-		Desc:     desc,
-		InShapes: origIn,
-		OutShape: rep.Output.Shape,
-		DType:    p.DType,
-	}
-	// The full pricing (every strategy applicable at original shapes) is
-	// step-invariant, so it is memoized in the cache; the per-step strategy
-	// filter and current-shape gate become a cheap Restrict view.
-	full, err := p.Cache.priced(slotKey(rep, spec, p.K, p.DType), func() (*partition.Priced, error) {
-		return partition.Price(spec, p.K, nil)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("dp: pricing %v: %w", rep, err)
-	}
-	ev.priced, err = full.Restrict(func(st partition.Strategy) bool {
-		if p.StrategyFilter != nil && !p.StrategyFilter(st) {
-			return false
-		}
-		if st.Kind == partition.SplitOutput {
-			return curOut.CanSplit(st.OutDim, p.K)
-		}
-		ext, err := partition.ReduceExtent(desc, curIn, st.Axis)
-		if err != nil {
-			return false
-		}
-		return ext >= p.K && ext%p.K == 0
-	})
-	if err != nil {
-		return nil, fmt.Errorf("dp: pricing %v: %w", rep, err)
-	}
-	ev.spec = spec
-	return ev, nil
-}
-
-// best returns the cheapest strategy for the slot under a full assignment.
-func (ev *slotEval) best(assign map[int]int) (int, float64, error) {
-	var sb strings.Builder
-	inCuts := make([]partition.Cut, len(ev.inVars))
-	for i, v := range ev.inVars {
-		d, ok := assign[v.ID]
-		if !ok {
-			return 0, 0, fmt.Errorf("dp: slot %v references undecided var %v", ev.slot.Rep(), v)
-		}
-		inCuts[i] = partition.Cut{Dim: d}
-		fmt.Fprintf(&sb, "%d,", d)
-	}
-	od, ok := assign[ev.outVar.ID]
-	if !ok {
-		return 0, 0, fmt.Errorf("dp: slot %v output var %v undecided", ev.slot.Rep(), ev.outVar)
-	}
-	fmt.Fprintf(&sb, "|%d", od)
-	key := sb.String()
-	ev.mu.RLock()
-	b, ok := ev.memo[key]
-	ev.mu.RUnlock()
-	if ok {
-		return b.si, b.cost, nil
-	}
-	si, cost := ev.priced.Best(inCuts, partition.Cut{Dim: od})
-	if si < 0 {
-		return 0, 0, fmt.Errorf("dp: no strategy for slot %v", ev.slot.Rep())
-	}
-	// Concurrent misses recompute the same deterministic value; last store
-	// wins harmlessly.
-	ev.mu.Lock()
-	ev.memo[key] = slotBest{si: si, cost: cost}
-	ev.mu.Unlock()
-	return si, cost, nil
-}
-
-// Evaluator prices assignments incrementally: the interval analyses are run
-// once, after which pricing any assignment (or the delta of flipping a
-// single variable) is plain arithmetic. The Spartan-style greedy baseline
-// relies on this.
+// Evaluator prices assignments incrementally: the interval analyses and
+// cost tables are built once (on the worker pool), after which pricing any
+// assignment (or the delta of flipping a single variable) is plain
+// arithmetic. The Spartan-style greedy baseline relies on this.
 type Evaluator struct {
 	p       *Problem
 	evals   []*slotEval
@@ -605,41 +561,31 @@ type Evaluator struct {
 	configs map[int][]int // var ID -> viable cut dims
 }
 
-// NewEvaluator prepares the slot evaluators.
+// NewEvaluator prepares the slot evaluators through the same pooled path as
+// Solve.
 func NewEvaluator(p *Problem) (*Evaluator, error) {
-	e := &Evaluator{p: p, byVar: map[int][]int{}, configs: map[int][]int{}}
-	for _, g := range p.Coarse.Groups {
-		for _, s := range g.Slots {
-			ev, err := newSlotEval(p, s)
-			if err != nil {
-				return nil, err
+	sl, err := prepareSlotEvals(p)
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{p: p, evals: sl.ordered, byVar: map[int][]int{}, configs: map[int][]int{}}
+	for idx, ev := range sl.ordered {
+		seen := map[int]bool{}
+		for _, v := range ev.inVars {
+			if !seen[v.ID] {
+				seen[v.ID] = true
+				e.byVar[v.ID] = append(e.byVar[v.ID], idx)
 			}
-			idx := len(e.evals)
-			e.evals = append(e.evals, ev)
-			seen := map[int]bool{}
-			for _, v := range ev.inVars {
-				if !seen[v.ID] {
-					seen[v.ID] = true
-					e.byVar[v.ID] = append(e.byVar[v.ID], idx)
-				}
-			}
-			if !seen[ev.outVar.ID] {
-				e.byVar[ev.outVar.ID] = append(e.byVar[ev.outVar.ID], idx)
-			}
+		}
+		if !seen[ev.outVar.ID] {
+			e.byVar[ev.outVar.ID] = append(e.byVar[ev.outVar.ID], idx)
 		}
 	}
 	for _, v := range p.Coarse.Vars {
 		if v.First < 0 {
 			continue
 		}
-		s := p.Shapes[v.Tensors[0].ID]
-		var dims []int
-		for d := 0; d < s.Rank(); d++ {
-			if s.CanSplit(d, p.K) {
-				dims = append(dims, d)
-			}
-		}
-		e.configs[v.ID] = dims
+		e.configs[v.ID] = sl.alphas[v.ID].dims
 	}
 	return e, nil
 }
@@ -652,12 +598,11 @@ func (e *Evaluator) Configs(varID int) []int { return e.configs[varID] }
 func (e *Evaluator) VarCost(varID int, assign map[int]int) (float64, error) {
 	total := 0.0
 	for _, idx := range e.byVar[varID] {
-		ev := e.evals[idx]
-		_, c, err := ev.best(assign)
+		_, c, err := e.evals[idx].best(assign)
 		if err != nil {
 			return 0, err
 		}
-		total += c * ev.mult
+		total += c
 	}
 	return total, nil
 }
@@ -670,7 +615,7 @@ func (e *Evaluator) Total(assign map[int]int) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		total += c * ev.mult
+		total += c
 	}
 	return total, nil
 }
@@ -678,10 +623,8 @@ func (e *Evaluator) Total(assign map[int]int) (float64, error) {
 // Result materializes a full Result (strategies, per-op comm) for an
 // assignment.
 func (e *Evaluator) Result(assign map[int]int) (*Result, error) {
-	res := &Result{
-		VarCut: assign, TensorCut: map[int]int{},
-		OpStrategy: map[int]partition.Strategy{}, OpComm: map[int]partition.Parts{},
-	}
+	res := newResult(e.p.Coarse)
+	res.VarCut = assign
 	for _, ev := range e.evals {
 		si, cost, err := ev.best(assign)
 		if err != nil {
@@ -691,7 +634,7 @@ func (e *Evaluator) Result(assign map[int]int) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.CommBytes += cost * ev.mult
+		res.CommBytes += cost
 		for _, n := range ev.slot.Ops {
 			res.OpStrategy[n.ID] = ev.priced.Strategies[si]
 			res.OpComm[n.ID] = parts
@@ -709,86 +652,6 @@ func (e *Evaluator) Result(assign map[int]int) (*Result, error) {
 	return res, nil
 }
 
-// parts itemizes the chosen strategy's communication under an assignment.
-func (ev *slotEval) parts(si int, assign map[int]int) (partition.Parts, error) {
-	inCuts := make([]partition.Cut, len(ev.inVars))
-	for i, v := range ev.inVars {
-		d, ok := assign[v.ID]
-		if !ok {
-			return partition.Parts{}, fmt.Errorf("dp: slot %v references undecided var %v", ev.slot.Rep(), v)
-		}
-		inCuts[i] = partition.Cut{Dim: d}
-	}
-	od, ok := assign[ev.outVar.ID]
-	if !ok {
-		return partition.Parts{}, fmt.Errorf("dp: slot %v output var %v undecided", ev.slot.Rep(), ev.outVar)
-	}
-	return ev.priced.PartsOf(si, inCuts, partition.Cut{Dim: od}), nil
-}
-
-func groupCost(g *coarsen.Group, evals map[*coarsen.Slot]*slotEval, assign map[int]int) (float64, error) {
-	total := 0.0
-	for _, s := range g.Slots {
-		ev := evals[s]
-		_, c, err := ev.best(assign)
-		if err != nil {
-			return 0, err
-		}
-		total += c * ev.mult
-	}
-	return total, nil
-}
-
-// enumCombos enumerates assignments for the newly introduced variables.
-func enumCombos(vars []*coarsen.Var, configs map[int][]int) []map[int]int {
-	out := []map[int]int{{}}
-	for _, v := range vars {
-		dims := configs[v.ID]
-		var next []map[int]int
-		for _, m := range out {
-			for _, d := range dims {
-				nm := make(map[int]int, len(m)+1)
-				for k, val := range m {
-					nm[k] = val
-				}
-				nm[v.ID] = d
-				next = append(next, nm)
-			}
-		}
-		out = next
-	}
-	return out
-}
-
-func encodeState(assign map[int]int) string {
-	if len(assign) == 0 {
-		return ""
-	}
-	ids := make([]int, 0, len(assign))
-	for id := range assign {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	var sb strings.Builder
-	for _, id := range ids {
-		fmt.Fprintf(&sb, "%d:%d;", id, assign[id])
-	}
-	return sb.String()
-}
-
-func decodeState(key string) map[int]int {
-	out := map[int]int{}
-	if key == "" {
-		return out
-	}
-	for _, part := range strings.Split(strings.TrimSuffix(key, ";"), ";") {
-		var id, dim int
-		fmt.Sscanf(part, "%d:%d", &id, &dim)
-		out[id] = dim
-	}
-	return out
-}
-
 // SlotCost reports one slot's contribution to an Evaluate run (debugging and
 // the Figure 10 breakdowns).
 type SlotCost struct {
@@ -798,23 +661,24 @@ type SlotCost struct {
 	Strategy partition.Strategy
 }
 
-// SlotCosts itemizes Evaluate by slot, in group order.
+// SlotCosts itemizes Evaluate by slot, in group order, building the
+// evaluators through the same pooled path as Solve.
 func SlotCosts(p *Problem, varCut map[int]int) ([]SlotCost, error) {
+	sl, err := prepareSlotEvals(p)
+	if err != nil {
+		return nil, err
+	}
 	var out []SlotCost
-	for _, g := range p.Coarse.Groups {
-		for _, s := range g.Slots {
-			ev, err := newSlotEval(p, s)
-			if err != nil {
-				return nil, err
-			}
+	for gi := range p.Coarse.Groups {
+		for _, ev := range sl.byGroup[gi] {
 			si, cost, err := ev.best(varCut)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, SlotCost{
-				Op:       s.Rep().String(),
+				Op:       ev.slot.Rep().String(),
 				Mult:     ev.mult,
-				Cost:     cost * ev.mult,
+				Cost:     cost,
 				Strategy: ev.priced.Strategies[si],
 			})
 		}

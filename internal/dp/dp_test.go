@@ -47,11 +47,8 @@ func TestSolveBasics(t *testing.T) {
 		}
 	}
 	for _, n := range m.G.Nodes {
-		if _, ok := res.OpStrategy[n.ID]; !ok {
+		if res.OpStrategy[n.ID].Axis == "" {
 			t.Errorf("node %v has no strategy", n)
-		}
-		if _, ok := res.OpComm[n.ID]; !ok {
-			t.Errorf("node %v has no comm record", n)
 		}
 	}
 	// Total cost equals the sum of per-op parts.

@@ -2,12 +2,8 @@ package dp
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"math"
 	"time"
-
-	"tofu/internal/coarsen"
-	"tofu/internal/partition"
 )
 
 // FlatReport measures the single-level multi-dimensional DP — the paper's
@@ -30,7 +26,9 @@ type FlatReport struct {
 // SolveFlat runs the non-recursive multi-dimensional DP with a wall-clock
 // budget. factors is the cut sequence a config represents (e.g. [2,2,2] for
 // 8 workers); each variable's configuration is a multiset of dimensions of
-// that length.
+// that length. The per-level slot pricing rides the same dense cost tables
+// as the recursive search (one table set per factor level); frontier states
+// are packed config-index keys.
 func SolveFlat(p *Problem, factors []int64, budget time.Duration) (*FlatReport, error) {
 	c := p.Coarse
 	rep := &FlatReport{}
@@ -70,123 +68,91 @@ func SolveFlat(p *Problem, factors []int64, budget time.Duration) (*FlatReport, 
 		if len(combos) == 0 {
 			return nil, fmt.Errorf("dp: flat search: variable %v cannot be divided %v ways", v, factors)
 		}
+		if len(combos) > 1<<16 {
+			return nil, fmt.Errorf("dp: flat search: variable %v has %d configurations", v, len(combos))
+		}
 		varConfigs[v.ID] = combos
 	}
 
 	// Exact total evaluation count of the full DP (states x new combos per
 	// group), computed without running it.
-	liveProduct := func(gi int) float64 {
-		prod := 1.0
-		for _, v := range c.Vars {
-			if v.First <= gi && v.Last > gi {
-				prod *= float64(len(varConfigs[v.ID]))
-			}
-		}
-		return prod
-	}
 	for gi, g := range c.Groups {
 		states := 1.0
 		if gi > 0 {
-			states = liveProduct(gi - 1)
+			for _, v := range c.Groups[gi-1].LiveAfter {
+				states *= float64(len(varConfigs[v.ID]))
+			}
 		}
 		comboCount := 1.0
-		for _, v := range g.Vars {
-			if v.First == gi {
-				comboCount *= float64(len(varConfigs[v.ID]))
-			}
+		for _, v := range g.NewVars {
+			comboCount *= float64(len(varConfigs[v.ID]))
 		}
 		rep.TotalConfigs += states * comboCount
 	}
 
-	// Slot evaluators per factor level (shapes are original at every level;
-	// see Problem's pricing note).
-	type levelEval struct {
-		priced *partition.Priced
-		inVars []*coarsen.Var
-		outVar *coarsen.Var
-		mult   float64
-	}
-	evals := map[*coarsen.Slot][]*levelEval{}
-	for _, g := range c.Groups {
-		for _, s := range g.Slots {
-			for _, k := range factors {
-				sub := &Problem{Coarse: c, K: k, Shapes: p.Shapes, DType: p.DType,
-					StrategyFilter: p.StrategyFilter, Cache: p.Cache}
-				ev, err := newSlotEval(sub, s)
-				if err != nil {
-					return nil, err
-				}
-				evals[s] = append(evals[s], &levelEval{
-					priced: ev.priced, inVars: ev.inVars, outVar: ev.outVar, mult: ev.mult,
-				})
-			}
+	// Slot evaluators (and dense cost tables) per factor level — shapes are
+	// original at every level (see Problem's pricing note), so each level's
+	// table set is exactly the recursive search's for that K, and equal
+	// factors share one set.
+	levelEvals := make([]*slotSet, len(factors))
+	byK := map[int64]*slotSet{}
+	for li, k := range factors {
+		if ss, ok := byK[k]; ok {
+			levelEvals[li] = ss
+			continue
 		}
+		sub := &Problem{Coarse: c, K: k, Shapes: p.Shapes, DType: p.DType,
+			StrategyFilter: p.StrategyFilter, Parallelism: p.Parallelism, Cache: p.Cache}
+		ss, err := prepareSlotEvals(sub)
+		if err != nil {
+			return nil, err
+		}
+		byK[k] = ss
+		levelEvals[li] = ss
 	}
 
-	slotCost := func(s *coarsen.Slot, assign map[int][]int) (float64, bool) {
+	// cfg holds the current configuration index of every variable; the
+	// group cost prices each slot per level through its table.
+	cfg := make([]int32, len(c.Vars))
+	groupCost := func(gi int) (float64, bool) {
 		total := 0.0
-		for level, le := range evals[s] {
-			inCuts := make([]partition.Cut, len(le.inVars))
-			for i, v := range le.inVars {
-				inCuts[i] = partition.Cut{Dim: assign[v.ID][level]}
+		for si := range c.Groups[gi].Slots {
+			for li := range factors {
+				ev := levelEvals[li].byGroup[gi][si]
+				ti := 0
+				for j, v := range ev.tvars {
+					d := varConfigs[v.ID][cfg[v.ID]][li]
+					dg := ev.talphas[j].digitOf[d]
+					if dg < 0 {
+						return 0, false
+					}
+					ti += ev.tstride[j] * int(dg)
+				}
+				_, cost := ev.bestAt(ti) // pre-multiplied by multiplicity
+				total += cost
 			}
-			out := partition.Cut{Dim: assign[le.outVar.ID][level]}
-			si, cost := le.priced.Best(inCuts, out)
-			if si < 0 {
-				return 0, false
-			}
-			total += cost * le.mult
 		}
 		return total, true
 	}
 
-	// Frontier DP over multiset configurations.
-	type entry struct {
-		cost float64
-	}
-	encode := func(assign map[int][]int) string {
-		ids := make([]int, 0, len(assign))
-		for id := range assign {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		var sb strings.Builder
-		for _, id := range ids {
-			fmt.Fprintf(&sb, "%d:%v;", id, assign[id])
-		}
-		return sb.String()
-	}
-	type state struct {
-		assign map[int][]int
-		cost   float64
-	}
-	states := []state{{assign: map[int][]int{}}}
+	// Frontier DP over multiset configurations, keyed by packed config
+	// indices (two bytes per live variable).
+	states := map[string]float64{"": 0}
 	for gi, g := range c.Groups {
-		var newVars []*coarsen.Var
-		for _, v := range g.Vars {
-			if v.First == gi {
-				newVars = append(newVars, v)
-			}
+		nCombos := int64(1)
+		for _, v := range g.NewVars {
+			nCombos *= int64(len(varConfigs[v.ID]))
 		}
-		nextByKey := map[string]state{}
-		for _, st := range states {
-			// Enumerate combos of the new variables.
-			combos := []map[int][]int{{}}
-			for _, v := range newVars {
-				var grown []map[int][]int
-				for _, m := range combos {
-					for _, cfg := range varConfigs[v.ID] {
-						nm := make(map[int][]int, len(m)+1)
-						for k2, v2 := range m {
-							nm[k2] = v2
-						}
-						nm[v.ID] = cfg
-						grown = append(grown, nm)
-					}
+		keyBuf := make([]byte, 2*len(g.LiveAfter))
+		next := make(map[string]float64)
+		for key, stCost := range states {
+			if gi > 0 {
+				live := c.Groups[gi-1].LiveAfter
+				for b, v := range live {
+					cfg[v.ID] = int32(key[2*b])<<8 | int32(key[2*b+1])
 				}
-				combos = grown
 			}
-			for _, combo := range combos {
+			for ci := int64(0); ci < nCombos; ci++ {
 				// Never bail before the first batch: extrapolation needs a
 				// nonzero measured rate even when setup ate the whole budget
 				// (tiny budgets, race-detector builds).
@@ -199,50 +165,35 @@ func SolveFlat(p *Problem, factors []int64, budget time.Duration) (*FlatReport, 
 					return rep, nil
 				}
 				rep.Evaluated++
-				full := make(map[int][]int, len(st.assign)+len(combo))
-				for k2, v2 := range st.assign {
-					full[k2] = v2
+				rem := ci
+				for j := len(g.NewVars) - 1; j >= 0; j-- {
+					n := int64(len(varConfigs[g.NewVars[j].ID]))
+					cfg[g.NewVars[j].ID] = int32(rem % n)
+					rem /= n
 				}
-				for k2, v2 := range combo {
-					full[k2] = v2
-				}
-				cost := st.cost
-				ok := true
-				for _, s := range g.Slots {
-					cc, valid := slotCost(s, full)
-					if !valid {
-						ok = false
-						break
-					}
-					cost += cc
-				}
+				cost, ok := groupCost(gi)
 				if !ok {
 					continue
 				}
-				nxt := make(map[int][]int, len(full))
-				for id, cfg := range full {
-					if c.Vars[id].Last > gi {
-						nxt[id] = cfg
-					}
+				cost += stCost
+				for b, v := range g.LiveAfter {
+					keyBuf[2*b] = byte(cfg[v.ID] >> 8)
+					keyBuf[2*b+1] = byte(cfg[v.ID])
 				}
-				key := encode(nxt)
-				if old, seen := nextByKey[key]; !seen || cost < old.cost {
-					nextByKey[key] = state{assign: nxt, cost: cost}
+				if old, seen := next[string(keyBuf)]; !seen || cost < old {
+					next[string(keyBuf)] = cost
 				}
 			}
 		}
-		states = states[:0]
-		for _, st := range nextByKey {
-			states = append(states, st)
-		}
+		states = next
 		if len(states) == 0 {
 			return nil, fmt.Errorf("dp: flat search infeasible at group %d", gi)
 		}
 	}
-	best := states[0].cost
-	for _, st := range states {
-		if st.cost < best {
-			best = st.cost
+	best := math.Inf(1)
+	for _, cost := range states {
+		if cost < best {
+			best = cost
 		}
 	}
 	rep.Completed = true

@@ -1,0 +1,268 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tofu/internal/coarsen"
+)
+
+// This file implements the packed frontier-state encoding. A DP state at the
+// boundary after group gi assigns every live variable one entry of its
+// cut-dimension alphabet; the state is the mixed-radix number whose digits
+// are those alphabet indices, most significant digit first in variable-ID
+// order. Small boundaries (the paper's chains and residual graphs) keep the
+// whole frontier in flat arrays indexed by that number; wide boundaries
+// (attention fan-outs under a beam bound) fall back to a map keyed by the
+// raw digit bytes. Both orders coincide with the legacy sorted-string-key
+// sweep order, which is what keeps plans byte-identical across the
+// representations and across worker-pool sizes.
+
+// varAlpha is one variable's cut-dimension alphabet at the current step: the
+// dimensions (ascending) the variable's shape can still be split along for
+// this step's K, plus the inverse digit lookup.
+type varAlpha struct {
+	v *coarsen.Var
+	// dims lists the cuttable dimensions, ascending; a state digit d means
+	// "cut along dims[d]".
+	dims []int
+	// digitOf maps a dimension to its digit, -1 when not cuttable.
+	digitOf []int8
+}
+
+// buildAlphas enumerates per-variable alphabets (cuttable dimensions at this
+// step), indexed by variable ID. Unreferenced variables keep a nil alphabet.
+func buildAlphas(p *Problem) ([]varAlpha, error) {
+	alphas := make([]varAlpha, len(p.Coarse.Vars))
+	for _, v := range p.Coarse.Vars {
+		if v.First < 0 {
+			continue // never referenced by an operator
+		}
+		s := p.Shapes[v.Tensors[0].ID]
+		a := varAlpha{v: v, digitOf: make([]int8, s.Rank())}
+		for d := 0; d < s.Rank(); d++ {
+			a.digitOf[d] = -1
+			if s.CanSplit(d, p.K) {
+				a.digitOf[d] = int8(len(a.dims))
+				a.dims = append(a.dims, d)
+			}
+		}
+		if len(a.dims) == 0 {
+			return nil, fmt.Errorf("dp: variable %v shape %v has no dimension divisible by %d", v, s, p.K)
+		}
+		alphas[v.ID] = a
+	}
+	return alphas, nil
+}
+
+const (
+	// denseStateLimit bounds the state spaces kept in flat arrays; larger
+	// boundaries use the byte-keyed sparse representation.
+	denseStateLimit = 1 << 16
+	// maxStateSpace clamps the mixed-radix product against int64 overflow.
+	maxStateSpace = int64(1) << 62
+)
+
+// layout fixes the packed encoding of one set of variables (a frontier
+// boundary, or a group's newly introduced variables).
+type layout struct {
+	vars []*coarsen.Var
+	// radix[j] is the alphabet size of vars[j]; stride[j] its mixed-radix
+	// weight (vars[0] is the most significant digit).
+	radix  []int64
+	stride []int64
+	// size is the full state-space cardinality, clamped to maxStateSpace.
+	size int64
+	// dense marks layouts small enough for flat-array frontiers.
+	dense bool
+}
+
+func makeLayout(vars []*coarsen.Var, alphas []varAlpha) layout {
+	l := layout{
+		vars:   vars,
+		radix:  make([]int64, len(vars)),
+		stride: make([]int64, len(vars)),
+		size:   1,
+	}
+	for j := len(vars) - 1; j >= 0; j-- {
+		r := int64(len(alphas[vars[j].ID].dims))
+		l.radix[j] = r
+		l.stride[j] = l.size
+		if l.size >= maxStateSpace/r {
+			l.size = maxStateSpace
+		} else {
+			l.size *= r
+		}
+	}
+	l.dense = l.size <= denseStateLimit
+	return l
+}
+
+// decode writes state idx's digit per variable into the scratch array
+// (indexed by variable ID).
+func (l *layout) decode(idx int64, digit []uint8) {
+	for j, v := range l.vars {
+		digit[v.ID] = uint8((idx / l.stride[j]) % l.radix[j])
+	}
+}
+
+// frontier holds the DP states at one boundary. Dense frontiers are indexed
+// by the packed state number with +Inf marking unreachable or pruned
+// states; sparse frontiers list reachable states in ascending key order.
+// parent is the state's predecessor position in the previous frontier's
+// state list and combo the packed assignment of the group's new variables —
+// together they replace the legacy per-group decided-map trace.
+type frontier struct {
+	lay    layout
+	cost   []float64
+	parent []int32
+	combo  []int32
+	// keys holds the packed digit bytes of each state, ascending; nil for
+	// dense frontiers.
+	keys []string
+	// live counts reachable (unpruned) states.
+	live int
+}
+
+// count is the number of enumerable state positions (dense counts holes).
+func (f *frontier) count() int {
+	if f.lay.dense {
+		return int(f.lay.size)
+	}
+	return len(f.keys)
+}
+
+// decode writes state position i's digits into the scratch array.
+func (f *frontier) decode(i int, digit []uint8) {
+	if f.lay.dense {
+		f.lay.decode(int64(i), digit)
+		return
+	}
+	k := f.keys[i]
+	for j, v := range f.lay.vars {
+		digit[v.ID] = k[j]
+	}
+}
+
+// initialFrontier is the single empty state before the first group.
+func initialFrontier() *frontier {
+	return &frontier{
+		lay:    layout{size: 1, dense: true},
+		cost:   []float64{0},
+		parent: []int32{-1},
+		combo:  []int32{-1},
+		live:   1,
+	}
+}
+
+// best returns the position and cost of the cheapest live state (ties break
+// by position, i.e. by packed state order).
+func (f *frontier) best() (int, float64) {
+	bi, bc := -1, math.Inf(1)
+	for i, c := range f.cost {
+		if c < bc {
+			bi, bc = i, c
+		}
+	}
+	return bi, bc
+}
+
+// prune keeps the cheapest max live states — the beam bound. The surviving
+// set is selected by the total order (cost, state order), so it is
+// deterministic; selection is O(n) expected (quickselect), replacing the
+// legacy full sort. Sparse frontiers compact their state list; dense ones
+// mark pruned states +Inf in place.
+func (f *frontier) prune(max int) {
+	if f.live <= max {
+		return
+	}
+	idxs := make([]int32, 0, f.live)
+	for i, c := range f.cost {
+		if !math.IsInf(c, 1) {
+			idxs = append(idxs, int32(i))
+		}
+	}
+	selectCheapest(idxs, f.cost, max)
+	if f.lay.dense {
+		for _, i := range idxs[max:] {
+			f.cost[i] = math.Inf(1)
+		}
+		f.live = max
+		return
+	}
+	keep := idxs[:max]
+	sort.Slice(keep, func(a, b int) bool { return keep[a] < keep[b] })
+	keys := make([]string, max)
+	cost := make([]float64, max)
+	parent := make([]int32, max)
+	combo := make([]int32, max)
+	for o, i := range keep {
+		keys[o] = f.keys[i]
+		cost[o] = f.cost[i]
+		parent[o] = f.parent[i]
+		combo[o] = f.combo[i]
+	}
+	f.keys, f.cost, f.parent, f.combo = keys, cost, parent, combo
+	f.live = max
+}
+
+// selectCheapest partially sorts idxs so its first k entries are the k
+// smallest by (cost, index) — expected-linear Hoare quickselect with
+// median-of-three pivots.
+func selectCheapest(idxs []int32, cost []float64, k int) {
+	lo, hi := 0, len(idxs) // select within idxs[lo:hi]
+	for hi-lo > 1 && k > lo && k < hi {
+		// Median-of-three pivot on (cost, index).
+		mid := lo + (hi-lo)/2
+		a, b, c := idxs[lo], idxs[mid], idxs[hi-1]
+		pivot := b
+		if cheaper(a, b, cost) {
+			if cheaper(b, c, cost) {
+				pivot = b
+			} else if cheaper(a, c, cost) {
+				pivot = c
+			} else {
+				pivot = a
+			}
+		} else {
+			if cheaper(a, c, cost) {
+				pivot = a
+			} else if cheaper(b, c, cost) {
+				pivot = c
+			} else {
+				pivot = b
+			}
+		}
+		i, j := lo, hi-1
+		for i <= j {
+			for cheaper(idxs[i], pivot, cost) {
+				i++
+			}
+			for cheaper(pivot, idxs[j], cost) {
+				j--
+			}
+			if i <= j {
+				idxs[i], idxs[j] = idxs[j], idxs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j + 1
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// cheaper is the total order pruning selects by: cost, then packed state
+// order.
+func cheaper(a, b int32, cost []float64) bool {
+	if cost[a] != cost[b] {
+		return cost[a] < cost[b]
+	}
+	return a < b
+}

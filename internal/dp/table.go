@@ -1,0 +1,338 @@
+package dp
+
+import (
+	"fmt"
+	"sync"
+
+	"tofu/internal/coarsen"
+	"tofu/internal/partition"
+	"tofu/internal/shape"
+)
+
+// tableLimit bounds the per-slot dense cost tables; slots whose touched
+// variables span a larger cross-product (which no benchmark model comes
+// near) price lazily through an integer-keyed memo instead.
+const tableLimit = 1 << 16
+
+// slotEval prices one slot under any variable assignment. The interval
+// analyses run once (cached across steps in PriceCache); on top of them the
+// evaluator precomputes a dense cost table indexed by the cross-product of
+// its touched variables' alphabet digits, so the DP sweep prices a slot
+// with one multiply-add per touched variable and a pair of array loads —
+// no locks, no maps, no error paths.
+type slotEval struct {
+	slot   *coarsen.Slot
+	priced *partition.Priced
+	inVars []*coarsen.Var
+	outVar *coarsen.Var
+	mult   float64
+
+	// tvars lists the distinct touched variables ascending by ID; tstride
+	// their mixed-radix weights over alphabet digits (tvars[0] most
+	// significant); talphas their alphabets. inPos/outPos map the slot's
+	// input positions and output to tvars indices.
+	tvars   []*coarsen.Var
+	talphas []*varAlpha
+	tstride []int
+	inPos   []int
+	outPos  int
+
+	// costT/bestT are the dense tables: cost (pre-multiplied by the slot's
+	// timestep multiplicity) and best strategy index per digit
+	// cross-product. nil when the cross-product exceeds tableLimit.
+	costT []float64
+	bestT []int32
+
+	// Lazy fallback for oversized cross-products: an integer-keyed memo
+	// guarded for the parallel sweep.
+	mu   sync.Mutex
+	memo map[int]slotBest
+}
+
+type slotBest struct {
+	si   int32
+	cost float64
+}
+
+func newSlotEval(p *Problem, s *coarsen.Slot, alphas []varAlpha) (*slotEval, error) {
+	rep := s.Rep()
+	ev := &slotEval{slot: s, mult: float64(len(s.Ops))}
+
+	curIn := make([]shape.Shape, len(rep.Inputs))
+	ev.inVars = make([]*coarsen.Var, len(rep.Inputs))
+	for i, in := range rep.Inputs {
+		curIn[i] = p.Shapes[in.ID]
+		ev.inVars[i] = p.Coarse.VarOf(in)
+	}
+	ev.outVar = p.Coarse.VarOf(rep.Output)
+	curOut := p.Shapes[rep.Output.ID]
+
+	desc := s.Desc
+	if desc == nil {
+		var err error
+		desc, err = p.Coarse.G.Describe(rep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Price at ORIGINAL shapes (see Problem); gate applicability on the
+	// CURRENT shapes, where earlier steps may have exhausted a dimension.
+	// The full pricing (every strategy applicable at original shapes) is
+	// step-invariant, so it is memoized in the cache — the Spec only
+	// materializes on a miss; the per-step strategy filter and
+	// current-shape gate become a cheap Restrict view.
+	full, err := p.Cache.priced(slotKey(rep, p.K, p.DType), func() (*partition.Priced, error) {
+		origIn := make([]shape.Shape, len(rep.Inputs))
+		for i, in := range rep.Inputs {
+			origIn[i] = in.Shape
+		}
+		return partition.Price(&partition.Spec{
+			Desc:     desc,
+			InShapes: origIn,
+			OutShape: rep.Output.Shape,
+			DType:    p.DType,
+		}, p.K, nil)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dp: pricing %v: %w", rep, err)
+	}
+	ev.priced, err = full.Restrict(func(st partition.Strategy) bool {
+		if p.StrategyFilter != nil && !p.StrategyFilter(st) {
+			return false
+		}
+		if st.Kind == partition.SplitOutput {
+			return curOut.CanSplit(st.OutDim, p.K)
+		}
+		ext, err := partition.ReduceExtent(desc, curIn, st.Axis)
+		if err != nil {
+			return false
+		}
+		return ext >= p.K && ext%p.K == 0
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dp: pricing %v: %w", rep, err)
+	}
+	ev.buildTable(alphas)
+	return ev, nil
+}
+
+// buildTable lays out the touched-variable cross-product and fills the
+// dense cost/strategy tables.
+func (ev *slotEval) buildTable(alphas []varAlpha) {
+	// Distinct touched vars (inVars/outVar may repeat), kept ascending by
+	// ID — the per-slot sets are tiny, so linear scans beat maps.
+	tvars := make([]*coarsen.Var, 0, len(ev.inVars)+1)
+	add := func(v *coarsen.Var) {
+		for _, t := range tvars {
+			if t == v {
+				return
+			}
+		}
+		i := len(tvars)
+		tvars = append(tvars, nil)
+		for i > 0 && tvars[i-1].ID > v.ID {
+			tvars[i] = tvars[i-1]
+			i--
+		}
+		tvars[i] = v
+	}
+	for _, v := range ev.inVars {
+		add(v)
+	}
+	add(ev.outVar)
+	ev.tvars = tvars
+	pos := func(v *coarsen.Var) int {
+		for j, t := range tvars {
+			if t == v {
+				return j
+			}
+		}
+		return -1
+	}
+	ev.inPos = make([]int, len(ev.inVars))
+	for i, v := range ev.inVars {
+		ev.inPos[i] = pos(v)
+	}
+	ev.outPos = pos(ev.outVar)
+
+	ev.talphas = make([]*varAlpha, len(ev.tvars))
+	ev.tstride = make([]int, len(ev.tvars))
+	size := 1
+	for j := len(ev.tvars) - 1; j >= 0; j-- {
+		ev.talphas[j] = &alphas[ev.tvars[j].ID]
+		ev.tstride[j] = size
+		size *= len(ev.talphas[j].dims)
+	}
+	if size > tableLimit {
+		ev.memo = map[int]slotBest{}
+		return
+	}
+	ev.costT = make([]float64, size)
+	ev.bestT = make([]int32, size)
+	inCuts := make([]partition.Cut, len(ev.inVars))
+	for ti := 0; ti < size; ti++ {
+		si, cost := ev.price(ti, inCuts)
+		ev.costT[ti] = cost
+		ev.bestT[ti] = si
+	}
+}
+
+// reusable reports whether this evaluator — built at an earlier recursive
+// step with the same K — is still exact at the current step: every touched
+// variable's alphabet is unchanged and every surviving strategy still
+// passes the current-shape gate. Because shapes only shrink and K is
+// prime, the gate is monotone (a dropped strategy can never revive), so
+// these two checks imply the freshly-built evaluator would be identical.
+// See Problem.Reuse.
+func (ev *slotEval) reusable(p *Problem, alphas []varAlpha) bool {
+	for j, v := range ev.tvars {
+		pd := ev.talphas[j].dims
+		cd := alphas[v.ID].dims
+		if len(pd) != len(cd) {
+			return false
+		}
+		for i := range pd {
+			if pd[i] != cd[i] {
+				return false
+			}
+		}
+	}
+	rep := ev.slot.Rep()
+	desc := ev.slot.Desc
+	curOut := p.Shapes[rep.Output.ID]
+	var curIn []shape.Shape
+	for _, st := range ev.priced.Strategies {
+		if st.Kind == partition.SplitOutput {
+			if !curOut.CanSplit(st.OutDim, p.K) {
+				return false
+			}
+			continue
+		}
+		if desc == nil {
+			return false
+		}
+		if curIn == nil {
+			curIn = make([]shape.Shape, len(rep.Inputs))
+			for i, in := range rep.Inputs {
+				curIn[i] = p.Shapes[in.ID]
+			}
+		}
+		ext, err := partition.ReduceExtent(desc, curIn, st.Axis)
+		if err != nil || ext < p.K || ext%p.K != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// price runs the legacy per-call pricing for one digit cross-product index:
+// decode the index into per-position cuts and take the cheapest strategy.
+// The returned cost is pre-multiplied by the slot multiplicity.
+func (ev *slotEval) price(ti int, inCuts []partition.Cut) (int32, float64) {
+	for i, tp := range ev.inPos {
+		a := ev.talphas[tp]
+		inCuts[i] = partition.Cut{Dim: a.dims[(ti/ev.tstride[tp])%len(a.dims)]}
+	}
+	oa := ev.talphas[ev.outPos]
+	outCut := partition.Cut{Dim: oa.dims[(ti/ev.tstride[ev.outPos])%len(oa.dims)]}
+	si, cost := ev.priced.Best(inCuts, outCut)
+	return int32(si), cost * ev.mult
+}
+
+// index packs the scratch digit array (indexed by variable ID) into the
+// slot's table index.
+func (ev *slotEval) index(digit []uint8) int {
+	ti := 0
+	for j, v := range ev.tvars {
+		ti += ev.tstride[j] * int(digit[v.ID])
+	}
+	return ti
+}
+
+// costAt prices the slot under the digits — the DP sweep's inner lookup.
+func (ev *slotEval) costAt(digit []uint8) float64 {
+	ti := ev.index(digit)
+	if ev.costT != nil {
+		return ev.costT[ti]
+	}
+	_, cost := ev.lazy(ti)
+	return cost
+}
+
+// lazy is the oversized-slot path: memoized per-index pricing.
+func (ev *slotEval) lazy(ti int) (int32, float64) {
+	ev.mu.Lock()
+	b, ok := ev.memo[ti]
+	ev.mu.Unlock()
+	if !ok {
+		inCuts := make([]partition.Cut, len(ev.inVars))
+		si, cost := ev.price(ti, inCuts)
+		b = slotBest{si: si, cost: cost}
+		ev.mu.Lock()
+		ev.memo[ti] = b
+		ev.mu.Unlock()
+	}
+	return b.si, b.cost
+}
+
+// bestAt returns the cheapest strategy index and (pre-multiplied) cost at a
+// table index.
+func (ev *slotEval) bestAt(ti int) (int32, float64) {
+	if ev.costT != nil {
+		return ev.bestT[ti], ev.costT[ti]
+	}
+	return ev.lazy(ti)
+}
+
+// indexOf packs a dimension assignment (public map form) into the table
+// index, validating that every touched variable is decided along a cuttable
+// dimension.
+func (ev *slotEval) indexOf(assign map[int]int) (int, error) {
+	ti := 0
+	for j, v := range ev.tvars {
+		d, ok := assign[v.ID]
+		if !ok {
+			for _, iv := range ev.inVars {
+				if iv == v {
+					return 0, fmt.Errorf("dp: slot %v references undecided var %v", ev.slot.Rep(), v)
+				}
+			}
+			return 0, fmt.Errorf("dp: slot %v output var %v undecided", ev.slot.Rep(), v)
+		}
+		a := ev.talphas[j]
+		if d < 0 || d >= len(a.digitOf) || a.digitOf[d] < 0 {
+			return 0, fmt.Errorf("dp: slot %v: var %v cannot be cut along dim %d at this step",
+				ev.slot.Rep(), v, d)
+		}
+		ti += ev.tstride[j] * int(a.digitOf[d])
+	}
+	return ti, nil
+}
+
+// best returns the cheapest strategy for the slot under a full assignment.
+// The cost is pre-multiplied by the slot's timestep multiplicity.
+func (ev *slotEval) best(assign map[int]int) (int, float64, error) {
+	ti, err := ev.indexOf(assign)
+	if err != nil {
+		return 0, 0, err
+	}
+	si, cost := ev.bestAt(ti)
+	return int(si), cost, nil
+}
+
+// parts itemizes the chosen strategy's communication under an assignment.
+func (ev *slotEval) parts(si int, assign map[int]int) (partition.Parts, error) {
+	inCuts := make([]partition.Cut, len(ev.inVars))
+	for i, v := range ev.inVars {
+		d, ok := assign[v.ID]
+		if !ok {
+			return partition.Parts{}, fmt.Errorf("dp: slot %v references undecided var %v", ev.slot.Rep(), v)
+		}
+		inCuts[i] = partition.Cut{Dim: d}
+	}
+	od, ok := assign[ev.outVar.ID]
+	if !ok {
+		return partition.Parts{}, fmt.Errorf("dp: slot %v output var %v undecided", ev.slot.Rep(), ev.outVar)
+	}
+	return ev.priced.PartsOf(si, inCuts, partition.Cut{Dim: od}), nil
+}

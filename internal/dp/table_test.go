@@ -1,0 +1,153 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tofu/internal/models"
+	"tofu/internal/partition"
+	"tofu/internal/shape"
+)
+
+// TestTablesMatchDirectPricing is the differential test for the dense slot
+// tables: on randomized assignments over small graphs of every benchmark
+// family, the table lookup must agree exactly with the legacy per-call
+// pricing (partition.Priced.Best on the assignment's cuts).
+func TestTablesMatchDirectPricing(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func() (*models.Model, error)
+	}{
+		{"mlp", func() (*models.Model, error) { return models.MLP(2, 64, 16) }},
+		{"rnn", func() (*models.Model, error) { return models.RNN(2, 128, 16, 4) }},
+		{"wresnet", func() (*models.Model, error) { return models.WResNet(50, 2, 8) }},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, b := range builds {
+		m, err := b.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int64{2, 4, 8} {
+			p := problemFor(t, m, k)
+			sl, err := prepareSlotEvals(p)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", b.name, k, err)
+			}
+			for trial := 0; trial < 16; trial++ {
+				// Random assignment over each variable's alphabet.
+				assign := map[int]int{}
+				for _, v := range p.Coarse.Vars {
+					if v.First < 0 {
+						continue
+					}
+					dims := sl.alphas[v.ID].dims
+					assign[v.ID] = dims[rng.Intn(len(dims))]
+				}
+				for _, ev := range sl.ordered {
+					si, cost, err := ev.best(assign)
+					if err != nil {
+						t.Fatalf("%s k=%d: %v", b.name, k, err)
+					}
+					// Legacy per-call pricing: cuts straight from the
+					// assignment, best strategy from the restricted
+					// enumeration, multiplied by the slot multiplicity.
+					inCuts := make([]partition.Cut, len(ev.inVars))
+					for i, v := range ev.inVars {
+						inCuts[i] = partition.Cut{Dim: assign[v.ID]}
+					}
+					wantSi, wantCost := ev.priced.Best(inCuts, partition.Cut{Dim: assign[ev.outVar.ID]})
+					if si != wantSi || cost != wantCost*ev.mult {
+						t.Fatalf("%s k=%d slot %v assign %v: table (%d, %g) != direct (%d, %g)",
+							b.name, k, ev.slot.Rep(), assign, si, cost, wantSi, wantCost*ev.mult)
+					}
+				}
+				// Evaluate's total must equal the direct per-slot sum.
+				res, err := Evaluate(p, assign)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := 0.0
+				for _, ev := range sl.ordered {
+					inCuts := make([]partition.Cut, len(ev.inVars))
+					for i, v := range ev.inVars {
+						inCuts[i] = partition.Cut{Dim: assign[v.ID]}
+					}
+					_, c := ev.priced.Best(inCuts, partition.Cut{Dim: assign[ev.outVar.ID]})
+					sum += c * ev.mult
+				}
+				if math.Abs(res.CommBytes-sum) > 1e-9*(1+sum) {
+					t.Fatalf("%s k=%d: Evaluate %g != direct sum %g", b.name, k, res.CommBytes, sum)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalReuseMatchesFresh drives two consecutive equal-factor steps the
+// way the recursive driver does — solve, divide shapes, solve again — and
+// checks the reused evaluators produce exactly the fresh ones' result.
+func TestEvalReuseMatchesFresh(t *testing.T) {
+	m, err := models.RNN(2, 512, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(reuse *EvalReuse, shapes map[int]shape.Shape) *Result {
+		t.Helper()
+		p := problemFor(t, m, 2)
+		p.Shapes = shapes
+		p.Reuse = reuse
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	divide := func(shapes map[int]shape.Shape, res *Result) map[int]shape.Shape {
+		t.Helper()
+		next := make(map[int]shape.Shape, len(shapes))
+		for tid, s := range shapes {
+			next[tid] = s.Clone()
+		}
+		for tid, dim := range res.TensorCut {
+			if dim < 0 {
+				continue
+			}
+			if err := next[tid].SplitInPlace(dim, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return next
+	}
+	orig := func() map[int]shape.Shape {
+		shapes := make(map[int]shape.Shape, len(m.G.Tensors))
+		for _, ten := range m.G.Tensors {
+			shapes[ten.ID] = ten.Shape.Clone()
+		}
+		return shapes
+	}
+
+	reuse := &EvalReuse{}
+	r1 := step(reuse, orig())
+	divided := divide(orig(), r1)
+	got := step(reuse, divided)
+
+	fresh1 := step(nil, orig())
+	want := step(nil, divide(orig(), fresh1))
+
+	if got.CommBytes != want.CommBytes || got.States != want.States || got.Configs != want.Configs {
+		t.Fatalf("reused step: (cost, states, configs) = (%g, %d, %d), fresh = (%g, %d, %d)",
+			got.CommBytes, got.States, got.Configs, want.CommBytes, want.States, want.Configs)
+	}
+	for id, dim := range want.VarCut {
+		if got.VarCut[id] != dim {
+			t.Fatalf("reused step cut var %d along %d, fresh chose %d", id, got.VarCut[id], dim)
+		}
+	}
+	for nid := range want.OpStrategy {
+		if got.OpStrategy[nid] != want.OpStrategy[nid] {
+			t.Fatalf("node %d: reused strategy %v != fresh %v", nid, got.OpStrategy[nid], want.OpStrategy[nid])
+		}
+	}
+}

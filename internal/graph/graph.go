@@ -208,13 +208,13 @@ func (g *Graph) Describe(n *Node) (*tdl.OpDesc, error) {
 // preserve that invariant, so construction order is already topological; we
 // verify rather than re-sort, failing loudly on corruption.
 func (g *Graph) Topo() ([]*Node, error) {
-	ready := make(map[int]bool, len(g.Tensors))
+	ready := make([]bool, len(g.Tensors))
 	for _, t := range g.Tensors {
 		if t.Producer == nil {
 			ready[t.ID] = true
 		}
 	}
-	done := make(map[int]bool, len(g.Nodes))
+	done := make([]bool, len(g.Nodes))
 	for _, n := range g.Nodes {
 		for _, in := range n.Inputs {
 			if !ready[in.ID] {

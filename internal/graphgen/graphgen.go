@@ -136,15 +136,14 @@ func Generate(g *graph.Graph, p *plan.Plan, opts Options) (*Sharded, error) {
 		// Sum the per-step communication; each step's Parts covers all
 		// workers, so a single worker moves 1/k of it.
 		for _, s := range p.Steps {
-			if st, ok := s.OpStrategy[n.ID]; ok {
-				if st.Kind == partition.SplitOutput && st.OutDim == 0 {
-					rows /= float64(s.K)
-				}
-			}
-			parts, ok := s.OpComm[n.ID]
-			if !ok {
+			if n.ID >= len(s.OpStrategy) || n.ID >= len(s.OpComm) {
 				continue
 			}
+			if st := s.OpStrategy[n.ID]; st.Axis != "" &&
+				st.Kind == partition.SplitOutput && st.OutDim == 0 {
+				rows /= float64(s.K)
+			}
+			parts := s.OpComm[n.ID]
 			os.FetchBytes += parts.InBytes / kf
 			os.FetchByLevel[s.Level] += parts.InBytes / kf
 			if opts.SpreadReduction {

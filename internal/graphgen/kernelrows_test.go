@@ -29,7 +29,7 @@ func TestKernelRowsFollowStrategies(t *testing.T) {
 		rows := float64(os.Node.Output.Shape.Dim(0))
 		splits := 1.0
 		for _, s := range p.Steps {
-			if st, ok := s.OpStrategy[os.Node.ID]; ok &&
+			if st := s.OpStrategy[os.Node.ID]; st.Axis != "" &&
 				st.Kind == partition.SplitOutput && st.OutDim == 0 {
 				splits *= float64(s.K)
 			}

@@ -57,7 +57,11 @@ func Price(sp *Spec, k int64, filter func(Strategy) bool) (*Priced, error) {
 // applicable strategies costs a few slice appends instead of re-running the
 // symbolic interval analysis (see dp.PriceCache).
 func (p *Priced) Restrict(keep func(Strategy) bool) (*Priced, error) {
-	out := &Priced{Spec: p.Spec, K: p.K, outBytes: p.outBytes}
+	out := &Priced{
+		Spec: p.Spec, K: p.K, outBytes: p.outBytes,
+		Strategies: make([]Strategy, 0, len(p.Strategies)),
+		regions:    make([][][]Region, 0, len(p.Strategies)),
+	}
 	for si, s := range p.Strategies {
 		if keep != nil && !keep(s) {
 			continue

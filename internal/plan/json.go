@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 )
 
 // Export is the stable, serializable form of a partition plan, for tooling
@@ -44,9 +46,14 @@ func (p *Plan) ToExport() Export {
 			OpStrategy: make(map[string]strat, len(s.OpStrategy)),
 		}
 		for tid, d := range s.TensorCut {
-			se.TensorCut[fmt.Sprint(tid)] = d
+			if d >= 0 {
+				se.TensorCut[fmt.Sprint(tid)] = d
+			}
 		}
 		for nid, st := range s.OpStrategy {
+			if st.Axis == "" {
+				continue
+			}
 			se.OpStrategy[fmt.Sprint(nid)] = strat{
 				Kind: st.Kind.String(), Axis: st.Axis, Dim: st.OutDim,
 			}
@@ -65,19 +72,61 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 
 // ReadJSON parses a serialized plan back into its export form (tensor and
 // node identities belong to the original graph, so the export — not a full
-// Plan — is the unit of exchange).
+// Plan — is the unit of exchange). Every field is validated: malformed
+// identifiers, unknown strategy kinds and inconsistent multipliers are
+// errors, never silently-accepted zero values.
 func ReadJSON(r io.Reader) (Export, error) {
 	var ex Export
-	if err := json.NewDecoder(r).Decode(&ex); err != nil {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ex); err != nil {
 		return Export{}, fmt.Errorf("plan: decoding: %w", err)
 	}
 	if ex.Workers < 1 {
 		return Export{}, fmt.Errorf("plan: invalid worker count %d", ex.Workers)
 	}
 	prod := int64(1)
-	for _, s := range ex.Steps {
+	for si, s := range ex.Steps {
 		if s.Ways < 2 {
-			return Export{}, fmt.Errorf("plan: invalid step ways %d", s.Ways)
+			return Export{}, fmt.Errorf("plan: step %d: invalid ways %d", si, s.Ways)
+		}
+		if s.Multiplier != prod {
+			return Export{}, fmt.Errorf("plan: step %d: multiplier %d, want %d (product of prior ways)",
+				si, s.Multiplier, prod)
+		}
+		if s.CommBytes < 0 || math.IsNaN(s.CommBytes) {
+			return Export{}, fmt.Errorf("plan: step %d: invalid comm bytes %g", si, s.CommBytes)
+		}
+		if s.Level < 0 {
+			return Export{}, fmt.Errorf("plan: step %d: invalid level %d", si, s.Level)
+		}
+		for tid, d := range s.TensorCut {
+			id, err := strconv.Atoi(tid)
+			if err != nil || id < 0 {
+				return Export{}, fmt.Errorf("plan: step %d: malformed tensor ID %q", si, tid)
+			}
+			if d < 0 {
+				return Export{}, fmt.Errorf("plan: step %d: tensor %s: invalid cut dim %d", si, tid, d)
+			}
+		}
+		for nid, st := range s.OpStrategy {
+			id, err := strconv.Atoi(nid)
+			if err != nil || id < 0 {
+				return Export{}, fmt.Errorf("plan: step %d: malformed node ID %q", si, nid)
+			}
+			switch st.Kind {
+			case "output":
+				if st.Dim < 0 {
+					return Export{}, fmt.Errorf("plan: step %d: node %s: invalid output dim %d", si, nid, st.Dim)
+				}
+			case "reduce":
+				// Dim is unused for reductions.
+			default:
+				return Export{}, fmt.Errorf("plan: step %d: node %s: unknown strategy kind %q", si, nid, st.Kind)
+			}
+			if st.Axis == "" {
+				return Export{}, fmt.Errorf("plan: step %d: node %s: missing strategy axis", si, nid)
+			}
 		}
 		prod *= s.Ways
 	}

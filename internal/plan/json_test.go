@@ -9,22 +9,23 @@ import (
 )
 
 func exportablePlan() *Plan {
+	strategies := func(st partition.Strategy) []partition.Strategy {
+		out := make([]partition.Strategy, 8)
+		out[7] = st
+		return out
+	}
 	return &Plan{
 		K: 4,
 		Steps: []*Step{
 			{
 				K: 2, Multiplier: 1, CommBytes: 100,
-				TensorCut: map[int]int{1: 0, 2: 1},
-				OpStrategy: map[int]partition.Strategy{
-					7: {Kind: partition.SplitOutput, Axis: "i", OutDim: 0},
-				},
+				TensorCut:  []int{-1, 0, 1},
+				OpStrategy: strategies(partition.Strategy{Kind: partition.SplitOutput, Axis: "i", OutDim: 0}),
 			},
 			{
 				K: 2, Multiplier: 2, CommBytes: 150,
-				TensorCut: map[int]int{1: 1, 2: 1},
-				OpStrategy: map[int]partition.Strategy{
-					7: {Kind: partition.SplitReduce, Axis: "k", OutDim: -1},
-				},
+				TensorCut:  []int{-1, 1, 1},
+				OpStrategy: strategies(partition.Strategy{Kind: partition.SplitReduce, Axis: "k", OutDim: -1}),
 			},
 		},
 	}
@@ -79,5 +80,38 @@ func TestReadJSONValidation(t *testing.T) {
 		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
 			t.Errorf("ReadJSON(%q) accepted invalid input", c)
 		}
+	}
+}
+
+// TestReadJSONRejectsMalformed locks the parse-audit contract: malformed
+// identifiers, unknown strategy kinds, inconsistent multipliers and unknown
+// fields are errors, never silently-accepted zero values.
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"unknown field", `{"workers": 2, "bogus": 1, "steps": [{"ways": 2, "multiplier": 1, "comm_bytes": 0, "tensor_cut": {}, "op_strategy": {}}]}`},
+		{"bad tensor id", `{"workers": 2, "steps": [{"ways": 2, "multiplier": 1, "comm_bytes": 0, "tensor_cut": {"x": 0}, "op_strategy": {}}]}`},
+		{"negative cut dim", `{"workers": 2, "steps": [{"ways": 2, "multiplier": 1, "comm_bytes": 0, "tensor_cut": {"1": -1}, "op_strategy": {}}]}`},
+		{"bad node id", `{"workers": 2, "steps": [{"ways": 2, "multiplier": 1, "comm_bytes": 0, "tensor_cut": {}, "op_strategy": {"n7": {"kind": "output", "axis": "i"}}}]}`},
+		{"unknown kind", `{"workers": 2, "steps": [{"ways": 2, "multiplier": 1, "comm_bytes": 0, "tensor_cut": {}, "op_strategy": {"7": {"kind": "shuffle", "axis": "i"}}}]}`},
+		{"missing axis", `{"workers": 2, "steps": [{"ways": 2, "multiplier": 1, "comm_bytes": 0, "tensor_cut": {}, "op_strategy": {"7": {"kind": "output"}}}]}`},
+		{"bad multiplier", `{"workers": 4, "steps": [{"ways": 2, "multiplier": 1, "comm_bytes": 0, "tensor_cut": {}, "op_strategy": {}}, {"ways": 2, "multiplier": 3, "comm_bytes": 0, "tensor_cut": {}, "op_strategy": {}}]}`},
+		{"negative comm", `{"workers": 2, "steps": [{"ways": 2, "multiplier": 1, "comm_bytes": -5, "tensor_cut": {}, "op_strategy": {}}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ReadJSON(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error, got none", tc.name)
+		}
+	}
+	// A well-formed plan still parses.
+	p := exportablePlan()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(&buf); err != nil {
+		t.Fatalf("well-formed plan rejected: %v", err)
 	}
 }

@@ -22,13 +22,15 @@ type Step struct {
 	Multiplier int64
 	// VarCut maps coarsened-variable ID to the cut dimension.
 	VarCut map[int]int
-	// TensorCut maps tensor ID to the cut dimension.
-	TensorCut map[int]int
-	// OpStrategy maps node ID to the chosen partition strategy.
-	OpStrategy map[int]partition.Strategy
+	// TensorCut is the cut dimension per tensor ID (dense — tensor IDs
+	// index it directly), -1 for tensors uncut at this step.
+	TensorCut []int
+	// OpStrategy is the chosen partition strategy per node ID (dense); an
+	// empty Axis marks nodes without one.
+	OpStrategy []partition.Strategy
 	// OpComm itemizes each node's communication at this step (fetch vs
-	// output bytes, summed over all workers).
-	OpComm map[int]partition.Parts
+	// output bytes, summed over all workers), dense by node ID.
+	OpComm []partition.Parts
 	// CommBytes is δ_i: the total communication incurred by all worker
 	// groups at step i. The DP prices basic plans at the graph's original
 	// shapes, which by Lemma 1's linearity equals Multiplier · cost(p_i at
@@ -83,11 +85,10 @@ func (p *Plan) Monotone() bool {
 func (p *Plan) TensorCuts(tensorID int) []int {
 	var out []int
 	for _, s := range p.Steps {
-		d, ok := s.TensorCut[tensorID]
-		if !ok {
+		if tensorID < 0 || tensorID >= len(s.TensorCut) || s.TensorCut[tensorID] < 0 {
 			return nil
 		}
-		out = append(out, d)
+		out = append(out, s.TensorCut[tensorID])
 	}
 	return out
 }
@@ -114,8 +115,10 @@ func (p *Plan) ShardDims(tensorID int, rank int) []int64 {
 		ways[i] = 1
 	}
 	for _, s := range p.Steps {
-		if d, ok := s.TensorCut[tensorID]; ok {
-			ways[d] *= s.K
+		if tensorID >= 0 && tensorID < len(s.TensorCut) {
+			if d := s.TensorCut[tensorID]; d >= 0 {
+				ways[d] *= s.K
+			}
 		}
 	}
 	return ways

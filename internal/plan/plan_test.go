@@ -11,8 +11,8 @@ func twoStepPlan() *Plan {
 	return &Plan{
 		K: 4,
 		Steps: []*Step{
-			{K: 2, Multiplier: 1, TensorCut: map[int]int{1: 0, 2: 1}, CommBytes: 100},
-			{K: 2, Multiplier: 2, TensorCut: map[int]int{1: 1, 2: 1}, CommBytes: 150},
+			{K: 2, Multiplier: 1, TensorCut: []int{-1, 0, 1}, CommBytes: 100},
+			{K: 2, Multiplier: 2, TensorCut: []int{-1, 1, 1}, CommBytes: 150},
 		},
 	}
 }

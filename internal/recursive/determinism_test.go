@@ -10,8 +10,13 @@ import (
 
 // planJSON runs the search at a given parallelism and serializes the plan.
 func planJSON(t *testing.T, m *models.Model, k int64, par int, cache *dp.PriceCache) []byte {
+	return planJSONBeam(t, m, k, par, cache, 0)
+}
+
+// planJSONBeam is planJSON with a beam bound on the DP frontier.
+func planJSONBeam(t *testing.T, m *models.Model, k int64, par int, cache *dp.PriceCache, maxStates int) []byte {
 	t.Helper()
-	p, err := Partition(m.G, k, Options{Parallelism: par, Cache: cache})
+	p, err := Partition(m.G, k, Options{Parallelism: par, Cache: cache, MaxStates: maxStates})
 	if err != nil {
 		t.Fatalf("parallelism %d: %v", par, err)
 	}
@@ -61,6 +66,26 @@ func TestParallelSearchDeterminism(t *testing.T) {
 				t.Error("shared cache was never populated")
 			}
 		})
+	}
+}
+
+// TestBeamSearchDeterminism covers the wide-frontier path: the attention
+// fan-out overflows the dense state arrays into the sparse byte-keyed
+// frontier, and the beam bound exercises the quickselect pruning — the
+// emitted plan must still be byte-identical across worker-pool sizes.
+func TestBeamSearchDeterminism(t *testing.T) {
+	m, err := models.Transformer(2, 256, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := planJSONBeam(t, m, 8, 1, nil, 64)
+	if len(serial) == 0 {
+		t.Fatal("empty plan JSON")
+	}
+	for _, par := range []int{2, 8} {
+		if got := planJSONBeam(t, m, 8, par, nil, 64); !bytes.Equal(serial, got) {
+			t.Errorf("parallelism %d diverged from serial beam plan", par)
+		}
 	}
 }
 

@@ -118,14 +118,25 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, levels []int,
 	opts Options, cache *dp.PriceCache) (*plan.Plan, error) {
 
-	// Current (progressively divided) shape of every tensor.
+	// Current (progressively divided) shape of every tensor — clones carved
+	// out of one slab, owned by this search and divided in place below.
+	total := 0
+	for _, t := range g.Tensors {
+		total += t.Shape.Rank()
+	}
+	slab := make([]int64, 0, total)
 	shapes := make(map[int]shape.Shape, len(g.Tensors))
 	for _, t := range g.Tensors {
-		shapes[t.ID] = t.Shape.Clone()
+		start := len(slab)
+		slab = append(slab, t.Shape...)
+		shapes[t.ID] = shape.Shape(slab[start:len(slab):len(slab)])
 	}
 
 	p := &plan.Plan{K: k, FinalShapes: shapes}
 	mult := int64(1)
+	// Consecutive equal-factor steps reuse unchanged slot evaluators (same
+	// Coarse, DType and filter throughout — see dp.Problem.Reuse).
+	reuse := &dp.EvalReuse{}
 	for i, ki := range factors {
 		res, err := dp.Solve(&dp.Problem{
 			Coarse:         c,
@@ -136,6 +147,7 @@ func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, level
 			MaxStates:      opts.MaxStates,
 			Parallelism:    opts.Parallelism,
 			Cache:          cache,
+			Reuse:          reuse,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("recursive: step %d (x%d): %w", len(p.Steps)+1, ki, err)
@@ -157,14 +169,16 @@ func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, level
 		p.Steps = append(p.Steps, step)
 		mult *= ki
 
-		// Divide shapes along the chosen cuts for the next step.
+		// Divide shapes along the chosen cuts for the next step. The table
+		// holds clones made above, so dividing in place is safe and spares
+		// a fresh shape per (tensor, step).
 		for tid, dim := range res.TensorCut {
-			cur := shapes[tid]
-			next, err := cur.Split(dim, ki)
-			if err != nil {
+			if dim < 0 {
+				continue
+			}
+			if err := shapes[tid].SplitInPlace(dim, ki); err != nil {
 				return nil, fmt.Errorf("recursive: splitting tensor %d: %w", tid, err)
 			}
-			shapes[tid] = next
 		}
 	}
 	return p, nil

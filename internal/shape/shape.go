@@ -7,7 +7,7 @@ package shape
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // DType identifies the element type of a tensor. The paper's workloads are
@@ -131,6 +131,24 @@ func (s Shape) Split(dim int, ways int64) (Shape, error) {
 	return c, nil
 }
 
+// SplitInPlace divides dim by ways, mutating the receiver — for callers
+// that own the shape (e.g. a Clone they hold exclusively, like the
+// recursive driver's progressively divided shape table). Everyone else
+// should use Split, which follows the package's immutability convention.
+func (s Shape) SplitInPlace(dim int, ways int64) error {
+	if dim < 0 || dim >= len(s) {
+		return fmt.Errorf("shape: split dim %d out of range for %v", dim, s)
+	}
+	if ways <= 0 {
+		return fmt.Errorf("shape: split ways must be positive, got %d", ways)
+	}
+	if s[dim]%ways != 0 {
+		return fmt.Errorf("shape: dim %d extent %d not divisible by %d", dim, s[dim], ways)
+	}
+	s[dim] /= ways
+	return nil
+}
+
 // CanSplit reports whether dim can be divided into ways equal parts.
 func (s Shape) CanSplit(dim int, ways int64) bool {
 	return dim >= 0 && dim < len(s) && s[dim] >= ways && s[dim]%ways == 0
@@ -140,11 +158,16 @@ func (s Shape) String() string {
 	if len(s) == 0 {
 		return "()"
 	}
-	parts := make([]string, len(s))
+	buf := make([]byte, 0, 2+12*len(s))
+	buf = append(buf, '(')
 	for i, d := range s {
-		parts[i] = fmt.Sprintf("%d", d)
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, d, 10)
 	}
-	return "(" + strings.Join(parts, ",") + ")"
+	buf = append(buf, ')')
+	return string(buf)
 }
 
 // HumanBytes formats a byte count the way the paper's tables do (GB with one

@@ -3,6 +3,8 @@ package tdl
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -27,15 +29,78 @@ func (a Attrs) Get(key string, def int64) int64 {
 type DescFn func(attrs Attrs) (*OpDesc, error)
 
 // Registry maps operator names to description builders, the way the Tofu
-// prototype keeps one TDL description per MXNet operator.
+// prototype keeps one TDL description per MXNet operator. Built
+// descriptions are memoized per (name, attrs) — they are immutable once
+// validated (RegisterStatic always returned a shared instance), and graph
+// passes ask for the same handful of descriptions thousands of times.
 type Registry struct {
-	mu   sync.RWMutex
-	desc map[string]DescFn
+	mu    sync.RWMutex
+	desc  map[string]DescFn
+	cache map[descCacheKey]*OpDesc
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{desc: make(map[string]DescFn)}
+	return &Registry{desc: make(map[string]DescFn), cache: make(map[descCacheKey]*OpDesc)}
+}
+
+// descCacheKey is the memoization signature of an operator instance: its
+// name plus the attribute signature.
+type descCacheKey struct {
+	name  string
+	attrs AttrsKey
+}
+
+// AttrsKey is a comparable signature of an attribute set: up to four
+// (name, value) pairs inlined in sorted order, so building one never
+// allocates; larger sets (none exist in the standard operator library)
+// spill deterministically into a sorted string. Shared by every pass that
+// buckets operator instances by attributes (the description cache here,
+// coarsening's slot merge).
+type AttrsKey struct {
+	N              int
+	K0, K1, K2, K3 string
+	V0, V1, V2, V3 int64
+	Spill          string
+}
+
+// MakeAttrsKey builds the signature of an attribute set.
+func MakeAttrsKey(attrs Attrs) AttrsKey {
+	key := AttrsKey{N: len(attrs)}
+	if len(attrs) == 0 {
+		return key
+	}
+	if len(attrs) > 4 {
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(strconv.FormatInt(attrs[k], 10))
+			sb.WriteByte(';')
+		}
+		key.Spill = sb.String()
+		return key
+	}
+	var ks [4]string
+	var vs [4]int64
+	i := 0
+	for k, v := range attrs {
+		j := i
+		for j > 0 && ks[j-1] > k {
+			ks[j], vs[j] = ks[j-1], vs[j-1]
+			j--
+		}
+		ks[j], vs[j] = k, v
+		i++
+	}
+	key.K0, key.K1, key.K2, key.K3 = ks[0], ks[1], ks[2], ks[3]
+	key.V0, key.V1, key.V2, key.V3 = vs[0], vs[1], vs[2], vs[3]
+	return key
 }
 
 // Register installs a description builder; duplicate names are an error so
@@ -62,11 +127,17 @@ func (r *Registry) RegisterStatic(d *OpDesc) error {
 	return r.Register(d.Name, func(Attrs) (*OpDesc, error) { return d, nil })
 }
 
-// Describe returns the TDL description for an operator instance.
+// Describe returns the TDL description for an operator instance. The
+// returned description is shared and must be treated as read-only.
 func (r *Registry) Describe(name string, attrs Attrs) (*OpDesc, error) {
+	key := descCacheKey{name: name, attrs: MakeAttrsKey(attrs)}
 	r.mu.RLock()
+	d, hit := r.cache[key]
 	fn, ok := r.desc[name]
 	r.mu.RUnlock()
+	if hit {
+		return d, nil
+	}
 	if !ok {
 		return nil, fmt.Errorf("tdl: operator %q has no TDL description", name)
 	}
@@ -77,6 +148,9 @@ func (r *Registry) Describe(name string, attrs Attrs) (*OpDesc, error) {
 	if err := d.validate(); err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
+	r.cache[key] = d
+	r.mu.Unlock()
 	return d, nil
 }
 

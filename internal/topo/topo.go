@@ -312,10 +312,14 @@ func (t Topology) WriteJSON(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// ReadTopology parses and validates a topology.
+// ReadTopology parses and validates a topology. Unknown fields are errors:
+// a misspelled field would otherwise silently decode to a zero value that
+// Validate cannot always catch (e.g. a level's Network flag).
 func ReadTopology(r io.Reader) (Topology, error) {
 	var t Topology
-	if err := json.NewDecoder(r).Decode(&t); err != nil {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
 		return Topology{}, fmt.Errorf("topo: decoding topology: %w", err)
 	}
 	if err := t.Validate(); err != nil {

@@ -3,6 +3,7 @@ package topo
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"tofu/internal/plan"
@@ -146,5 +147,14 @@ func TestResolveTopology(t *testing.T) {
 	}
 	if _, err := ResolveTopology("not-a-profile"); err == nil {
 		t.Error("junk argument must error")
+	}
+}
+
+// TestReadTopologyRejectsUnknownFields locks the parse audit: a misspelled
+// field must be an error, not a silently-zero value.
+func TestReadTopologyRejectsUnknownFields(t *testing.T) {
+	bad := `{"name": "x", "hw": {"num_gpus": 2, "p2p_bandwidth": 1}, "levels": [{"name": "l", "group_size": 2, "bandwidth": 1, "netwrok": true}]}`
+	if _, err := ReadTopology(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected unknown-field error")
 	}
 }
