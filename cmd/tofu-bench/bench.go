@@ -37,6 +37,9 @@ type BenchFile struct {
 	NumCPU     int           `json:"num_cpu"`
 	Short      bool          `json:"short,omitempty"`
 	Benchmarks []BenchRecord `json:"benchmarks"`
+	// Serve carries the serve-layer loadtest next to the search numbers,
+	// so one baseline file gates both.
+	Serve *ServeResult `json:"serve,omitempty"`
 }
 
 // runSearchBenchmarks measures recursive.Partition on the benchmark
@@ -81,7 +84,26 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 		out.Benchmarks = append(out.Benchmarks, rec)
 	}
 
+	// The serve loadtest rides along. The throughput floor is enforced via
+	// the regression list below — after the artifact is written — so a slow
+	// run never discards the search measurements; only genuine failures
+	// (coalescing broken, request errors) abort here.
+	serveOpts := defaultServeLoadOpts(short)
+	serveOpts.minRPS = 0
+	serve, err := runServeLoadtest(serveOpts)
+	if err != nil {
+		return fmt.Errorf("serve loadtest: %w", err)
+	}
+	out.Serve = &serve
+	fmt.Printf("%-28s %14.0f req/s warm %8.0f us p50 %8.0f us p99 (cold %.0f ms)\n",
+		"serve/"+serve.Model, serve.WarmRPS, serve.WarmP50Us, serve.WarmP99Us, serve.ColdMs)
+
 	var regressions []string
+	if serve.WarmRPS < serveFloorRPS {
+		regressions = append(regressions, fmt.Sprintf(
+			"serve/%s: warm throughput %.0f req/s below the %d req/s floor",
+			serve.Model, serve.WarmRPS, int64(serveFloorRPS)))
+	}
 	if baselinePath != "" {
 		base, err := readBenchFile(baselinePath)
 		if err != nil {
@@ -123,6 +145,15 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 			if rec.AllocsRatio > regressionThreshold {
 				regressions = append(regressions, fmt.Sprintf(
 					"%s: allocs/op regressed %.2fx (%d -> %d)", rec.Name, rec.AllocsRatio, b.AllocsPerOp, rec.AllocsPerOp))
+			}
+		}
+		// Warm-cache serve throughput is wall-clock like ns/op: gate it only
+		// against a baseline recorded on matching hardware.
+		if gateNs && base.Serve != nil && base.Serve.WarmRPS > 0 {
+			if ratio := base.Serve.WarmRPS / serve.WarmRPS; ratio > regressionThreshold {
+				regressions = append(regressions, fmt.Sprintf(
+					"serve/%s: warm req/s regressed %.2fx (%.0f -> %.0f)",
+					serve.Model, ratio, base.Serve.WarmRPS, serve.WarmRPS))
 			}
 		}
 	}

@@ -8,12 +8,20 @@
 //	           [-quick] [-flat-budget 20s] [-parallel N]
 //	           [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
 //
+//	tofu-bench -exp serve [-serve-json BENCH_PR4.json]
+//
 //	tofu-bench -bench-json BENCH.json [-bench-short] [-bench-baseline BENCH_CI.json]
 //
-// The second form measures the recursive partition search (ns/op,
-// bytes/op, allocs/op) and records the numbers as a JSON artifact. With
-// -bench-baseline it compares against a committed baseline file and exits
-// non-zero on a >20% ns/op or allocs/op regression — the CI gate.
+// -exp serve is the closed-loop load generator for the tofu-serve layer: a
+// cold request, a 64-wide coalescing burst, and a sustained warm-cache loop
+// with latency percentiles, recorded to -serve-json. It fails if warm
+// throughput drops below 500 req/s.
+//
+// The -bench-json form measures the recursive partition search (ns/op,
+// bytes/op, allocs/op) plus a short serve loadtest and records the numbers
+// as a JSON artifact. With -bench-baseline it compares against a committed
+// baseline file and exits non-zero on a >20% ns/op, allocs/op or warm-rps
+// regression — the CI gate.
 package main
 
 import (
@@ -42,12 +50,23 @@ func main() {
 		"benchmark the small config set (CI); default is the paper-scale set")
 	benchBaseline := flag.String("bench-baseline", "",
 		"compare the benchmark run against this baseline JSON; exit non-zero on >20% ns/op or allocs/op regression")
+	serveJSON := flag.String("serve-json", "BENCH_PR4.json",
+		"where -exp serve records the loadtest numbers")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runSearchBenchmarks(*benchJSON, *benchShort, *benchBaseline); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *exp == "serve" {
+		out, err := runServeExperiment(*serveJSON)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		fmt.Println(out)
 		return
 	}
 

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tofu/internal/models"
+	"tofu/internal/service"
+	"tofu/internal/service/client"
+)
+
+// ServeResult is the closed-loop serve loadtest measurement: one cold
+// request (a real search), a 64-wide coalescing burst (one search feeds all
+// waiters), and a sustained warm-cache closed loop with latency
+// percentiles. It rides in BENCH_*.json next to the search benchmarks.
+type ServeResult struct {
+	Model string `json:"model"`
+
+	// ColdMs is the first-request latency: search plus serving overhead.
+	ColdMs float64 `json:"cold_ms"`
+
+	// The coalescing burst: Concurrency identical requests against an
+	// empty cache; Searches must be 1.
+	CoalescedConcurrency int     `json:"coalesced_concurrency"`
+	CoalescedSearches    int64   `json:"coalesced_searches"`
+	CoalescedWallMs      float64 `json:"coalesced_wall_ms"`
+
+	// The warm closed loop over HTTP.
+	WarmConcurrency int     `json:"warm_concurrency"`
+	WarmDurationSec float64 `json:"warm_duration_sec"`
+	WarmRequests    int64   `json:"warm_requests"`
+	WarmRPS         float64 `json:"warm_rps"`
+	WarmP50Us       float64 `json:"warm_p50_us"`
+	WarmP99Us       float64 `json:"warm_p99_us"`
+}
+
+// ServeFile is the BENCH_PR4.json artifact schema.
+type ServeFile struct {
+	GoOS   string      `json:"go_os"`
+	GoArch string      `json:"go_arch"`
+	NumCPU int         `json:"num_cpu"`
+	Serve  ServeResult `json:"serve"`
+}
+
+// serveFloorRPS is the warm-cache throughput the serving layer must always
+// sustain (the PR 4 acceptance floor).
+const serveFloorRPS = 500
+
+type serveLoadOpts struct {
+	model       models.Config
+	concurrency int
+	burst       int
+	duration    time.Duration
+	minRPS      float64 // 0 disables the floor
+}
+
+func defaultServeLoadOpts(short bool) serveLoadOpts {
+	o := serveLoadOpts{
+		model:       models.Config{Family: "mlp", Depth: 4, Width: 512, Batch: 64},
+		concurrency: 32,
+		burst:       64,
+		duration:    3 * time.Second,
+		minRPS:      serveFloorRPS,
+	}
+	if short {
+		o.duration = time.Second
+	}
+	return o
+}
+
+// startLoadServer boots a real service on a loopback listener — the same
+// stack tofu-serve runs, minus the process boundary.
+func startLoadServer(cfg service.Config) (*service.Service, *client.Client, func(), error) {
+	svc := service.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}}
+	cl := client.NewWith("http://"+ln.Addr().String(), hc)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = svc.Shutdown(ctx)
+	}
+	return svc, cl, stop, nil
+}
+
+// runServeLoadtest measures the serving layer end to end and enforces the
+// warm-throughput floor.
+func runServeLoadtest(o serveLoadOpts) (ServeResult, error) {
+	res := ServeResult{
+		Model:                o.model.String(),
+		CoalescedConcurrency: o.burst,
+		WarmConcurrency:      o.concurrency,
+	}
+	req := service.Request{Model: o.model}
+	ctx := context.Background()
+
+	// Phase 1+3 share a server: cold fill, then the warm closed loop.
+	_, cl, stop, err := startLoadServer(service.Config{SyncWait: 60 * time.Second})
+	if err != nil {
+		return res, err
+	}
+	defer stop()
+	start := time.Now()
+	if _, _, err := cl.Partition(ctx, req); err != nil {
+		return res, fmt.Errorf("cold request: %w", err)
+	}
+	res.ColdMs = time.Since(start).Seconds() * 1e3
+
+	// Phase 2: the coalescing burst against a fresh (empty-cache) server.
+	burstSvc, burstCl, burstStop, err := startLoadServer(service.Config{SyncWait: 60 * time.Second})
+	if err != nil {
+		return res, err
+	}
+	defer burstStop()
+	var wg sync.WaitGroup
+	wg.Add(o.burst)
+	burstStart := time.Now()
+	burstErrs := make([]error, o.burst)
+	for i := 0; i < o.burst; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, _, burstErrs[i] = burstCl.Partition(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+	res.CoalescedWallMs = time.Since(burstStart).Seconds() * 1e3
+	for i, err := range burstErrs {
+		if err != nil {
+			return res, fmt.Errorf("coalesced request %d: %w", i, err)
+		}
+	}
+	res.CoalescedSearches = burstSvc.Metrics().JobsDone
+	if res.CoalescedSearches != 1 {
+		return res, fmt.Errorf("coalescing burst ran %d searches, want exactly 1", res.CoalescedSearches)
+	}
+
+	// Phase 3: warm-cache closed loop. Every worker hammers the cached
+	// digest until the deadline; latencies feed the percentiles.
+	var total atomic.Int64
+	lats := make([][]time.Duration, o.concurrency)
+	deadline := time.Now().Add(o.duration)
+	wg.Add(o.concurrency)
+	loopStart := time.Now()
+	loopErrs := make([]error, o.concurrency)
+	for w := 0; w < o.concurrency; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if _, _, err := cl.Partition(ctx, req); err != nil {
+					loopErrs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+				total.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(loopStart)
+	for w, err := range loopErrs {
+		if err != nil {
+			return res, fmt.Errorf("warm worker %d: %w", w, err)
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.WarmDurationSec = elapsed.Seconds()
+	res.WarmRequests = total.Load()
+	res.WarmRPS = float64(res.WarmRequests) / elapsed.Seconds()
+	if n := len(all); n > 0 {
+		res.WarmP50Us = all[n/2].Seconds() * 1e6
+		res.WarmP99Us = all[int(float64(n-1)*0.99)].Seconds() * 1e6
+	}
+	if o.minRPS > 0 && res.WarmRPS < o.minRPS {
+		return res, fmt.Errorf("warm-cache throughput %.0f req/s below the %.0f req/s floor", res.WarmRPS, o.minRPS)
+	}
+	return res, nil
+}
+
+// runServeExperiment is tofu-bench -exp serve: run the loadtest at full
+// scale and record BENCH_PR4.json.
+func runServeExperiment(outPath string) (string, error) {
+	res, err := runServeLoadtest(defaultServeLoadOpts(false))
+	if err != nil {
+		return "", err
+	}
+	out := ServeFile{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU(), Serve: res}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(`Serve loadtest (%s)
+  cold request:          %8.1f ms   (one real search + serving overhead)
+  coalesced burst:       %8.1f ms   (%d concurrent identical requests, %d search)
+  warm closed loop:      %8.0f req/s sustained over %.1fs x %d clients
+  warm latency:          p50 %.0f us, p99 %.0f us  (%d requests)
+wrote %s`,
+		res.Model, res.ColdMs, res.CoalescedWallMs, res.CoalescedConcurrency, res.CoalescedSearches,
+		res.WarmRPS, res.WarmDurationSec, res.WarmConcurrency,
+		res.WarmP50Us, res.WarmP99Us, res.WarmRequests, outPath), nil
+}

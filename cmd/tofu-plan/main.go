@@ -5,7 +5,12 @@
 //
 //	tofu-plan [-family wresnet|rnn|mlp] [-depth 152] [-width 10]
 //	          [-batch 8] [-workers 8] [-parallel N]
+//	          [-model-json config.json|-]
 //	          [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
+//
+// -model-json reads the model config from a JSON file (or stdin with "-")
+// in the same canonical form tofu-serve accepts, so a CLI run and a service
+// request are interchangeable; it overrides -family/-depth/-width/-batch.
 package main
 
 import (
@@ -23,7 +28,9 @@ func main() {
 	width := flag.Int64("width", 10, "wresnet widening / rnn hidden / mlp dim")
 	batch := flag.Int64("batch", 8, "global batch size")
 	workers := flag.Int64("workers", 8, "number of GPUs")
-	jsonOut := flag.String("json", "", "also write the plan as JSON to this file")
+	jsonOut := flag.String("json", "", "also write the plan (digest embedded) as JSON to this file")
+	modelJSON := flag.String("model-json", "",
+		"read the model config from this canonical JSON file (- for stdin); overrides -family/-depth/-width/-batch")
 	parallel := flag.Int("parallel", 0,
 		"DP search worker goroutines (0 = GOMAXPROCS, 1 = serial); the plan is identical either way")
 	hwArg := flag.String("hw", "",
@@ -31,9 +38,15 @@ func main() {
 			"and makes the search topology-aware on hierarchical machines")
 	flag.Parse()
 
-	m, err := tofu.BuildModel(tofu.ModelConfig{
-		Family: *family, Depth: *depth, Width: *width, Batch: *batch,
-	})
+	cfg := tofu.ModelConfig{Family: *family, Depth: *depth, Width: *width, Batch: *batch}
+	if *modelJSON != "" {
+		var err error
+		cfg, err = tofu.ReadModelConfig(*modelJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	m, err := tofu.BuildModel(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,6 +64,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	digest, err := tofu.PlanDigest(cfg, *workers, popts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Plan.Digest = digest
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -66,6 +84,7 @@ func main() {
 	}
 
 	fmt.Printf("model %s: %d operators, %d tensors\n", m.Name, len(m.G.Nodes), len(m.G.Tensors))
+	fmt.Printf("request digest: %s\n", digest)
 	fmt.Printf("coarsened: %d groups, %d variables, frontier width %d\n",
 		s.Groups, s.Vars, s.Frontier)
 	fmt.Printf("search time: %v\n", s.SearchTime)

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	tofu-search [-flat-budget 20s] [-quick] [-parallel N]
+//	            [-model-json config.json|-]
 //	            [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
+//
+// -model-json replaces the paper's model pair with the config from a JSON
+// file (or stdin with "-") — the same canonical ModelConfig document
+// tofu-plan and tofu-serve accept.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"time"
 
 	"tofu/internal/experiments"
+	"tofu/internal/models"
 	"tofu/internal/sim"
 )
 
@@ -24,6 +30,8 @@ func main() {
 	quick := flag.Bool("quick", false, "small models for a fast look")
 	parallel := flag.Int("parallel", 0,
 		"DP search worker goroutines (0 = GOMAXPROCS, 1 = serial); the plan is identical either way")
+	modelJSON := flag.String("model-json", "",
+		"measure the model from this canonical config JSON file (- for stdin) instead of the paper pair")
 	hwArg := flag.String("hw", "p2.8xlarge",
 		"hardware profile name or topology JSON file (profiles: p2.8xlarge, dgx1, cluster-2x8)")
 	flag.Parse()
@@ -32,7 +40,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := experiments.Table1(experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}, topo)
+	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}
+	if *modelJSON != "" {
+		cfg, err := models.ReadConfig(*modelJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Models = []models.Config{cfg}
+	}
+	out, err := experiments.Table1(opts, topo)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,104 @@
+// Command tofu-serve runs the partition-as-a-service daemon: an HTTP/JSON
+// front end over the Tofu search with a content-addressed plan cache,
+// singleflight request coalescing, and an async job queue with
+// backpressure.
+//
+// Usage:
+//
+//	tofu-serve [-addr :8080] [-cache-size 128] [-pool N] [-queue-depth 64]
+//	           [-sync-wait 2s] [-parallel N] [-drain-timeout 30s]
+//
+// API:
+//
+//	POST /v1/partition      {"model":{"family":"rnn","depth":6,"width":4096,"batch":128},"workers":8}
+//	                        -> 200 plan JSON (cache hit or fast search)
+//	                        -> 202 {"job":...} when the search exceeds -sync-wait
+//	                        -> 429 when the job queue is full
+//	GET  /v1/jobs/{id}      -> job status
+//	GET  /v1/plans/{digest} -> cached plan by content digest
+//	GET  /healthz, /metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, queued and running
+// searches finish (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tofu/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for a random port)")
+	cacheSize := flag.Int("cache-size", 128, "plan LRU capacity (entries)")
+	pool := flag.Int("pool", 0, "search worker pool size (0 = half of GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 64, "queued-search bound; a full queue answers 429")
+	syncWait := flag.Duration("sync-wait", 2*time.Second,
+		"latency budget before POST /v1/partition flips to the async 202 reply")
+	parallel := flag.Int("parallel", 0,
+		"DP worker goroutines per search (0 = GOMAXPROCS); plans are identical either way")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for in-flight searches to drain")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		CacheSize:   *cacheSize,
+		Workers:     *pool,
+		QueueDepth:  *queueDepth,
+		SyncWait:    *syncWait,
+		Parallelism: *parallel,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler: svc.Handler(),
+		// A public daemon must not let stalled clients pin goroutines
+		// (slowloris) or block the graceful drain. The write deadline
+		// leaves room for the longest legitimate response: a sync wait
+		// that flips to 202 at the budget.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      *syncWait + time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("tofu-serve listening on %s (cache %d, queue %d, sync-wait %v)",
+		ln.Addr(), *cacheSize, *queueDepth, *syncWait)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, draining (timeout %v)", sig, *drainTimeout)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v (abandoning in-flight searches)", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

@@ -26,6 +26,10 @@ type Opts struct {
 	// partition search uses it for its DP sweep (0 = GOMAXPROCS, 1 =
 	// serial). Rendered artifacts are identical for every setting.
 	Parallelism int
+	// Models overrides Table 1's model set (tofu-search's -model-json
+	// flag); nil keeps the paper's WResNet-152 / RNN-10 pair. Takes
+	// precedence over Quick's trimmed pair.
+	Models []models.Config
 }
 
 // DefaultOpts is the full-fidelity configuration.
@@ -47,6 +51,13 @@ func Table1(o Opts, topo sim.Topology) (string, error) {
 			{Family: "rnn", Depth: 2, Width: 1024, Batch: 64},
 		}
 		t.header = []string{"search algorithm", cfgs[0].String(), cfgs[1].String()}
+	}
+	if len(o.Models) > 0 {
+		cfgs = o.Models
+		t.header = []string{"search algorithm"}
+		for _, c := range cfgs {
+			t.header = append(t.header, c.String())
+		}
 	}
 
 	// Cells stay serial here — Table 1 measures wall-clock search time, and
@@ -94,9 +105,13 @@ func Table1(o Opts, topo sim.Topology) (string, error) {
 				float64(rep.Evaluated)/rep.TotalConfigs*100)
 		}
 	}
-	t.add("Original DP [ICML18]", "n/a (graph not linear)", "n/a (graph not linear)")
-	t.add("DP with coarsening", flatCells[0], flatCells[1])
-	t.add("Using recursion (Tofu)", recCells[0], recCells[1])
+	naCells := make([]string, len(cfgs))
+	for i := range naCells {
+		naCells[i] = "n/a (graph not linear)"
+	}
+	t.add(append([]string{"Original DP [ICML18]"}, naCells...)...)
+	t.add(append([]string{"DP with coarsening"}, flatCells...)...)
+	t.add(append([]string{"Using recursion (Tofu)"}, recCells...)...)
 	return fmt.Sprintf("Table 1: partition search time, %d workers\n", topo.NumGPUs()) + t.String(), nil
 }
 

@@ -1,0 +1,91 @@
+package models
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Families lists the model families Build understands, in canonical order.
+var Families = []string{"mlp", "rnn", "transformer", "wresnet"}
+
+// ValidFamily reports whether Build knows the family.
+func ValidFamily(f string) bool {
+	for _, k := range Families {
+		if k == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that the config identifies a buildable model. It rejects
+// unknown families and non-positive sizes so a malformed request fails here,
+// with a field-level message, instead of deep inside a model builder.
+func (c Config) Validate() error {
+	if !ValidFamily(c.Family) {
+		return fmt.Errorf("models: unknown family %q (want one of %v)", c.Family, Families)
+	}
+	if c.Depth < 1 {
+		return fmt.Errorf("models: %s: invalid depth %d", c.Family, c.Depth)
+	}
+	if c.Width < 1 {
+		return fmt.Errorf("models: %s: invalid width %d", c.Family, c.Width)
+	}
+	if c.Batch < 1 {
+		return fmt.Errorf("models: %s: invalid batch %d", c.Family, c.Batch)
+	}
+	return nil
+}
+
+// ParseConfig decodes the canonical JSON form of a model config. Unknown
+// fields are errors (a misspelled field would silently decode to a zero that
+// Validate cannot always distinguish from "absent"), and the result is
+// validated, so CLI files and service requests share one strict parser.
+func ParseConfig(data []byte) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("models: decoding config: %w", err)
+	}
+	// A second document in the same input is a mistake, not extra data to
+	// ignore.
+	if dec.More() {
+		return Config{}, fmt.Errorf("models: trailing data after config")
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// ReadConfig loads a canonical config document from a file path — or from
+// stdin when arg is "-" — and strictly parses it: the CLIs' -model-json
+// convention, shared so every binary reads configs identically.
+func ReadConfig(arg string) (Config, error) {
+	var data []byte
+	var err error
+	if arg == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(arg)
+	}
+	if err != nil {
+		return Config{}, err
+	}
+	return ParseConfig(data)
+}
+
+// CanonicalJSON is the stable one-line encoding of the config: fixed field
+// order (family, depth, width, batch), no insignificant whitespace. Equal
+// configs always produce identical bytes, which is what the service's
+// content digest hashes.
+func (c Config) CanonicalJSON() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(c)
+}

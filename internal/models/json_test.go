@@ -1,0 +1,58 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseConfigStrict(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"family":"rnn","depth":6,"width":4096,"batch":128}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Family: "rnn", Depth: 6, Width: 4096, Batch: 128}
+	if cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+	for name, body := range map[string]string{
+		"unknown-field": `{"family":"rnn","depth":6,"width":4096,"batch":128,"layers":6}`,
+		"bad-family":    `{"family":"bert","depth":6,"width":4096,"batch":128}`,
+		"zero-depth":    `{"family":"rnn","width":4096,"batch":128}`,
+		"neg-width":     `{"family":"rnn","depth":6,"width":-1,"batch":128}`,
+		"zero-batch":    `{"family":"rnn","depth":6,"width":4096}`,
+		"trailing":      `{"family":"rnn","depth":6,"width":4096,"batch":128}{}`,
+		"not-object":    `"rnn"`,
+	} {
+		if _, err := ParseConfig([]byte(body)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCanonicalJSONStable(t *testing.T) {
+	cfg := Config{Family: "wresnet", Depth: 152, Width: 10, Batch: 8}
+	a, err := cfg.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"family":"wresnet","depth":152,"width":10,"batch":8}`
+	if string(a) != want {
+		t.Fatalf("canonical form %s, want %s", a, want)
+	}
+	// Round-trip through the strict parser is the identity.
+	back, err := ParseConfig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip changed bytes: %s vs %s", a, b)
+	}
+	// Invalid configs cannot be canonicalized.
+	if _, err := (Config{Family: "nope", Depth: 1, Width: 1, Batch: 1}).CanonicalJSON(); err == nil {
+		t.Fatal("expected error for invalid family")
+	}
+}

@@ -35,12 +35,14 @@ func (m *Model) WeightBytes() int64 { return m.G.ComputeStats().WeightBytes }
 func (m *Model) WeightBytes3x() int64 { return 3 * m.WeightBytes() }
 
 // Config identifies a model variant; the experiment harness uses it to
-// rebuild the same model at different batch sizes.
+// rebuild the same model at different batch sizes. The JSON form is the
+// canonical wire encoding shared by the CLIs (-model-json) and the partition
+// service (see ParseConfig / Config.CanonicalJSON).
 type Config struct {
-	Family string // "wresnet" | "rnn" | "mlp"
-	Depth  int    // wresnet: 50/101/152; rnn: layers; mlp: layers
-	Width  int64  // wresnet: widening factor; rnn: hidden size; mlp: dim
-	Batch  int64
+	Family string `json:"family"` // "wresnet" | "rnn" | "mlp" | "transformer"
+	Depth  int    `json:"depth"`  // wresnet: 50/101/152; rnn: layers; mlp: layers
+	Width  int64  `json:"width"`  // wresnet: widening factor; rnn: hidden size; mlp: dim
+	Batch  int64  `json:"batch"`
 }
 
 func (c Config) String() string {

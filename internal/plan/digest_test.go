@@ -1,0 +1,102 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const validDigest = DigestPrefix + "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func TestValidateDigest(t *testing.T) {
+	if err := ValidateDigest(validDigest); err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]string{
+		"empty":      "",
+		"no-prefix":  strings.Repeat("0", 71),
+		"short":      DigestPrefix + "0123",
+		"long":       validDigest + "0",
+		"upper-hex":  DigestPrefix + strings.Repeat("A", 64),
+		"non-hex":    DigestPrefix + strings.Repeat("g", 64),
+		"md5-prefix": "md5:" + strings.Repeat("0", 64),
+	} {
+		if err := ValidateDigest(d); err == nil {
+			t.Errorf("%s: expected error for %q", name, d)
+		}
+	}
+}
+
+// twoStepPlanJSON returns a minimal valid export with the given digest line
+// (empty digest = omitted field).
+func planJSON(digest string) string {
+	head := "{\n"
+	if digest != "" {
+		head += `  "digest": "` + digest + "\",\n"
+	}
+	return head + `  "workers": 4,
+  "steps": [
+    {"ways": 2, "multiplier": 1, "comm_bytes": 10, "tensor_cut": {}, "op_strategy": {}},
+    {"ways": 2, "multiplier": 2, "comm_bytes": 20, "tensor_cut": {}, "op_strategy": {}}
+  ],
+  "total_comm_bytes": 30
+}`
+}
+
+func TestReadJSONDigest(t *testing.T) {
+	// No digest: fine (old artifacts are unchanged).
+	if _, err := ReadJSON(strings.NewReader(planJSON(""))); err != nil {
+		t.Fatal(err)
+	}
+	// Valid digest round-trips.
+	ex, err := ReadJSON(strings.NewReader(planJSON(validDigest)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Digest != validDigest {
+		t.Fatalf("digest = %q", ex.Digest)
+	}
+	// Malformed digest is rejected.
+	if _, err := ReadJSON(strings.NewReader(planJSON("sha256:nope"))); err == nil {
+		t.Fatal("malformed digest accepted")
+	}
+}
+
+func TestReadJSONExpect(t *testing.T) {
+	other := DigestPrefix + strings.Repeat("f", 64)
+	// Matching digest: accepted.
+	if _, err := ReadJSONExpect(strings.NewReader(planJSON(validDigest)), validDigest); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched digest: rejected.
+	if _, err := ReadJSONExpect(strings.NewReader(planJSON(validDigest)), other); err == nil {
+		t.Fatal("digest mismatch accepted")
+	}
+	// Missing digest when one is required: rejected.
+	if _, err := ReadJSONExpect(strings.NewReader(planJSON("")), validDigest); err == nil {
+		t.Fatal("missing digest accepted")
+	}
+	// Malformed expectation: rejected before reading.
+	if _, err := ReadJSONExpect(strings.NewReader(planJSON(validDigest)), "bogus"); err == nil {
+		t.Fatal("malformed expectation accepted")
+	}
+}
+
+func TestWriteJSONEmbedsDigest(t *testing.T) {
+	p := &Plan{K: 1, Digest: validDigest}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"digest": "`+validDigest+`"`) {
+		t.Fatalf("digest not embedded:\n%s", buf.String())
+	}
+	// And without a digest the field is absent entirely.
+	var buf2 bytes.Buffer
+	if err := (&Plan{K: 1}).WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "digest") {
+		t.Fatalf("empty digest serialized:\n%s", buf2.String())
+	}
+}

@@ -12,6 +12,10 @@ import (
 // that wants to persist or diff plans (the original prototype emitted its
 // plans into NNVM graph attributes the same way).
 type Export struct {
+	// Digest is the content digest ("sha256:<64 hex>") of the canonical
+	// request this plan answers (see Plan.Digest). Omitted for plans
+	// produced outside the request path, so their JSON is unchanged.
+	Digest  string       `json:"digest,omitempty"`
 	Workers int64        `json:"workers"`
 	Steps   []StepExport `json:"steps"`
 	// TotalCommBytes is Σ δ_i.
@@ -38,7 +42,7 @@ type strat struct {
 
 // ToExport converts a plan into its serializable form.
 func (p *Plan) ToExport() Export {
-	ex := Export{Workers: p.K, TotalCommBytes: p.TotalComm()}
+	ex := Export{Digest: p.Digest, Workers: p.K, TotalCommBytes: p.TotalComm()}
 	for _, s := range p.Steps {
 		se := StepExport{
 			Ways: s.K, Multiplier: s.Multiplier, CommBytes: s.CommBytes, Level: s.Level,
@@ -81,6 +85,11 @@ func ReadJSON(r io.Reader) (Export, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&ex); err != nil {
 		return Export{}, fmt.Errorf("plan: decoding: %w", err)
+	}
+	if ex.Digest != "" {
+		if err := ValidateDigest(ex.Digest); err != nil {
+			return Export{}, err
+		}
 	}
 	if ex.Workers < 1 {
 		return Export{}, fmt.Errorf("plan: invalid worker count %d", ex.Workers)
@@ -132,6 +141,43 @@ func ReadJSON(r io.Reader) (Export, error) {
 	}
 	if prod != ex.Workers {
 		return Export{}, fmt.Errorf("plan: steps multiply to %d, want %d", prod, ex.Workers)
+	}
+	return ex, nil
+}
+
+// DigestPrefix prefixes every request content digest.
+const DigestPrefix = "sha256:"
+
+// ValidateDigest checks the "sha256:<64 lowercase hex>" shape of a content
+// digest — the same silent-garbage audit ReadJSON applies to IDs and
+// strategy kinds, extended to the digest field.
+func ValidateDigest(d string) error {
+	if len(d) != len(DigestPrefix)+64 || d[:len(DigestPrefix)] != DigestPrefix {
+		return fmt.Errorf("plan: malformed digest %q (want %s<64 hex>)", d, DigestPrefix)
+	}
+	for _, c := range d[len(DigestPrefix):] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("plan: malformed digest %q (want %s<64 hex>)", d, DigestPrefix)
+		}
+	}
+	return nil
+}
+
+// ReadJSONExpect is ReadJSON that additionally requires the plan to answer
+// the request identified by want: a missing or different embedded digest is
+// an error. This is how a plan fetched by digest (the service's
+// /v1/plans/{digest}, a cached artifact on disk) proves it belongs to the
+// request the caller hashed.
+func ReadJSONExpect(r io.Reader, want string) (Export, error) {
+	if err := ValidateDigest(want); err != nil {
+		return Export{}, err
+	}
+	ex, err := ReadJSON(r)
+	if err != nil {
+		return Export{}, err
+	}
+	if ex.Digest != want {
+		return Export{}, fmt.Errorf("plan: digest mismatch: plan carries %q, want %q", ex.Digest, want)
 	}
 	return ex, nil
 }

@@ -56,6 +56,11 @@ type Plan struct {
 	Steps []*Step
 	// FinalShapes maps tensor ID to its per-worker shard shape.
 	FinalShapes map[int]shape.Shape
+	// Digest, when set, is the content digest ("sha256:<hex>") of the
+	// canonical request that produced this plan — the partition service's
+	// cache key. WriteJSON embeds it so a persisted plan names the request
+	// it answers; the search itself leaves it empty.
+	Digest string
 }
 
 // TotalComm returns Σ δ_i — the objective the recursive algorithm minimizes.

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU over serialized plans, keyed by request digest.
+// Values are the exact bytes a fresh search would serialize, so a cache hit
+// is byte-identical to a miss — the cache changes latency, never content.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	digest string
+	val    []byte
+}
+
+// NewCache returns an LRU holding at most capacity plans (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached plan and promotes it to most recently used.
+func (c *Cache) Get(digest string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[digest]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts (or refreshes) a plan, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(digest string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[digest]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[digest] = c.order.PushFront(&cacheEntry{digest: digest, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).digest)
+	}
+}
+
+// Len reports the resident plan count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Keys lists resident digests from most to least recently used — the
+// eviction order, exposed for tests and the metrics endpoint.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).digest)
+	}
+	return out
+}

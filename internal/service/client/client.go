@@ -1,0 +1,224 @@
+// Package client is the Go client of the tofu-serve partition service. It
+// canonicalizes requests exactly like the server (shared service.Request),
+// verifies that every served plan carries the digest of the request it was
+// asked for (plan.ReadJSONExpect), and transparently follows the async 202
+// flip by polling the job API.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tofu/internal/plan"
+	"tofu/internal/service"
+)
+
+// ErrBusy reports queue backpressure (HTTP 429): the server is saturated
+// and the caller should back off and retry.
+var ErrBusy = fmt.Errorf("client: server busy (queue full)")
+
+// Client talks to one tofu-serve endpoint.
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval paces job polling after an async flip (default 50ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for a base URL like "http://127.0.0.1:8080".
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}, PollInterval: 50 * time.Millisecond}
+}
+
+// NewWith uses a caller-supplied http.Client (timeouts, transports, tests).
+func NewWith(base string, hc *http.Client) *Client {
+	c := New(base)
+	c.hc = hc
+	return c
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// Metrics fetches the /metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (service.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return service.Snapshot{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return service.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return service.Snapshot{}, fmt.Errorf("client: metrics: %w", err)
+	}
+	return snap, nil
+}
+
+// Partition requests a plan and blocks until it is available: a cache hit
+// or sync search returns directly; an async flip polls the job until it
+// finishes. The returned bytes are the server's exact plan serialization
+// (byte-identical to a local search); the Export is its parsed form,
+// verified against the request's content digest.
+func (c *Client) Partition(ctx context.Context, r service.Request) (plan.Export, []byte, error) {
+	nr, err := r.Normalize()
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	digest, err := nr.Digest()
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	body, err := json.Marshal(nr)
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/partition", bytes.NewReader(body))
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return c.verify(digest, raw)
+	case http.StatusAccepted:
+		var acc service.Accepted
+		if err := json.Unmarshal(raw, &acc); err != nil {
+			return plan.Export{}, nil, fmt.Errorf("client: parsing 202: %w", err)
+		}
+		if err := c.pollJob(ctx, acc.Job); err != nil {
+			return plan.Export{}, nil, err
+		}
+		return c.Plan(ctx, digest)
+	case http.StatusTooManyRequests:
+		return plan.Export{}, nil, ErrBusy
+	default:
+		return plan.Export{}, nil, apiErr("partition", resp.StatusCode, raw)
+	}
+}
+
+// Plan fetches a cached plan by digest and verifies the embedded digest
+// matches.
+func (c *Client) Plan(ctx context.Context, digest string) (plan.Export, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/plans/"+digest, nil)
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return plan.Export{}, nil, apiErr("plan", resp.StatusCode, raw)
+	}
+	return c.verify(digest, raw)
+}
+
+// Job fetches one job status.
+func (c *Client) Job(ctx context.Context, id string) (service.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return service.Status{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return service.Status{}, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return service.Status{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return service.Status{}, apiErr("job", resp.StatusCode, raw)
+	}
+	var st service.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return service.Status{}, fmt.Errorf("client: parsing job status: %w", err)
+	}
+	return st, nil
+}
+
+func (c *Client) pollJob(ctx context.Context, id string) error {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case service.JobDone:
+			return nil
+		case service.JobFailed:
+			return fmt.Errorf("client: search failed: %s", st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// verify parses a served plan and rejects one whose embedded digest is not
+// the digest of the request the caller made — a cache can only lie about
+// latency, never about which plan it hands back.
+func (c *Client) verify(digest string, raw []byte) (plan.Export, []byte, error) {
+	ex, err := plan.ReadJSONExpect(bytes.NewReader(raw), digest)
+	if err != nil {
+		return plan.Export{}, nil, err
+	}
+	return ex, raw, nil
+}
+
+func apiErr(op string, code int, raw []byte) error {
+	var ae struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+		return fmt.Errorf("client: %s: HTTP %d: %s", op, code, ae.Error)
+	}
+	return fmt.Errorf("client: %s: HTTP %d", op, code)
+}

@@ -1,0 +1,233 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tofu"
+	"tofu/internal/service"
+	"tofu/internal/service/client"
+)
+
+func startServer(t *testing.T, cfg service.Config) (*service.Service, *client.Client, *httptest.Server) {
+	t.Helper()
+	svc := service.New(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return svc, client.New(srv.URL), srv
+}
+
+var smallModel = tofu.ModelConfig{Family: "mlp", Depth: 4, Width: 256, Batch: 64}
+
+// TestServedPlanByteIdentical is the acceptance criterion: a plan served by
+// the daemon (cold, then from cache) is byte-identical to a fresh
+// tofu.PartitionWithOptions run for the same request.
+func TestServedPlanByteIdentical(t *testing.T) {
+	_, cl, _ := startServer(t, service.Config{SyncWait: 30 * time.Second})
+	ctx := context.Background()
+	req := service.Request{Model: smallModel}
+
+	ex, cold, err := cl.Partition(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := cl.Partition(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cache-served plan differs from the search-served plan")
+	}
+
+	// The reference: a one-shot library run under the same request.
+	m, err := tofu.BuildModel(smallModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nr.PipelineOptions()
+	sum, err := tofu.PartitionWithOptions(m.G, nr.Workers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := tofu.PlanDigest(smallModel, nr.Workers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum.Plan.Digest = digest
+	var local bytes.Buffer
+	if err := sum.Plan.WriteJSON(&local); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), warm) {
+		t.Fatalf("served plan is not byte-identical to the local run:\nlocal: %d bytes\nserved: %d bytes",
+			local.Len(), len(warm))
+	}
+	if ex.Digest != digest {
+		t.Fatalf("served digest %s, local %s", ex.Digest, digest)
+	}
+}
+
+// TestConcurrentIdenticalRequestsOneSearch drives the 64-concurrent
+// acceptance criterion through the real HTTP stack and the real search.
+func TestConcurrentIdenticalRequestsOneSearch(t *testing.T) {
+	svc, cl, _ := startServer(t, service.Config{Workers: 2, SyncWait: 30 * time.Second})
+	ctx := context.Background()
+	req := service.Request{Model: smallModel}
+
+	const n = 64
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, raw, err := cl.Partition(ctx, req)
+			bodies[i], errs[i] = raw, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d served different bytes", i)
+		}
+	}
+	m := svc.Metrics()
+	if m.JobsDone != 1 {
+		t.Fatalf("searches = %d, want exactly 1 (hits=%d coalesced=%d)", m.JobsDone, m.Hits, m.Coalesced)
+	}
+	if m.Hits+m.Coalesced != n-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", m.Hits, m.Coalesced, n-1)
+	}
+}
+
+func TestHTTPStatusCodes(t *testing.T) {
+	_, cl, srv := startServer(t, service.Config{SyncWait: 30 * time.Second})
+	ctx := context.Background()
+
+	if err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Malformed and invalid requests are 400s.
+	for name, body := range map[string]string{
+		"not-json":      `{`,
+		"unknown-field": `{"model":{"family":"mlp","depth":4,"width":256,"batch":64},"bogus":true}`,
+		"bad-family":    `{"model":{"family":"gpt","depth":4,"width":256,"batch":64}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/partition", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// Unknown plan -> 404; malformed digest -> 400; unknown job -> 404.
+	for path, want := range map[string]int{
+		"/v1/plans/sha256:" + strings.Repeat("0", 64): http.StatusNotFound,
+		"/v1/plans/not-a-digest":                      http.StatusBadRequest,
+		"/v1/jobs/j999999-zzzzzzzz":                   http.StatusNotFound,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// A served plan is fetchable by digest, and /metrics reflects the run.
+	req := service.Request{Model: smallModel}
+	nr, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := nr.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Partition(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Plan(ctx, digest); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.JobsDone != 1 || snap.CacheLen != 1 {
+		t.Fatalf("metrics after one search: %+v", snap)
+	}
+}
+
+// TestAsyncFlipOverHTTP forces the 202 path with a nanosecond sync budget;
+// the client transparently polls the job and fetches the plan by digest.
+func TestAsyncFlipOverHTTP(t *testing.T) {
+	svc, cl, _ := startServer(t, service.Config{SyncWait: time.Nanosecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl.PollInterval = 5 * time.Millisecond
+
+	req := service.Request{Model: tofu.ModelConfig{Family: "mlp", Depth: 6, Width: 512, Batch: 64}}
+	ex, _, err := cl.Partition(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Workers != 8 {
+		t.Fatalf("workers = %d, want 8", ex.Workers)
+	}
+	// The flip really happened: the job index knows the job, and the search
+	// ran exactly once even though the client took the poll path.
+	if m := svc.Metrics(); m.JobsDone != 1 {
+		t.Fatalf("jobs done = %d, want 1", m.JobsDone)
+	}
+}
+
+// TestDrainingHealthz verifies the shutdown surface the load balancer sees.
+func TestDrainingHealthz(t *testing.T) {
+	svc, _, srv := startServer(t, service.Config{SyncWait: time.Second})
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/partition", "application/json",
+		strings.NewReader(`{"model":{"family":"mlp","depth":4,"width":256,"batch":64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("partition while draining: %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is how many recent search latencies the percentile window keeps.
+const latWindow = 1024
+
+// Metrics counts the service's cache and queue behavior and keeps a sliding
+// window of search latencies for the percentile gauges. Everything is
+// monotonic counters plus one ring buffer, so the hot path is a handful of
+// atomic adds.
+type Metrics struct {
+	hits      atomic.Int64 // requests answered from the plan cache
+	misses    atomic.Int64 // requests that started (or joined) a search
+	coalesced atomic.Int64 // requests that joined an in-flight search
+	rejected  atomic.Int64 // requests bounced by queue backpressure (429)
+	jobsDone  atomic.Int64 // searches completed successfully
+	jobsFail  atomic.Int64 // searches that errored
+	inFlight  atomic.Int64 // searches running right now
+
+	mu  sync.Mutex
+	lat [latWindow]time.Duration
+	n   int // total observations (ring index = n % latWindow)
+}
+
+func (m *Metrics) observeSearch(d time.Duration) {
+	m.mu.Lock()
+	m.lat[m.n%latWindow] = d
+	m.n++
+	m.mu.Unlock()
+}
+
+// percentiles returns (p50, p99) over the window, zero when empty.
+func (m *Metrics) percentiles() (time.Duration, time.Duration) {
+	m.mu.Lock()
+	k := m.n
+	if k > latWindow {
+		k = latWindow
+	}
+	buf := make([]time.Duration, k)
+	copy(buf, m.lat[:k])
+	m.mu.Unlock()
+	if k == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := func(p float64) int {
+		i := int(p * float64(k-1))
+		return i
+	}
+	return buf[idx(0.50)], buf[idx(0.99)]
+}
+
+// Snapshot is the expvar-style /metrics document.
+type Snapshot struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Coalesced   int64   `json:"coalesced"`
+	Rejected    int64   `json:"rejected"`
+	JobsDone    int64   `json:"jobs_done"`
+	JobsFailed  int64   `json:"jobs_failed"`
+	InFlight    int64   `json:"in_flight"`
+	QueueLen    int     `json:"queue_len"`
+	QueueCap    int     `json:"queue_cap"`
+	CacheLen    int     `json:"cache_len"`
+	CacheCap    int     `json:"cache_cap"`
+	SearchP50Ms float64 `json:"search_p50_ms"`
+	SearchP99Ms float64 `json:"search_p99_ms"`
+	UptimeSec   float64 `json:"uptime_sec"`
+}

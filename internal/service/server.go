@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"tofu/internal/plan"
+)
+
+// maxRequestBytes bounds a POST body; an inline topology plus model config
+// is well under this.
+const maxRequestBytes = 1 << 20
+
+// Accepted is the 202 body of an async flip: the job to poll and the digest
+// the finished plan will be filed under.
+type Accepted struct {
+	Job     string `json:"job"`
+	Digest  string `json:"digest"`
+	JobURL  string `json:"job_url"`
+	PlanURL string `json:"plan_url"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Handler exposes the service over HTTP/JSON:
+//
+//	POST /v1/partition      -> 200 plan | 202 Accepted | 400 | 429 | 503
+//	GET  /v1/jobs/{id}      -> 200 Status | 404
+//	GET  /v1/plans/{digest} -> 200 plan | 202 Accepted | 400 | 404
+//	GET  /healthz           -> 200 | 503 (draining)
+//	GET  /metrics           -> 200 Snapshot
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/partition", s.handlePartition)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/plans/{digest}", s.handlePlan)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writePlan serves the cached bytes verbatim — no re-encoding, so the wire
+// form is byte-identical to a fresh search's WriteJSON output.
+func writePlan(w http.ResponseWriter, digest string, val []byte, source string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Tofu-Digest", digest)
+	w.Header().Set("Tofu-Source", source) // "cache" | "search" | "coalesced"
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(val)
+}
+
+func (s *Service) handlePartition(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if len(body) > maxRequestBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{"request body too large"})
+		return
+	}
+	req, err := ParseRequest(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	digest, err := req.digestNormalized() // ParseRequest already normalized
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if val, ok := s.Lookup(digest); ok {
+		writePlan(w, digest, val, "cache")
+		return
+	}
+	job, kind, err := s.Submit(req, digest)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		return
+	}
+	val, jerr, timedOut := s.Wait(r.Context(), job, s.cfg.SyncWait)
+	if timedOut {
+		// The search outlived the latency budget (or the client left):
+		// flip async and let the caller poll the job.
+		writeJSON(w, http.StatusAccepted, Accepted{
+			Job: job.ID(), Digest: digest,
+			JobURL: "/v1/jobs/" + job.ID(), PlanURL: "/v1/plans/" + digest,
+		})
+		return
+	}
+	if jerr != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{jerr.Error()})
+		return
+	}
+	source := "search"
+	switch kind {
+	case SubmitJoined:
+		source = "coalesced"
+	case SubmitCached:
+		source = "cache"
+	}
+	writePlan(w, digest, val, source)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job (finished jobs are retained briefly; re-POST the request)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if err := plan.ValidateDigest(digest); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if val, ok := s.Lookup(digest); ok {
+		writePlan(w, digest, val, "cache")
+		return
+	}
+	if j, ok := s.InFlight(digest); ok {
+		writeJSON(w, http.StatusAccepted, Accepted{
+			Job: j.ID(), Digest: digest,
+			JobURL: "/v1/jobs/" + j.ID(), PlanURL: "/v1/plans/" + digest,
+		})
+		return
+	}
+	// Evicted from the LRU but the finished job is still indexed: an async
+	// client must not lose the search it was 202'd for.
+	if val, ok := s.RecoverPlan(digest); ok {
+		writePlan(w, digest, val, "cache")
+		return
+	}
+	writeJSON(w, http.StatusNotFound, apiError{"plan not cached (POST /v1/partition to compute it)"})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,437 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Errors the submission path reports; the HTTP layer maps them to status
+// codes (429 and 503).
+var (
+	// ErrQueueFull is queue backpressure: the job queue is at capacity and
+	// the caller should retry later.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown rejects new work while in-flight jobs drain.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// JobState is the lifecycle of an async search job.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one deduplicated search: every concurrent request for the same
+// digest shares a single Job (singleflight), and the async API polls it by
+// ID.
+type Job struct {
+	id     string
+	digest string
+	req    Request
+
+	// done closes when the search finishes (either way); val/err are only
+	// read after done.
+	done chan struct{}
+	val  []byte
+	err  error
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID is the job's opaque identifier.
+func (j *Job) ID() string { return j.id }
+
+// Digest is the request content digest the job answers.
+func (j *Job) Digest() string { return j.digest }
+
+// Done closes when the search finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the serialized plan (or search error); it must only be
+// called after Done is closed.
+func (j *Job) Result() ([]byte, error) { return j.val, j.err }
+
+// Status is the JSON view of a job for GET /v1/jobs/{id}.
+type Status struct {
+	ID      string   `json:"id"`
+	Digest  string   `json:"digest"`
+	State   JobState `json:"state"`
+	Error   string   `json:"error,omitempty"`
+	PlanURL string   `json:"plan_url,omitempty"`
+	// QueuedMs and RunMs break down where the job's wall-clock went.
+	QueuedMs float64 `json:"queued_ms"`
+	RunMs    float64 `json:"run_ms,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{ID: j.id, Digest: j.digest, State: j.state}
+	switch j.state {
+	case JobQueued:
+		st.QueuedMs = time.Since(j.created).Seconds() * 1e3
+	case JobRunning:
+		st.QueuedMs = j.started.Sub(j.created).Seconds() * 1e3
+		st.RunMs = time.Since(j.started).Seconds() * 1e3
+	case JobDone, JobFailed:
+		st.QueuedMs = j.started.Sub(j.created).Seconds() * 1e3
+		st.RunMs = j.finished.Sub(j.started).Seconds() * 1e3
+	}
+	if j.state == JobDone {
+		st.PlanURL = "/v1/plans/" + j.digest
+	}
+	if j.state == JobFailed && j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	now := time.Now()
+	j.state = s
+	switch s {
+	case JobRunning:
+		j.started = now
+	case JobDone, JobFailed:
+		j.finished = now
+	}
+	j.mu.Unlock()
+}
+
+// maxRetainedJobs bounds the finished-job index so a long-lived daemon's
+// job map cannot grow without bound; pollers of evicted jobs re-POST.
+const maxRetainedJobs = 1024
+
+// Config sizes the service.
+type Config struct {
+	// CacheSize bounds the plan LRU (entries; default 128).
+	CacheSize int
+	// Workers is the search worker-pool size (default: half of GOMAXPROCS,
+	// at least 1 — each search is itself parallel).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs; a full queue rejects
+	// with ErrQueueFull (default 64).
+	QueueDepth int
+	// SyncWait is how long POST /v1/partition waits for a search before
+	// flipping to the async 202 reply (default 2s).
+	SyncWait time.Duration
+	// Parallelism is each search's DP worker count (0 = GOMAXPROCS).
+	Parallelism int
+	// Compute overrides the search itself — the test seam. nil means
+	// ComputePlan.
+	Compute func(Request) ([]byte, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SyncWait <= 0 {
+		c.SyncWait = 2 * time.Second
+	}
+	return c
+}
+
+// Service is the partition-as-a-service core: cache in front, singleflight
+// dedup in the middle, a bounded worker pool and queue behind. The HTTP
+// layer (Handler) is a thin translation onto these methods, so tests and
+// in-process callers get the identical semantics.
+type Service struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+	started time.Time
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[string]*Job // digest -> the job every identical request joins
+	jobs     map[string]*Job // id -> job, finished jobs retained (bounded)
+	doneIDs  []string        // finished job ids, oldest first (retention ring)
+	seq      int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// New starts a service and its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheSize),
+		metrics:  &Metrics{},
+		started:  time.Now(),
+		inflight: make(map[string]*Job),
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Lookup answers from the plan cache only.
+func (s *Service) Lookup(digest string) ([]byte, bool) {
+	val, ok := s.cache.Get(digest)
+	if ok {
+		s.metrics.hits.Add(1)
+	}
+	return val, ok
+}
+
+// SubmitKind says how Submit resolved a request: a fresh search, a join
+// onto an in-flight identical search, or a cache hit that landed between
+// the caller's Lookup and the submission.
+type SubmitKind int
+
+const (
+	SubmitNew SubmitKind = iota
+	SubmitJoined
+	SubmitCached
+)
+
+// Submit routes a cache miss: join the in-flight job for the same digest if
+// one exists (SubmitJoined), otherwise enqueue a new search (SubmitNew). A
+// full queue returns ErrQueueFull; a draining service returns
+// ErrShuttingDown. The caller must have Normalized the request (digest must
+// be its Digest).
+func (s *Service) Submit(req Request, digest string) (job *Job, kind SubmitKind, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, SubmitNew, ErrShuttingDown
+	}
+	// Re-check the cache under the lock: a search may have finished between
+	// the caller's Lookup and here, and its job already left inflight.
+	if _, ok := s.cache.Get(digest); ok {
+		s.metrics.hits.Add(1)
+		return s.finishedJobFor(digest), SubmitCached, nil
+	}
+	if j, ok := s.inflight[digest]; ok {
+		s.metrics.coalesced.Add(1)
+		s.metrics.misses.Add(1)
+		return j, SubmitJoined, nil
+	}
+	s.seq++
+	j := &Job{
+		id:      fmt.Sprintf("j%06d-%s", s.seq, shortDigest(digest)),
+		digest:  digest,
+		req:     req,
+		done:    make(chan struct{}),
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.rejected.Add(1)
+		return nil, SubmitNew, ErrQueueFull
+	}
+	s.inflight[digest] = j
+	s.jobs[j.id] = j
+	s.metrics.misses.Add(1)
+	return j, SubmitNew, nil
+}
+
+// finishedJobFor returns the retained finished job for a digest if one is
+// still indexed, or a synthetic done job wrapping the cached bytes — so
+// Submit's cache re-check hands every caller a waitable Job either way.
+func (s *Service) finishedJobFor(digest string) *Job {
+	for _, id := range s.doneIDs {
+		if j := s.jobs[id]; j != nil && j.digest == digest && j.err == nil {
+			return j
+		}
+	}
+	val, _ := s.cache.Get(digest)
+	j := &Job{
+		id: "cached-" + shortDigest(digest), digest: digest,
+		done: make(chan struct{}), state: JobDone, val: val,
+	}
+	close(j.done)
+	return j
+}
+
+func shortDigest(d string) string {
+	if len(d) >= 15 {
+		return d[7:15]
+	}
+	return d
+}
+
+// RecoverPlan returns a finished-but-evicted plan from the retained job
+// index, re-inserting it into the cache. It is the async API's backstop: a
+// plan computed for a 202'd client must survive cache churn at least until
+// its job is evicted from the (larger, time-ordered) job index — otherwise
+// the client's completed search would be lost and re-run.
+func (s *Service) RecoverPlan(digest string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.doneIDs) - 1; i >= 0; i-- {
+		if j := s.jobs[s.doneIDs[i]]; j != nil && j.digest == digest && j.err == nil {
+			s.cache.Put(digest, j.val)
+			s.metrics.hits.Add(1)
+			return j.val, true
+		}
+	}
+	return nil, false
+}
+
+// Job finds a job by ID (running or retained-finished).
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// InFlight returns the live job for a digest, if any.
+func (s *Service) InFlight(digest string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.inflight[digest]
+	return j, ok
+}
+
+// Wait blocks for a job up to d (or ctx cancellation). timedOut reports the
+// async flip: the job keeps running and the caller should poll it.
+func (s *Service) Wait(ctx context.Context, j *Job, d time.Duration) (val []byte, err error, timedOut bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-j.done:
+		val, err = j.Result()
+		return val, err, false
+	case <-t.C:
+		return nil, nil, true
+	case <-ctx.Done():
+		return nil, ctx.Err(), true
+	}
+}
+
+// worker runs queued searches until the queue closes at shutdown.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+func (s *Service) run(j *Job) {
+	j.setState(JobRunning)
+	s.metrics.inFlight.Add(1)
+	start := time.Now()
+	compute := s.cfg.Compute
+	if compute == nil {
+		// The submission path already normalized the request and computed
+		// its digest; skip both on the worker.
+		compute = func(r Request) ([]byte, error) {
+			return computeNormalized(r, j.digest, s.cfg.Parallelism)
+		}
+	}
+	val, err := compute(j.req)
+	s.metrics.observeSearch(time.Since(start))
+	s.metrics.inFlight.Add(-1)
+
+	s.mu.Lock()
+	j.val, j.err = val, err
+	if err == nil {
+		s.cache.Put(j.digest, val)
+		s.metrics.jobsDone.Add(1)
+	} else {
+		s.metrics.jobsFail.Add(1)
+	}
+	delete(s.inflight, j.digest)
+	s.retainFinishedLocked(j)
+	s.mu.Unlock()
+
+	if err == nil {
+		j.setState(JobDone)
+	} else {
+		j.setState(JobFailed)
+	}
+	close(j.done)
+}
+
+func (s *Service) retainFinishedLocked(j *Job) {
+	s.doneIDs = append(s.doneIDs, j.id)
+	for len(s.doneIDs) > maxRetainedJobs {
+		delete(s.jobs, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
+}
+
+// Shutdown drains: new submissions are rejected, every queued and running
+// job finishes, then the worker pool exits. It returns ctx.Err() if the
+// deadline expires first (workers keep draining in the background).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun (healthz turns 503).
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Metrics snapshots the counters and gauges.
+func (s *Service) Metrics() Snapshot {
+	p50, p99 := s.metrics.percentiles()
+	return Snapshot{
+		Hits:        s.metrics.hits.Load(),
+		Misses:      s.metrics.misses.Load(),
+		Coalesced:   s.metrics.coalesced.Load(),
+		Rejected:    s.metrics.rejected.Load(),
+		JobsDone:    s.metrics.jobsDone.Load(),
+		JobsFailed:  s.metrics.jobsFail.Load(),
+		InFlight:    s.metrics.inFlight.Load(),
+		QueueLen:    len(s.queue),
+		QueueCap:    s.cfg.QueueDepth,
+		CacheLen:    s.cache.Len(),
+		CacheCap:    s.cfg.CacheSize,
+		SearchP50Ms: p50.Seconds() * 1e3,
+		SearchP99Ms: p99.Seconds() * 1e3,
+		UptimeSec:   time.Since(s.started).Seconds(),
+	}
+}

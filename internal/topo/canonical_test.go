@@ -1,0 +1,74 @@
+package topo
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCanonicalJSONNameFree(t *testing.T) {
+	a := DGX1Topology()
+	b := DGX1Topology()
+	b.Name = "renamed-but-same-machine"
+	ca, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("renaming changed the canonical form:\n%s\n%s", ca, cb)
+	}
+	if bytes.Contains(ca, []byte("dgx1")) {
+		t.Fatalf("canonical form leaks the profile name: %s", ca)
+	}
+	// Level labels are documentation, not hardware: relabelling a level
+	// must not change the canonical form either.
+	c := DGX1Topology()
+	c.Levels[0].Name = "nv"
+	cc2, err := c.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cc2) {
+		t.Fatalf("relabelling a level changed the canonical form:\n%s\n%s", ca, cc2)
+	}
+	if bytes.Contains(ca, []byte("nvlink")) {
+		t.Fatalf("canonical form leaks a level label: %s", ca)
+	}
+	// Different machines canonicalize differently.
+	cc, err := Cluster2x8Topology().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ca, cc) {
+		t.Fatal("different machines share a canonical form")
+	}
+}
+
+func TestCanonicalJSONImplicitFlatLevel(t *testing.T) {
+	hw := DefaultHW()
+	implicit := Topology{Name: "implicit", HW: hw}
+	explicit := FlatTopology(hw)
+	explicit.Name = "explicit"
+	ci, err := implicit.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := explicit.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ci, ce) {
+		t.Fatalf("implicit and explicit flat levels differ:\n%s\n%s", ci, ce)
+	}
+}
+
+func TestCanonicalJSONValidates(t *testing.T) {
+	bad := DGX1Topology()
+	bad.Levels[0].GroupSize = 3 // no longer multiplies to NumGPUs
+	if _, err := bad.CanonicalJSON(); err == nil {
+		t.Fatal("invalid topology canonicalized")
+	}
+}

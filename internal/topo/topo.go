@@ -312,6 +312,40 @@ func (t Topology) WriteJSON(w io.Writer) error {
 	return enc.Encode(t)
 }
 
+// CanonicalJSON is the stable content encoding of the machine: the per-GPU
+// parameters and interconnect levels with the profile name AND the level
+// labels stripped — names are documentation, not hardware. Two topologies
+// that describe the same machine — a built-in profile and a user JSON file
+// with different labels — canonicalize to identical bytes, so content
+// digests built over it (the partition service's plan cache key) treat them
+// as the same machine.
+func (t Topology) CanonicalJSON() ([]byte, error) {
+	// Empty Levels is defined as one flat level at HW.P2PBandwidth; spell
+	// that out (before validating — Validate requires explicit levels) so
+	// the implicit and explicit forms hash alike.
+	levels := t.Levels
+	if len(levels) == 0 {
+		levels = FlatTopology(t.HW).Levels
+	}
+	norm := Topology{Name: t.Name, HW: t.HW, Levels: levels}
+	if err := norm.Validate(); err != nil {
+		return nil, err
+	}
+	type canonicalLevel struct {
+		GroupSize int64   `json:"group_size"`
+		Bandwidth float64 `json:"bandwidth"`
+		Network   bool    `json:"network,omitempty"`
+	}
+	cl := make([]canonicalLevel, len(levels))
+	for i, l := range levels {
+		cl[i] = canonicalLevel{GroupSize: l.GroupSize, Bandwidth: l.Bandwidth, Network: l.Network}
+	}
+	return json.Marshal(struct {
+		HW     HW               `json:"hw"`
+		Levels []canonicalLevel `json:"levels"`
+	}{norm.HW, cl})
+}
+
 // ReadTopology parses and validates a topology. Unknown fields are errors:
 // a misspelled field would otherwise silently decode to a zero value that
 // Validate cannot always catch (e.g. a level's Network flag).

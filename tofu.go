@@ -23,12 +23,15 @@
 package tofu
 
 import (
+	"fmt"
+
 	"tofu/internal/baselines"
 	"tofu/internal/core"
 	"tofu/internal/graph"
 	"tofu/internal/models"
 	"tofu/internal/partition"
 	"tofu/internal/plan"
+	"tofu/internal/service"
 	"tofu/internal/shape"
 	"tofu/internal/sim"
 	"tofu/internal/tdl"
@@ -115,6 +118,53 @@ func WResNet(depth int, widen, batch int64) (*Model, error) {
 
 // BuildModel constructs a benchmark model from a config.
 func BuildModel(c ModelConfig) (*Model, error) { return models.Build(c) }
+
+// UnmarshalModelConfig strictly decodes the canonical ModelConfig JSON form
+// — the one the CLIs' -model-json flag and the tofu-serve request body
+// share. Unknown fields, trailing data and invalid configs are errors.
+func UnmarshalModelConfig(data []byte) (ModelConfig, error) { return models.ParseConfig(data) }
+
+// MarshalModelConfig encodes a config into its canonical one-line JSON form:
+// fixed field order, no insignificant whitespace. Equal configs marshal to
+// identical bytes; this is the form PlanDigest hashes.
+func MarshalModelConfig(c ModelConfig) ([]byte, error) { return c.CanonicalJSON() }
+
+// ReadModelConfig loads a canonical config document from a file path (or
+// stdin when arg is "-") — the -model-json convention every CLI shares.
+func ReadModelConfig(arg string) (ModelConfig, error) { return models.ReadConfig(arg) }
+
+// PlanDigest returns the content digest ("sha256:<64 hex>") identifying the
+// partition request (model, worker count, machine, search restrictions —
+// everything that can change the chosen plan, and nothing that cannot; in
+// particular search parallelism is excluded because plans are byte-identical
+// at any setting). It is the tofu-serve plan-cache key: a plan computed
+// locally under the same request carries the same digest the service files
+// its cached copy under.
+//
+// Options outside the service's request surface that could change the plan
+// (a StrategyFilter, a non-float32 DType, a Search-level topology override)
+// are errors rather than silently excluded: two different plans must never
+// share a digest.
+func PlanDigest(c ModelConfig, k int64, opts PipelineOptions) (string, error) {
+	if opts.Search.StrategyFilter != nil {
+		return "", fmt.Errorf("tofu: PlanDigest: Search.StrategyFilter is not content-addressable")
+	}
+	if opts.Search.DType != shape.Float32 {
+		return "", fmt.Errorf("tofu: PlanDigest: non-default DType %v is not content-addressable", opts.Search.DType)
+	}
+	if opts.Search.Topology != nil {
+		return "", fmt.Errorf("tofu: PlanDigest: set the machine via PipelineOptions.Topology, not Search.Topology")
+	}
+	req := service.Request{
+		Model:         c,
+		Workers:       k,
+		Topology:      opts.Topology,
+		MaxStates:     opts.Search.MaxStates,
+		Factors:       opts.Search.Factors,
+		TopologyNaive: opts.Search.TopologyNaive,
+	}
+	return req.Digest()
+}
 
 // Partition runs the full Tofu pipeline (strategy discovery, coarsening,
 // recursive DP search, partitioned-graph generation, memory planning) for k
