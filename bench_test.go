@@ -219,3 +219,43 @@ func BenchmarkEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPartitionSearchTopo measures the topology-aware ordering search
+// on the hierarchical profiles — the branch-and-bound prefix tree whose DP
+// effort the dp_steps/dp_steps_flat metrics expose. Short mode keeps the
+// two cluster profiles the CI gate tracks.
+func BenchmarkPartitionSearchTopo(b *testing.B) {
+	cases := []struct {
+		prof string
+		cfg  models.Config
+	}{
+		{"cluster-2x8", models.Config{Family: "rnn", Depth: 2, Width: 1500, Batch: 64}},
+		{"cluster-4x2x8", models.Config{Family: "rnn", Depth: 2, Width: 8192, Batch: 128}},
+		{"cluster-8x2x8", models.Config{Family: "rnn", Depth: 2, Width: 8192, Batch: 256}},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		tp, err := sim.Profile(c.prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := models.Build(c.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := int64(tp.NumGPUs())
+		b.Run(fmt.Sprintf("%s@%d", c.prof, k), func(b *testing.B) {
+			var st recursive.SearchStats
+			for i := 0; i < b.N; i++ {
+				if _, err := recursive.Partition(m.G, k, recursive.Options{Topology: &tp, Stats: &st}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.DPSolves), "dp-steps")
+			b.ReportMetric(float64(st.FlatDPSolves), "dp-steps-flat")
+			b.ReportMetric(float64(st.Pruned), "pruned-nodes")
+		})
+	}
+}

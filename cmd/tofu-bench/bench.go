@@ -6,9 +6,11 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"tofu/internal/models"
 	"tofu/internal/recursive"
+	"tofu/internal/topo"
 )
 
 // regressionThreshold is the allowed growth of ns/op and allocs/op over the
@@ -24,8 +26,17 @@ type BenchRecord struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
 
+	// DPSteps/DPStepsFlat record the topology search's effort (search-topo/*
+	// benchmarks): DP step executions of the branch-and-bound prefix tree vs
+	// the flat enumeration's orderings × depth. FlatNsPerOp is one measured
+	// flat-enumeration search for the wall-clock speedup.
+	DPSteps     int64   `json:"dp_steps,omitempty"`
+	DPStepsFlat int64   `json:"dp_steps_flat,omitempty"`
+	FlatNsPerOp float64 `json:"flat_ns_per_op,omitempty"`
+
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+	BaselineDPSteps     int64   `json:"baseline_dp_steps,omitempty"`
 	NsRatio             float64 `json:"ns_ratio,omitempty"`
 	AllocsRatio         float64 `json:"allocs_ratio,omitempty"`
 }
@@ -59,6 +70,7 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 	}
 
 	out := BenchFile{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU(), Short: short}
+	var regressions []string
 	for _, cfg := range cfgs {
 		m, err := models.Build(cfg)
 		if err != nil {
@@ -84,6 +96,76 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 		out.Benchmarks = append(out.Benchmarks, rec)
 	}
 
+	// The topology-aware ordering search rides along: branch-and-bound wall
+	// time and DP-step counts (machine-stable, gated like allocs/op), plus
+	// one timed flat-enumeration search for the recorded speedup.
+	topoCases := []struct {
+		prof string
+		cfg  models.Config
+	}{
+		{"cluster-4x2x8", models.Config{Family: "rnn", Depth: 2, Width: 8192, Batch: 128}},
+		{"cluster-8x2x8", models.Config{Family: "rnn", Depth: 2, Width: 8192, Batch: 256}},
+	}
+	if short {
+		topoCases = []struct {
+			prof string
+			cfg  models.Config
+		}{
+			{"cluster-2x8", models.Config{Family: "rnn", Depth: 2, Width: 1500, Batch: 64}},
+			{"cluster-4x2x8", models.Config{Family: "mlp", Depth: 3, Width: 2048, Batch: 128}},
+		}
+	}
+	for _, tc := range topoCases {
+		tp, err := topo.Profile(tc.prof)
+		if err != nil {
+			return err
+		}
+		m, err := models.Build(tc.cfg)
+		if err != nil {
+			return fmt.Errorf("building %s: %w", tc.cfg, err)
+		}
+		k := int64(tp.NumGPUs())
+		// Parallelism 1 keeps the expansion schedule — and therefore the
+		// gated DPSteps counter — deterministic across machines (the plan is
+		// byte-identical at any setting; only the node counters can drift).
+		var st recursive.SearchStats
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := recursive.Partition(m.G, k, recursive.Options{Topology: &tp, Parallelism: 1, Stats: &st}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		flatStart := time.Now()
+		if _, err := recursive.Partition(m.G, k, recursive.Options{Topology: &tp, Parallelism: 1, TopoExhaustive: true}); err != nil {
+			return fmt.Errorf("flat enumeration on %s: %w", tc.prof, err)
+		}
+		flatNs := float64(time.Since(flatStart).Nanoseconds())
+		rec := BenchRecord{
+			// The model rides in the name (like search/*): short and full
+			// modes measure different workloads and must never share a
+			// baseline row.
+			Name:        fmt.Sprintf("search-topo/%s@%d/%s", tc.prof, k, tc.cfg),
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+			DPSteps:     int64(st.DPSolves),
+			DPStepsFlat: int64(st.FlatDPSolves),
+			FlatNsPerOp: flatNs,
+		}
+		fmt.Printf("%-28s %14.0f ns/op %12d B/op %10d allocs/op (dp %d vs flat %d, flat search %.0f ns)\n",
+			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.DPSteps, rec.DPStepsFlat, rec.FlatNsPerOp)
+		// Acceptance floor on the large clusters: the prefix-shared tree
+		// must run at least 5x fewer DP steps than the flat enumeration.
+		if tp.NumGPUs() >= 64 && rec.DPSteps*5 > rec.DPStepsFlat {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: dp steps %d not >=5x below flat %d", rec.Name, rec.DPSteps, rec.DPStepsFlat))
+		}
+		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+
 	// The serve loadtest rides along. The throughput floor is enforced via
 	// the regression list below — after the artifact is written — so a slow
 	// run never discards the search measurements; only genuine failures
@@ -98,7 +180,6 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 	fmt.Printf("%-28s %14.0f req/s warm %8.0f us p50 %8.0f us p99 (cold %.0f ms)\n",
 		"serve/"+serve.Model, serve.WarmRPS, serve.WarmP50Us, serve.WarmP99Us, serve.ColdMs)
 
-	var regressions []string
 	if serve.WarmRPS < serveFloorRPS {
 		regressions = append(regressions, fmt.Sprintf(
 			"serve/%s: warm throughput %.0f req/s below the %d req/s floor",
@@ -145,6 +226,14 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 			if rec.AllocsRatio > regressionThreshold {
 				regressions = append(regressions, fmt.Sprintf(
 					"%s: allocs/op regressed %.2fx (%d -> %d)", rec.Name, rec.AllocsRatio, b.AllocsPerOp, rec.AllocsPerOp))
+			}
+			// DP steps are machine-stable like allocs: gate against growth.
+			if b.DPSteps > 0 && rec.DPSteps > 0 {
+				rec.BaselineDPSteps = b.DPSteps
+				if float64(rec.DPSteps) > float64(b.DPSteps)*regressionThreshold {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s: dp steps regressed (%d -> %d)", rec.Name, b.DPSteps, rec.DPSteps))
+				}
 			}
 		}
 		// Warm-cache serve throughput is wall-clock like ns/op: gate it only

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	tofu-bench [-exp all|table1|table2|table3|fig8|fig9|fig10|fig11|ablations|crosstopo]
-//	           [-quick] [-flat-budget 20s] [-parallel N]
-//	           [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
+//	tofu-bench [-exp all|table1|table2|table3|fig8|fig9|fig10|fig11|ablations|crosstopo|orderings]
+//	           [-quick] [-flat-budget 20s] [-parallel N] [-cpuprofile cpu.out]
+//	           [-hw <profile>|machine.json]
 //
 //	tofu-bench -exp serve [-serve-json BENCH_PR4.json]
 //
@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"tofu/internal/experiments"
@@ -43,7 +45,7 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"worker goroutines for experiment cells and DP search (0 = GOMAXPROCS, 1 = serial); artifacts are identical either way")
 	hwArg := flag.String("hw", "p2.8xlarge",
-		"hardware profile name or topology JSON file (profiles: p2.8xlarge, dgx1, cluster-2x8)")
+		"hardware profile name or topology JSON file (see tofu.TopologyProfiles)")
 	benchJSON := flag.String("bench-json", "",
 		"run the partition-search benchmarks and write ns/op + allocs/op to this JSON file")
 	benchShort := flag.Bool("bench-short", false,
@@ -52,11 +54,45 @@ func main() {
 		"compare the benchmark run against this baseline JSON; exit non-zero on >20% ns/op or allocs/op regression")
 	serveJSON := flag.String("serve-json", "BENCH_PR4.json",
 		"where -exp serve records the loadtest numbers")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
 	flag.Parse()
+
+	// stopProfile is idempotent and runs on every exit path: the fatal
+	// helpers below call it before os.Exit, so a failing (e.g. regressing)
+	// run — exactly the one worth profiling — still writes a valid profile.
+	stopProfile := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		var once sync.Once
+		stopProfile = func() {
+			once.Do(func() {
+				pprof.StopCPUProfile()
+				if err := f.Close(); err != nil {
+					log.Print(err)
+				}
+			})
+		}
+		defer stopProfile()
+	}
+	fatal := func(v ...any) {
+		stopProfile()
+		log.Fatal(v...)
+	}
+	fatalf := func(format string, args ...any) {
+		stopProfile()
+		log.Fatalf(format, args...)
+	}
 
 	if *benchJSON != "" {
 		if err := runSearchBenchmarks(*benchJSON, *benchShort, *benchBaseline); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
@@ -64,7 +100,7 @@ func main() {
 	if *exp == "serve" {
 		out, err := runServeExperiment(*serveJSON)
 		if err != nil {
-			log.Fatalf("serve: %v", err)
+			fatalf("serve: %v", err)
 		}
 		fmt.Println(out)
 		return
@@ -73,7 +109,7 @@ func main() {
 	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}
 	topo, err := sim.ResolveTopology(*hwArg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	type driver struct {
@@ -90,6 +126,7 @@ func main() {
 		{"fig11", func() (string, error) { return experiments.Figure11(opts) }},
 		{"ablations", func() (string, error) { return experiments.Ablations(opts, topo) }},
 		{"crosstopo", func() (string, error) { return experiments.CrossTopology(opts, topo) }},
+		{"orderings", func() (string, error) { return experiments.Orderings(opts, topo) }},
 	}
 
 	ran := false
@@ -101,7 +138,7 @@ func main() {
 		start := time.Now()
 		out, err := d.run()
 		if err != nil {
-			log.Fatalf("%s: %v", d.name, err)
+			fatalf("%s: %v", d.name, err)
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", d.name, time.Since(start).Round(time.Millisecond))

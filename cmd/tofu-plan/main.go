@@ -6,7 +6,8 @@
 //	tofu-plan [-family wresnet|rnn|mlp] [-depth 152] [-width 10]
 //	          [-batch 8] [-workers 8] [-parallel N]
 //	          [-model-json config.json|-]
-//	          [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
+//	          [-hw <profile>|machine.json]   (profiles: p2.8xlarge, dgx1, dgx2,
+//	           cluster-2x8, cluster-4x2x8, cluster-4x2x12, cluster-8x2x8)
 //
 // -model-json reads the model config from a JSON file (or stdin with "-")
 // in the same canonical form tofu-serve accepts, so a CLI run and a service
@@ -88,6 +89,12 @@ func main() {
 	fmt.Printf("coarsened: %d groups, %d variables, frontier width %d\n",
 		s.Groups, s.Vars, s.Frontier)
 	fmt.Printf("search time: %v\n", s.SearchTime)
+	if st := s.Search; st.Orderings > 0 {
+		fmt.Printf("ordering search: %d orderings (%d costed, %d tree nodes expanded, %d pruned)\n",
+			st.Orderings, st.Leaves, st.Expanded, st.Pruned)
+		fmt.Printf("  dp steps: %d shared+pruned vs %d flat enumeration (%.1fx less), %d bound queries\n",
+			st.DPSolves, st.FlatDPSolves, float64(st.FlatDPSolves)/float64(max(st.DPSolves, 1)), st.LBQueries)
+	}
 	fmt.Printf("plan: %d recursive steps, total communication %.2f GB/iteration\n",
 		len(s.Plan.Steps), s.Plan.TotalComm()/(1<<30))
 	for i, st := range s.Plan.Steps {

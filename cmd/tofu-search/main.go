@@ -6,7 +6,7 @@
 //
 //	tofu-search [-flat-budget 20s] [-quick] [-parallel N]
 //	            [-model-json config.json|-]
-//	            [-hw p2.8xlarge|dgx1|cluster-2x8|machine.json]
+//	            [-hw <profile>|machine.json]
 //
 // -model-json replaces the paper's model pair with the config from a JSON
 // file (or stdin with "-") — the same canonical ModelConfig document
@@ -33,7 +33,7 @@ func main() {
 	modelJSON := flag.String("model-json", "",
 		"measure the model from this canonical config JSON file (- for stdin) instead of the paper pair")
 	hwArg := flag.String("hw", "p2.8xlarge",
-		"hardware profile name or topology JSON file (profiles: p2.8xlarge, dgx1, cluster-2x8)")
+		"hardware profile name or topology JSON file (see tofu.TopologyProfiles)")
 	flag.Parse()
 
 	topo, err := sim.ResolveTopology(*hwArg)
@@ -53,4 +53,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
+
+	// On a hierarchical machine the search's cost has a second axis — the
+	// factor-to-level ordering space — so report the branch-and-bound
+	// effort next to Table 1's timings.
+	if topo.Hierarchical() {
+		out, err := experiments.Orderings(opts, topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
 }

@@ -62,6 +62,9 @@ type Summary struct {
 	Memory memplan.Report
 	// SearchTime is the wall-clock cost of the search (Table 1's metric).
 	SearchTime time.Duration
+	// Search reports the topology-aware ordering search's effort (zero for
+	// flat machines and topology-blind searches).
+	Search recursive.SearchStats
 	// Frontier is the coarsened graph's maximum DP frontier width.
 	Frontier int
 	// Groups and Vars describe the coarsened search space.
@@ -84,6 +87,9 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 		// a different worker count than the simulated machine stays legal —
 		// the search just runs topology-blind, as before.
 		search.Topology = opts.Topology
+	}
+	if search.Stats == nil {
+		search.Stats = &recursive.SearchStats{}
 	}
 	start := time.Now()
 	p, err := recursive.Partition(g, k, search)
@@ -108,6 +114,7 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 		Sharded:    sh,
 		Memory:     memplan.Plan(sh, opts.Mem),
 		SearchTime: elapsed,
+		Search:     *search.Stats,
 		Frontier:   co.MaxFrontier(),
 		Groups:     len(co.Groups),
 		Vars:       len(co.Vars),

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"tofu/internal/graph"
 	"tofu/internal/partition"
@@ -25,6 +26,10 @@ import (
 type PriceCache struct {
 	mu sync.Mutex
 	m  map[string]*cacheEntry
+
+	// hits/misses count priced() lookups that found an existing entry vs
+	// ones that created it — the service's cross-request reuse metric.
+	hits, misses atomic.Int64
 }
 
 type cacheEntry struct {
@@ -52,8 +57,22 @@ func (c *PriceCache) priced(key string, build func() (*partition.Priced, error))
 		c.m[key] = e
 	}
 	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	e.once.Do(func() { e.priced, e.err = build() })
 	return e.priced, e.err
+}
+
+// Stats reports how many priced() lookups hit an existing entry vs built a
+// new one since the cache was created.
+func (c *PriceCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len reports how many distinct slot pricings the cache holds.

@@ -2,6 +2,7 @@ package dp
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"tofu/internal/coarsen"
@@ -42,6 +43,10 @@ type slotEval struct {
 	// cross-product. nil when the cross-product exceeds tableLimit.
 	costT []float64
 	bestT []int32
+	// minCost is the cheapest entry of costT — the slot's contribution to
+	// LowerBound. Slots priced lazily (cross-product beyond tableLimit)
+	// leave it 0, which keeps the bound admissible.
+	minCost float64
 
 	// Lazy fallback for oversized cross-products: an integer-keyed memo
 	// guarded for the parallel sweep.
@@ -169,11 +174,15 @@ func (ev *slotEval) buildTable(alphas []varAlpha) {
 	}
 	ev.costT = make([]float64, size)
 	ev.bestT = make([]int32, size)
+	ev.minCost = math.Inf(1)
 	inCuts := make([]partition.Cut, len(ev.inVars))
 	for ti := 0; ti < size; ti++ {
 		si, cost := ev.price(ti, inCuts)
 		ev.costT[ti] = cost
 		ev.bestT[ti] = si
+		if cost < ev.minCost {
+			ev.minCost = cost
+		}
 	}
 }
 

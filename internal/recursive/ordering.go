@@ -1,0 +1,650 @@
+package recursive
+
+// This file implements the topology-aware ordering search as best-first
+// branch and bound over the prefix tree of factor-to-level orderings
+// (replacing the flat enumeration that re-ran the whole recursive DP once
+// per ordering). Two observations make the tree cheap:
+//
+//  1. Prefix sharing. A step's DP result depends only on the FACTOR prefix
+//     before it — the levels merely weight the accumulated cost — so every
+//     distinct factor prefix runs dp.Solve exactly once and all orderings
+//     passing through it reuse the result and the divided shapes. A machine
+//     whose levels factor into all 2s (every power-of-two cluster) collapses
+//     the entire search to one DP run per recursion depth.
+//
+//  2. Admissible bounds. For a node with prefix P, every not-yet-placed
+//     factor f must eventually run a step whose δ is at least
+//     dp.LowerBound(f, shapes after P): costs are priced at original shapes
+//     (Lemma 1) and shapes only shrink below P, so strategies and cut
+//     dimensions can only disappear. Dividing each remaining pair's bound by
+//     its own level's bandwidth (the pair's level is fixed by the machine,
+//     not a choice) gives h(P) ≤ true remaining cost, and any node with
+//     g(P)+h(P) above the incumbent can only lead to strictly worse
+//     orderings.
+//
+// Pruning uses a strict comparison (plus an ulp-scale slack for float
+// summation-order noise), so every ordering that could tie the optimum is
+// still explored; ties then break by the exhaustive enumeration's order.
+// The chosen plan is therefore byte-identical to the flat enumeration
+// wherever that search is feasible — the differential test in
+// ordering_test.go locks this in — while the DP executions drop from
+// O(orderings × depth) to O(distinct factor prefixes).
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"tofu/internal/coarsen"
+	"tofu/internal/dp"
+	"tofu/internal/graph"
+	"tofu/internal/plan"
+	"tofu/internal/shape"
+	"tofu/internal/topo"
+)
+
+// SearchStats reports the effort of one topology-aware ordering search;
+// Options.Stats receives a copy when non-nil. The plan itself is
+// deterministic at any Parallelism; the node counters can vary slightly
+// with the expansion schedule when Parallelism > 1.
+type SearchStats struct {
+	// Orderings is the search-space size: every distinct factor-to-level
+	// ordering of the machine's pool.
+	Orderings int `json:"orderings"`
+	// Leaves is how many complete orderings were actually costed.
+	Leaves int `json:"leaves"`
+	// Expanded and Pruned count branch-and-bound tree nodes expanded vs
+	// discarded because their admissible bound exceeded the incumbent.
+	Expanded int `json:"expanded"`
+	Pruned   int `json:"pruned"`
+	// DPSolves is the number of per-step DP executions actually run — one
+	// per distinct factor prefix reached. FlatDPSolves is what the flat
+	// enumeration would have run for the same space (orderings × depth).
+	DPSolves     int `json:"dp_solves"`
+	FlatDPSolves int `json:"flat_dp_solves"`
+	// LBQueries counts admissible lower-bound evaluations (dp.LowerBound).
+	LBQueries int `json:"lb_queries"`
+	// BestCost is the winning bandwidth-weighted communication time Σ δ/B
+	// in seconds.
+	BestCost float64 `json:"best_cost"`
+}
+
+// prefixState is the per-factor-prefix memo node: the DP result of the
+// prefix's last step and the tensor shapes after it, computed exactly once
+// however many orderings share the prefix.
+type prefixState struct {
+	once   sync.Once
+	parent *prefixState
+	factor int64
+
+	res    *dp.Result
+	shapes map[int]shape.Shape
+	err    error
+
+	// lastDelta maps factor -> the realized δ of that factor's most recent
+	// occurrence in this prefix. Shapes only shrink down a branch, so a
+	// later step with the same factor can only cost more — a second, often
+	// much tighter admissible bound the expansion maxes with dp.LowerBound.
+	lastDelta map[int64]float64
+
+	// lb memoizes dp.LowerBound per candidate next factor at these shapes;
+	// the prepared evaluators are handed to the child's Solve via EvalReuse.
+	lbMu sync.Mutex
+	lb   map[int64]*lbQuery
+}
+
+type lbQuery struct {
+	once  sync.Once
+	delta float64
+	reuse *dp.EvalReuse
+	err   error
+}
+
+// obNode is one branch-and-bound tree node: a (factor, level) prefix with
+// its accumulated weighted cost and admissible total bound.
+type obNode struct {
+	steps []factorLevel
+	ranks []uint8 // rank sequence in canonical pool order — the lex tie-break
+	key   string  // factor-prefix memo key
+	ps    *prefixState
+	g     float64 // Σ δ_i/B_i over steps
+	bound float64 // g + admissible remaining-cost bound
+}
+
+// orderSearch carries one branch-and-bound run.
+type orderSearch struct {
+	g     *graph.Graph
+	c     *coarsen.Coarse
+	k     int64
+	tp    topo.Topology
+	opts  Options
+	cache *dp.PriceCache
+
+	// uniq/counts are the distinct (factor, level) pairs in canonical order
+	// (level ascending, factor descending — the flat enumeration's order)
+	// with their multiplicities; pool is uniq expanded, i.e. the naive
+	// hierarchy-following ordering.
+	uniq   []factorLevel
+	counts []int
+	pool   []factorLevel
+	rootPS *prefixState
+
+	mu        sync.Mutex
+	prefixes  map[string]*prefixState
+	bestSet   bool
+	bestCost  float64
+	bestSteps []factorLevel
+	bestRanks []uint8
+	errs      errCollector
+	stats     SearchStats
+}
+
+// errCollector deduplicates infeasibility reasons by message; both search
+// engines report through it so a fully infeasible topology reads the same
+// either way. Not safe for concurrent use — callers hold their own lock.
+type errCollector struct {
+	seen map[string]struct{}
+	errs []error
+}
+
+func (c *errCollector) add(err error) {
+	if c.seen == nil {
+		c.seen = map[string]struct{}{}
+	}
+	msg := err.Error()
+	if _, ok := c.seen[msg]; !ok {
+		c.seen[msg] = struct{}{}
+		c.errs = append(c.errs, err)
+	}
+}
+
+func newOrderSearch(g *graph.Graph, c *coarsen.Coarse, k int64, tp topo.Topology,
+	opts Options, cache *dp.PriceCache, pool []factorLevel) *orderSearch {
+
+	s := &orderSearch{
+		g: g, c: c, k: k, tp: tp, opts: opts, cache: cache,
+		prefixes: map[string]*prefixState{},
+	}
+	// pool arrives in canonical order (topoPool); collapse runs into
+	// uniq/counts.
+	for _, fl := range pool {
+		if n := len(s.uniq); n > 0 && s.uniq[n-1] == fl {
+			s.counts[n-1]++
+		} else {
+			s.uniq = append(s.uniq, fl)
+			s.counts = append(s.counts, 1)
+		}
+	}
+	s.pool = pool
+
+	// Root: original shapes, cloned into one slab the per-prefix divisions
+	// never touch (each child clones again before dividing).
+	s.rootPS = &prefixState{shapes: cloneShapes(g, nil), lb: map[int64]*lbQuery{}}
+	s.prefixes[""] = s.rootPS
+	return s
+}
+
+// cloneShapes copies every tensor's current shape (src nil = the graph's
+// original shapes) into a fresh slab-backed map safe to divide in place.
+func cloneShapes(g *graph.Graph, src map[int]shape.Shape) map[int]shape.Shape {
+	total := 0
+	for _, t := range g.Tensors {
+		total += t.Shape.Rank()
+	}
+	slab := make([]int64, 0, total)
+	out := make(map[int]shape.Shape, len(g.Tensors))
+	for _, t := range g.Tensors {
+		cur := shape.Shape(t.Shape)
+		if src != nil {
+			cur = src[t.ID]
+		}
+		start := len(slab)
+		slab = append(slab, cur...)
+		out[t.ID] = shape.Shape(slab[start:len(slab):len(slab)])
+	}
+	return out
+}
+
+// prefixFor returns the memoized state for parent's prefix extended by
+// factor f, running its DP step on first use.
+func (s *orderSearch) prefixFor(parent *prefixState, key string, f int64) *prefixState {
+	s.mu.Lock()
+	ps, ok := s.prefixes[key]
+	if !ok {
+		ps = &prefixState{parent: parent, factor: f, lb: map[int64]*lbQuery{}}
+		s.prefixes[key] = ps
+	}
+	s.mu.Unlock()
+	ps.once.Do(func() { s.computeStep(ps) })
+	return ps
+}
+
+// computeStep runs one prefix's DP step: lower-bound first (it prepares the
+// slot evaluators the Solve then reuses, and detects infeasibility before
+// any frontier sweep), then the sweep, then the shape division.
+func (s *orderSearch) computeStep(ps *prefixState) {
+	par := ps.parent
+	if par.err != nil {
+		ps.err = par.err
+		return
+	}
+	_, reuse, err := s.lowerBoundFor(par, ps.factor)
+	if err != nil {
+		ps.err = err
+		return
+	}
+	res, err := dp.Solve(&dp.Problem{
+		Coarse:         s.c,
+		K:              ps.factor,
+		Shapes:         par.shapes,
+		DType:          s.opts.DType,
+		StrategyFilter: s.opts.StrategyFilter,
+		MaxStates:      s.opts.MaxStates,
+		Parallelism:    s.opts.Parallelism,
+		Cache:          s.cache,
+		Reuse:          reuse,
+	})
+	if err != nil {
+		ps.err = err
+		return
+	}
+	s.mu.Lock()
+	s.stats.DPSolves++
+	s.mu.Unlock()
+	shapes := cloneShapes(s.g, par.shapes)
+	for tid, dim := range res.TensorCut {
+		if dim < 0 {
+			continue
+		}
+		if err := shapes[tid].SplitInPlace(dim, ps.factor); err != nil {
+			ps.err = fmt.Errorf("recursive: splitting tensor %d: %w", tid, err)
+			return
+		}
+	}
+	last := make(map[int64]float64, len(par.lastDelta)+1)
+	for f, d := range par.lastDelta {
+		last[f] = d
+	}
+	last[ps.factor] = res.CommBytes
+	ps.res, ps.shapes, ps.lastDelta = res, shapes, last
+}
+
+// lowerBoundFor memoizes the admissible per-step bound for factor f at the
+// prefix's shapes. An error means no step with factor f can ever run at or
+// below this prefix (divisibility and strategy gates are monotone), so the
+// whole subtree still owing f is infeasible.
+func (s *orderSearch) lowerBoundFor(ps *prefixState, f int64) (float64, *dp.EvalReuse, error) {
+	ps.lbMu.Lock()
+	q, ok := ps.lb[f]
+	if !ok {
+		q = &lbQuery{}
+		ps.lb[f] = q
+	}
+	ps.lbMu.Unlock()
+	q.once.Do(func() {
+		q.reuse = &dp.EvalReuse{}
+		q.delta, q.err = dp.LowerBound(&dp.Problem{
+			Coarse:         s.c,
+			K:              f,
+			Shapes:         ps.shapes,
+			DType:          s.opts.DType,
+			StrategyFilter: s.opts.StrategyFilter,
+			MaxStates:      s.opts.MaxStates,
+			Parallelism:    s.opts.Parallelism,
+			Cache:          s.cache,
+		}, q.reuse)
+		s.mu.Lock()
+		s.stats.LBQueries++
+		s.mu.Unlock()
+	})
+	return q.delta, q.reuse, q.err
+}
+
+// pruneSlack absorbs float summation-order noise between a node's bound and
+// a leaf's accumulated cost: the bound sums lb/B terms in pool order while
+// leaves accumulate δ/B in step order, so an exact tie can round apart by a
+// few ulps. The slack is far below any real cost gap and only ever KEEPS a
+// branch, so byte-identity with the exhaustive enumeration is preserved.
+func pruneSlack(cost float64) float64 {
+	s := 1e-9 * cost
+	if s < 1e-12 {
+		s = 1e-12
+	}
+	return s
+}
+
+// shouldPrune reports whether a bound is provably worse than the incumbent.
+func (s *orderSearch) shouldPrune(bound float64) bool {
+	return s.bestSet && bound > s.bestCost+pruneSlack(s.bestCost)
+}
+
+// offerLeaf considers a complete feasible ordering for the incumbent. Ties
+// keep the rank-lexicographically smallest ordering — exactly the first one
+// the exhaustive enumeration (strict-improvement scan in lex order) keeps.
+func (s *orderSearch) offerLeaf(steps []factorLevel, ranks []uint8, cost float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Leaves++
+	if !s.bestSet || cost < s.bestCost ||
+		(cost == s.bestCost && lexLess(ranks, s.bestRanks)) {
+		s.bestSet = true
+		s.bestCost = cost
+		s.bestSteps = steps
+		s.bestRanks = ranks
+	}
+}
+
+func (s *orderSearch) addErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errs.add(err)
+}
+
+// lexLess compares rank sequences lexicographically (a strict prefix sorts
+// first).
+func lexLess(a, b []uint8) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func childKey(key string, f int64) string {
+	return key + strconv.FormatInt(f, 10) + "."
+}
+
+// expand generates a node's surviving children in canonical order: one per
+// distinct remaining (factor, level) pair. Complete children go straight to
+// the incumbent; infeasible ones record their reason and vanish with their
+// whole subtree.
+func (s *orderSearch) expand(n *obNode) []*obNode {
+	rem := make([]int, len(s.counts))
+	copy(rem, s.counts)
+	for _, r := range n.ranks {
+		rem[r]--
+	}
+	var children []*obNode
+	for i, fl := range s.uniq {
+		if rem[i] == 0 {
+			continue
+		}
+		key := childKey(n.key, fl.f)
+		ps := s.prefixFor(n.ps, key, fl.f)
+		if ps.err != nil {
+			s.addErr(ps.err)
+			continue
+		}
+		g := n.g + ps.res.CommBytes/s.tp.LevelBandwidth(fl.level)
+		steps := append(append(make([]factorLevel, 0, len(n.steps)+1), n.steps...), fl)
+		ranks := append(append(make([]uint8, 0, len(n.ranks)+1), n.ranks...), uint8(i))
+		if len(steps) == len(s.pool) {
+			s.offerLeaf(steps, ranks, g)
+			continue
+		}
+		// Admissible remaining cost: every still-unplaced pair costs at
+		// least its factor's lower bound at the child's shapes — or, when
+		// the same factor already ran in this prefix, at least that step's
+		// realized δ (per-step optima are monotone down a branch) — over its
+		// own level's bandwidth.
+		h := 0.0
+		feasible := true
+		for j, fl2 := range s.uniq {
+			left := rem[j]
+			if j == i {
+				left--
+			}
+			if left == 0 {
+				continue
+			}
+			lb, _, err := s.lowerBoundFor(ps, fl2.f)
+			if err != nil {
+				s.addErr(err)
+				feasible = false
+				break
+			}
+			// The realized-δ tightening relies on per-step optima being
+			// monotone down a branch, which beam search voids: a later
+			// same-factor beam result over a smaller state space can land
+			// below an earlier step's beam cost. dp.LowerBound alone stays
+			// admissible against beam results (it bounds the true optimum,
+			// which the beam never beats).
+			if s.opts.MaxStates == 0 {
+				if d := ps.lastDelta[fl2.f]; d > lb {
+					lb = d
+				}
+			}
+			h += float64(left) * lb / s.tp.LevelBandwidth(fl2.level)
+		}
+		if !feasible {
+			continue
+		}
+		children = append(children, &obNode{
+			steps: steps, ranks: ranks, key: key, ps: ps, g: g, bound: g + h,
+		})
+	}
+	return children
+}
+
+// dive evaluates the naive hierarchy-following ordering (the pool itself,
+// the rank-lex-first leaf) to seed the incumbent before any best-first
+// expansion; its prefix states are the ones the tree reuses first. The leaf
+// count is left to the tree walk, which revisits this ordering through
+// shared prefixes at zero DP cost.
+func (s *orderSearch) dive() {
+	ps := s.rootPS
+	key := ""
+	g := 0.0
+	for _, fl := range s.pool {
+		key = childKey(key, fl.f)
+		ps = s.prefixFor(ps, key, fl.f)
+		if ps.err != nil {
+			s.addErr(ps.err)
+			return
+		}
+		g += ps.res.CommBytes / s.tp.LevelBandwidth(fl.level)
+	}
+	ranks := make([]uint8, 0, len(s.pool))
+	for i := range s.uniq {
+		for c := 0; c < s.counts[i]; c++ {
+			ranks = append(ranks, uint8(i))
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.bestSet {
+		s.bestSet = true
+		s.bestCost = g
+		s.bestSteps = s.pool
+		s.bestRanks = ranks
+	}
+}
+
+// run drains the branch-and-bound tree and assembles the winning plan.
+func (s *orderSearch) run() (*plan.Plan, error) {
+	s.stats.Orderings = multinomial(s.counts)
+	s.stats.FlatDPSolves = s.stats.Orderings * len(s.pool)
+
+	s.dive()
+
+	par := s.opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	pq := &nodeHeap{{key: "", ps: s.rootPS}}
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		// Pop up to par surviving nodes and expand them concurrently; their
+		// shared prefix work dedupes through the once-guarded memos.
+		var batch []*obNode
+		for len(batch) < par && pq.Len() > 0 {
+			n := heap.Pop(pq).(*obNode)
+			s.mu.Lock()
+			if s.shouldPrune(n.bound) {
+				s.stats.Pruned++
+				s.mu.Unlock()
+				continue
+			}
+			s.stats.Expanded++
+			s.mu.Unlock()
+			batch = append(batch, n)
+		}
+		children := make([][]*obNode, len(batch))
+		if len(batch) == 1 {
+			children[0] = s.expand(batch[0])
+		} else {
+			var wg sync.WaitGroup
+			for i, n := range batch {
+				wg.Add(1)
+				go func(i int, n *obNode) {
+					defer wg.Done()
+					children[i] = s.expand(n)
+				}(i, n)
+			}
+			wg.Wait()
+		}
+		for _, cs := range children {
+			for _, c := range cs {
+				s.mu.Lock()
+				pruned := s.shouldPrune(c.bound)
+				if pruned {
+					s.stats.Pruned++
+				}
+				s.mu.Unlock()
+				if !pruned {
+					heap.Push(pq, c)
+				}
+			}
+		}
+	}
+
+	s.stats.BestCost = s.bestCost
+	if s.opts.Stats != nil {
+		*s.opts.Stats = s.stats
+	}
+	if !s.bestSet {
+		return nil, infeasibleTopoErr(s.tp, s.errs.errs)
+	}
+	return s.buildPlan()
+}
+
+// buildPlan materializes the winning ordering from the shared prefix memos —
+// no DP re-runs; the assembled steps are the exact Results the exhaustive
+// enumeration's runSteps would have produced.
+func (s *orderSearch) buildPlan() (*plan.Plan, error) {
+	p := &plan.Plan{K: s.k}
+	ps := s.rootPS
+	key := ""
+	mult := int64(1)
+	for _, fl := range s.bestSteps {
+		key = childKey(key, fl.f)
+		s.mu.Lock()
+		ps = s.prefixes[key]
+		s.mu.Unlock()
+		if ps == nil || ps.err != nil || ps.res == nil {
+			return nil, fmt.Errorf("recursive: internal: winning prefix %q lost", key)
+		}
+		res := ps.res
+		p.Steps = append(p.Steps, &plan.Step{
+			K:          fl.f,
+			Multiplier: mult,
+			VarCut:     res.VarCut,
+			TensorCut:  res.TensorCut,
+			OpStrategy: res.OpStrategy,
+			OpComm:     res.OpComm,
+			CommBytes:  res.CommBytes,
+			States:     res.States,
+			Configs:    res.Configs,
+			Level:      fl.level,
+		})
+		mult *= fl.f
+	}
+	p.FinalShapes = ps.shapes
+	return p, nil
+}
+
+// infeasibleTopoErr joins the distinct infeasibility reasons (sorted for
+// determinism) under the search's banner error.
+func infeasibleTopoErr(tp topo.Topology, errs []error) error {
+	sorted := append([]error(nil), errs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Error() < sorted[j].Error() })
+	joined := errors.Join(sorted...)
+	if joined == nil {
+		joined = errors.New("no factor-to-level orderings enumerated")
+	}
+	return fmt.Errorf("recursive: no feasible factor-to-level ordering for topology %q: %w",
+		tp.Name, joined)
+}
+
+// maxOrderingSpace bounds the factor-to-level ordering spaces the exact
+// search accepts — far past every plausible machine (a 1024-GPU 3-level
+// cluster has 840 orderings) but low enough that a pathological
+// user-supplied topology fails fast with a clear error instead of pinning a
+// worker for hours. Unlike the retired 96-ordering cap this is LOUD: no
+// silent truncation, the caller is told to use TopologyNaive or explicit
+// Factors.
+const maxOrderingSpace = 1 << 17
+
+// multinomial counts the distinct permutations of a multiset given the
+// multiplicities of its distinct elements, saturating at
+// maxOrderingSpace+1 (which also keeps the arithmetic far from overflow).
+func multinomial(counts []int) int {
+	n := 0
+	r := 1
+	for _, c := range counts {
+		for i := 1; i <= c; i++ {
+			n++
+			if r <= maxOrderingSpace {
+				r = r * n / i // n!/(i!·(n-i)!) stays integral at every prefix
+			}
+		}
+	}
+	if r > maxOrderingSpace {
+		return maxOrderingSpace + 1
+	}
+	return r
+}
+
+// poolCounts collapses a canonical pool into distinct-element
+// multiplicities (pool arrives grouped — see topoPool).
+func poolCounts(pool []factorLevel) []int {
+	var counts []int
+	for i, fl := range pool {
+		if i > 0 && pool[i-1] == fl {
+			counts[len(counts)-1]++
+		} else {
+			counts = append(counts, 1)
+		}
+	}
+	return counts
+}
+
+// nodeHeap orders nodes by (bound, rank-lex) — a deterministic total order.
+type nodeHeap []*obNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return lexLess(h[i].ranks, h[j].ranks)
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*obNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

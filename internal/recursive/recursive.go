@@ -58,6 +58,15 @@ type Options struct {
 	// placement, and the hierarchical-naive baseline of the cross-topology
 	// experiments.
 	TopologyNaive bool
+	// TopoExhaustive forces the topology-aware search onto the flat
+	// ordering enumeration (one full recursive DP per ordering) instead of
+	// the branch-and-bound prefix tree. The chosen plan is byte-identical
+	// either way; this is the differential-test oracle and the
+	// before/after benchmark baseline, not a production mode.
+	TopoExhaustive bool
+	// Stats, when non-nil, receives the ordering-search effort counters of
+	// a topology-aware Partition call (untouched in flat mode).
+	Stats *SearchStats
 }
 
 // Partition searches for the best partition plan of a training graph across
@@ -100,7 +109,7 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 	if cache == nil {
 		cache = dp.NewPriceCache()
 	}
-	p, err := runSteps(g, c, k, factors, nil, opts, cache)
+	p, err := runSteps(g, c, k, factors, nil, opts, cache, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -114,9 +123,10 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 
 // runSteps runs the per-factor DP sequence — the body of the recursive
 // algorithm. levels, when non-nil, annotates each step with the interconnect
-// level its communication crosses.
+// level its communication crosses. nSolves, when non-nil, counts the DP
+// executions (the flat enumeration's search-effort metric).
 func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, levels []int,
-	opts Options, cache *dp.PriceCache) (*plan.Plan, error) {
+	opts Options, cache *dp.PriceCache, nSolves *int) (*plan.Plan, error) {
 
 	// Current (progressively divided) shape of every tensor — clones carved
 	// out of one slab, owned by this search and divided in place below.
@@ -151,6 +161,9 @@ func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, level
 		})
 		if err != nil {
 			return nil, fmt.Errorf("recursive: step %d (x%d): %w", len(p.Steps)+1, ki, err)
+		}
+		if nSolves != nil {
+			*nSolves++
 		}
 		step := &plan.Step{
 			K:          ki,
@@ -192,14 +205,16 @@ type factorLevel struct {
 }
 
 // partitionTopo is the topology-driven search: derive the factor multiset
-// from the level group sizes, try every distinct factor-to-level ordering
-// (each step's per-step DP optimum is weight-invariant — Theorems 1-3 apply
-// per step — but the ordering changes the shapes later steps see), and pick
-// the ordering minimizing bandwidth-weighted communication time
-// Σ δ_i / B(level_i). That puts the communication-heavy steps on the fastest
-// links. All orderings share one pricing cache, so the extra DP runs reuse
-// every strategy pricing.
-func partitionTopo(g *graph.Graph, k int64, topo topo.Topology, opts Options) (*plan.Plan, error) {
+// from the level group sizes and find the factor-to-level ordering
+// minimizing bandwidth-weighted communication time Σ δ_i / B(level_i) —
+// each step's per-step DP optimum is weight-invariant (Theorems 1-3 apply
+// per step), but the ordering changes the shapes later steps see and which
+// links the heavy steps cross. The default engine is the branch-and-bound
+// prefix-tree search (ordering.go); TopologyNaive takes the single blind
+// layout and TopoExhaustive the flat one-DP-run-per-ordering enumeration,
+// both of which choose byte-identical plans to the tree wherever they
+// apply.
+func partitionTopo(g *graph.Graph, k int64, tp topo.Topology, opts Options) (*plan.Plan, error) {
 	c, err := coarsen.Coarsen(g)
 	if err != nil {
 		return nil, err
@@ -208,12 +223,41 @@ func partitionTopo(g *graph.Graph, k int64, topo topo.Topology, opts Options) (*
 	if cache == nil {
 		cache = dp.NewPriceCache()
 	}
-	orderings := topoOrderings(topo, opts.TopologyNaive)
+	pool := topoPool(tp)
+	if opts.TopologyNaive || len(pool) <= 1 {
+		return partitionTopoFlat(g, c, k, tp, opts, cache)
+	}
+	// Fail loudly on pathological machines instead of searching for hours
+	// (or, as the retired 96-ordering cap did, silently truncating the
+	// space). No plausible machine comes near the limit.
+	if n := multinomial(poolCounts(pool)); n > maxOrderingSpace {
+		return nil, fmt.Errorf(
+			"recursive: topology %q has over %d candidate factor-to-level orderings — beyond exact search; "+
+				"set TopologyNaive for the hierarchy-following layout or supply explicit Factors",
+			tp.Name, maxOrderingSpace)
+	}
+	if opts.TopoExhaustive {
+		return partitionTopoFlat(g, c, k, tp, opts, cache)
+	}
+	return newOrderSearch(g, c, k, tp, opts, cache, pool).run()
+}
+
+// partitionTopoFlat is the pre-branch-and-bound search: enumerate every
+// candidate ordering and run the full recursive DP on each. Infeasible
+// orderings drop out of the search, but their distinct reasons are
+// aggregated so a fully infeasible topology reports every way it failed,
+// not just the first.
+func partitionTopoFlat(g *graph.Graph, c *coarsen.Coarse, k int64, tp topo.Topology,
+	opts Options, cache *dp.PriceCache) (*plan.Plan, error) {
+
+	orderings := topoOrderings(tp, opts.TopologyNaive)
 	var (
 		best     *plan.Plan
 		bestCost float64
-		firstErr error
+		stats    SearchStats
+		errs     errCollector
 	)
+	stats.Orderings = len(orderings)
 	for _, ord := range orderings {
 		factors := make([]int64, len(ord))
 		levels := make([]int, len(ord))
@@ -221,23 +265,25 @@ func partitionTopo(g *graph.Graph, k int64, topo topo.Topology, opts Options) (*
 			factors[i] = fl.f
 			levels[i] = fl.level
 		}
-		p, err := runSteps(g, c, k, factors, levels, opts, cache)
+		stats.FlatDPSolves += len(ord)
+		p, err := runSteps(g, c, k, factors, levels, opts, cache, &stats.DPSolves)
 		if err != nil {
-			// Some orderings are infeasible (a dimension exhausted too
-			// early); they simply drop out of the search.
-			if firstErr == nil {
-				firstErr = err
-			}
+			errs.add(err)
 			continue
 		}
-		cost := weightedComm(p, topo)
+		stats.Leaves++
+		cost := weightedComm(p, tp)
 		if best == nil || cost < bestCost {
 			best, bestCost = p, cost
 		}
 	}
+	stats.Expanded = stats.Leaves
+	stats.BestCost = bestCost
+	if opts.Stats != nil {
+		*opts.Stats = stats
+	}
 	if best == nil {
-		return nil, fmt.Errorf("recursive: no feasible factor-to-level ordering for topology %q: %w",
-			topo.Name, firstErr)
+		return nil, infeasibleTopoErr(tp, errs.errs)
 	}
 	return best, nil
 }
@@ -252,52 +298,37 @@ func weightedComm(p *plan.Plan, topo topo.Topology) float64 {
 	return t
 }
 
-// maxTopoOrderings bounds the full multiset-permutation enumeration; above
-// it the search falls back to level-block orderings (every permutation of
-// whole levels, factors contiguous within each level).
-const maxTopoOrderings = 96
-
-// topoOrderings enumerates candidate factor-to-level sequences. naive yields
-// the single hierarchy-following layout a topology-blind runtime produces
-// (see topo.Topology.AssignLevels): levels innermost first, factors
-// largest-first inside each level — which, by Theorem 2's monotone deltas,
-// parks the heaviest step on the slowest links. The enumeration is
-// deterministic, so the chosen plan is reproducible.
-func topoOrderings(topo topo.Topology, naive bool) [][]factorLevel {
+// topoPool lists the machine's (factor, level) pairs in canonical order:
+// levels innermost first, factors largest-first inside each level. Read as
+// an ordering this is the naive hierarchy-following layout a topology-blind
+// runtime produces (see topo.Topology.AssignLevels), which by Theorem 2's
+// monotone deltas parks the heaviest step on the slowest links.
+func topoPool(tp topo.Topology) []factorLevel {
 	var pool []factorLevel
-	for li := range topo.Levels {
-		for _, f := range Factorize(topo.Levels[li].GroupSize) {
+	for li := range tp.Levels {
+		for _, f := range Factorize(tp.Levels[li].GroupSize) {
 			pool = append(pool, factorLevel{f: f, level: li})
 		}
 	}
+	return pool
+}
+
+// topoOrderings enumerates every candidate factor-to-level sequence for the
+// flat search — the branch-and-bound engine never materializes this list.
+// naive yields only the hierarchy-following layout. The enumeration is
+// deterministic (lexicographic in the canonical pool order), so the chosen
+// plan is reproducible and the tree search's tie-break can match it.
+func topoOrderings(tp topo.Topology, naive bool) [][]factorLevel {
+	pool := topoPool(tp)
 	if naive || len(pool) <= 1 {
 		return [][]factorLevel{pool}
 	}
-
-	perms := multisetPerms(pool, maxTopoOrderings)
-	if perms != nil {
-		return perms
-	}
-
-	// Too many factor-level permutations: permute whole levels only.
-	var blocks [][]factorLevel
-	for li := range topo.Levels {
-		var b []factorLevel
-		for _, f := range Factorize(topo.Levels[li].GroupSize) {
-			b = append(b, factorLevel{f: f, level: li})
-		}
-		if len(b) > 0 {
-			blocks = append(blocks, b)
-		}
-	}
-	var out [][]factorLevel
-	permuteBlocks(blocks, nil, &out)
-	return out
+	return multisetPerms(pool)
 }
 
-// multisetPerms lists the distinct permutations of the pool, or nil when
-// there would be more than max.
-func multisetPerms(pool []factorLevel, max int) [][]factorLevel {
+// multisetPerms lists the distinct permutations of the pool in lexicographic
+// order of the canonical distinct-element ranking.
+func multisetPerms(pool []factorLevel) [][]factorLevel {
 	// Count multiplicities over the distinct elements, sorted for
 	// determinism.
 	type entry struct {
@@ -329,11 +360,11 @@ func multisetPerms(pool []factorLevel, max int) [][]factorLevel {
 	// multiplicities emits every distinct permutation exactly once.
 	var out [][]factorLevel
 	cur := make([]factorLevel, 0, len(pool))
-	var dfs func() bool
-	dfs = func() bool {
+	var dfs func()
+	dfs = func() {
 		if len(cur) == len(pool) {
 			out = append(out, append([]factorLevel(nil), cur...))
-			return len(out) <= max
+			return
 		}
 		for i := range uniq {
 			if uniq[i].count == 0 {
@@ -341,32 +372,13 @@ func multisetPerms(pool []factorLevel, max int) [][]factorLevel {
 			}
 			uniq[i].count--
 			cur = append(cur, uniq[i].fl)
-			ok := dfs()
+			dfs()
 			cur = cur[:len(cur)-1]
 			uniq[i].count++
-			if !ok {
-				return false
-			}
 		}
-		return true
 	}
-	if !dfs() {
-		return nil
-	}
+	dfs()
 	return out
-}
-
-func permuteBlocks(blocks [][]factorLevel, cur []factorLevel, out *[][]factorLevel) {
-	if len(blocks) == 0 {
-		*out = append(*out, append([]factorLevel(nil), cur...))
-		return
-	}
-	for i := range blocks {
-		rest := make([][]factorLevel, 0, len(blocks)-1)
-		rest = append(rest, blocks[:i]...)
-		rest = append(rest, blocks[i+1:]...)
-		permuteBlocks(rest, append(cur, blocks[i]...), out)
-	}
 }
 
 // Factorize decomposes k into its prime factors in non-increasing order

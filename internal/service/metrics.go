@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tofu/internal/recursive"
 )
 
 // latWindow is how many recent search latencies the percentile window keeps.
@@ -23,9 +25,27 @@ type Metrics struct {
 	jobsFail  atomic.Int64 // searches that errored
 	inFlight  atomic.Int64 // searches running right now
 
+	// Ordering-search effort, summed over topology-aware searches: the
+	// candidate spaces seen, branch-and-bound nodes pruned, DP steps run,
+	// and the DP steps a flat enumeration would have run instead.
+	searchOrderings   atomic.Int64
+	searchPruned      atomic.Int64
+	searchDPSteps     atomic.Int64
+	searchDPStepsFlat atomic.Int64
+
 	mu  sync.Mutex
 	lat [latWindow]time.Duration
 	n   int // total observations (ring index = n % latWindow)
+}
+
+func (m *Metrics) observeOrderingSearch(st recursive.SearchStats) {
+	if st.Orderings == 0 {
+		return // flat machine or topology-blind search
+	}
+	m.searchOrderings.Add(int64(st.Orderings))
+	m.searchPruned.Add(int64(st.Pruned))
+	m.searchDPSteps.Add(int64(st.DPSolves))
+	m.searchDPStepsFlat.Add(int64(st.FlatDPSolves))
 }
 
 func (m *Metrics) observeSearch(d time.Duration) {
@@ -58,18 +78,34 @@ func (m *Metrics) percentiles() (time.Duration, time.Duration) {
 
 // Snapshot is the expvar-style /metrics document.
 type Snapshot struct {
-	Hits        int64   `json:"hits"`
-	Misses      int64   `json:"misses"`
-	Coalesced   int64   `json:"coalesced"`
-	Rejected    int64   `json:"rejected"`
-	JobsDone    int64   `json:"jobs_done"`
-	JobsFailed  int64   `json:"jobs_failed"`
-	InFlight    int64   `json:"in_flight"`
-	QueueLen    int     `json:"queue_len"`
-	QueueCap    int     `json:"queue_cap"`
-	CacheLen    int     `json:"cache_len"`
-	CacheCap    int     `json:"cache_cap"`
-	SearchP50Ms float64 `json:"search_p50_ms"`
-	SearchP99Ms float64 `json:"search_p99_ms"`
-	UptimeSec   float64 `json:"uptime_sec"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Coalesced  int64 `json:"coalesced"`
+	Rejected   int64 `json:"rejected"`
+	JobsDone   int64 `json:"jobs_done"`
+	JobsFailed int64 `json:"jobs_failed"`
+	InFlight   int64 `json:"in_flight"`
+	QueueLen   int   `json:"queue_len"`
+	QueueCap   int   `json:"queue_cap"`
+	CacheLen   int   `json:"cache_len"`
+	CacheCap   int   `json:"cache_cap"`
+	// Pricing* report the cross-request pricing-reuse layer: resident model
+	// buckets, per-slot pricing hits vs builds across all searches, and
+	// bucket-level model hits vs creations.
+	PricingModels    int   `json:"pricing_models"`
+	PricingModelCap  int   `json:"pricing_model_cap"`
+	PricingHits      int64 `json:"pricing_hits"`
+	PricingMisses    int64 `json:"pricing_misses"`
+	PricingModelHits int64 `json:"pricing_model_hits"`
+	PricingModelMiss int64 `json:"pricing_model_misses"`
+	// Search* report cumulative topology-aware ordering-search effort: the
+	// candidate orderings examined, branch-and-bound nodes pruned, DP steps
+	// actually run, and what a flat enumeration would have cost.
+	SearchOrderings   int64   `json:"search_orderings"`
+	SearchPruned      int64   `json:"search_pruned"`
+	SearchDPSteps     int64   `json:"search_dp_steps"`
+	SearchDPStepsFlat int64   `json:"search_dp_steps_flat"`
+	SearchP50Ms       float64 `json:"search_p50_ms"`
+	SearchP99Ms       float64 `json:"search_p99_ms"`
+	UptimeSec         float64 `json:"uptime_sec"`
 }

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"tofu/internal/models"
+	"tofu/internal/topo"
+)
+
+// runReal runs one request through the real compute path.
+func runReal(t *testing.T, s *Service, req Request) []byte {
+	t.Helper()
+	nr, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := nr.digestNormalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := s.Submit(nr, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("search timed out")
+	}
+	val, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return val
+}
+
+// TestPricingReuseAcrossRequests: warm requests for the same model at a
+// different worker count / machine reuse the model's pricing bucket (hit
+// counts surface in the metrics snapshot), and the served plans stay
+// byte-identical to an isolated fresh search.
+func TestPricingReuseAcrossRequests(t *testing.T) {
+	s := New(Config{Workers: 1, Parallelism: 1})
+	defer s.Shutdown(context.Background())
+
+	model := models.Config{Family: "mlp", Depth: 4, Width: 512, Batch: 64}
+	dgx1, err := topo.Profile("dgx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Model: model, Workers: 8},                                 // flat default machine
+		{Model: model, Workers: 4},                                 // same model, different k
+		{Model: model, HW: "dgx1", Workers: int64(dgx1.NumGPUs())}, // hierarchical
+	}
+	for _, r := range reqs {
+		got := runReal(t, s, r)
+		want, err := ComputePlan(r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("plan for %+v diverges from an isolated fresh search", r)
+		}
+	}
+
+	m := s.Metrics()
+	if m.PricingModels != 1 {
+		t.Errorf("pricing_models = %d, want 1 (one model across all requests)", m.PricingModels)
+	}
+	if m.PricingModelHits < 2 {
+		t.Errorf("pricing_model_hits = %d, want >= 2 (second and third request reuse the bucket)", m.PricingModelHits)
+	}
+	if m.PricingHits == 0 {
+		t.Error("pricing_hits = 0: warm requests re-priced every slot")
+	}
+	if m.SearchOrderings == 0 {
+		t.Error("search_orderings = 0: the dgx1 request ran a topology-aware search")
+	}
+	if m.SearchDPStepsFlat < m.SearchDPSteps {
+		t.Errorf("search_dp_steps_flat %d < search_dp_steps %d", m.SearchDPStepsFlat, m.SearchDPSteps)
+	}
+}
+
+// TestPricingCachesBounded: the per-model LRU evicts the least recently
+// used bucket and keeps its hit counters in the aggregate.
+func TestPricingCachesBounded(t *testing.T) {
+	p := NewPricingCaches(2)
+	cfgs := []models.Config{
+		{Family: "mlp", Depth: 2, Width: 128, Batch: 32},
+		{Family: "mlp", Depth: 3, Width: 128, Batch: 32},
+		{Family: "mlp", Depth: 4, Width: 128, Batch: 32},
+	}
+	a := p.For(cfgs[0])
+	if p.For(cfgs[0]) != a {
+		t.Fatal("same model must return the same bucket")
+	}
+	p.For(cfgs[1])
+	p.For(cfgs[2]) // evicts cfgs[0]
+	if got := p.Models(); got != 2 {
+		t.Fatalf("resident models = %d, want 2", got)
+	}
+	if p.For(cfgs[0]) == a {
+		t.Error("evicted model must get a fresh bucket")
+	}
+	_, _, hits, misses := p.PricingStats()
+	if hits != 1 || misses != 4 {
+		t.Errorf("model hits/misses = %d/%d, want 1/4", hits, misses)
+	}
+}

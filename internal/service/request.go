@@ -15,8 +15,10 @@ import (
 	"fmt"
 
 	"tofu/internal/core"
+	"tofu/internal/dp"
 	"tofu/internal/models"
 	"tofu/internal/plan"
+	"tofu/internal/recursive"
 	"tofu/internal/topo"
 )
 
@@ -215,18 +217,25 @@ func ComputePlan(r Request, parallelism int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return computeNormalized(nr, digest, parallelism)
+	return computeNormalized(nr, digest, parallelism, nil, nil)
 }
 
 // computeNormalized is ComputePlan for a request the caller has already
-// normalized and digested — the worker-pool hot path.
-func computeNormalized(nr Request, digest string, parallelism int) ([]byte, error) {
+// normalized and digested — the worker-pool hot path. pricing, when
+// non-nil, supplies the model's shared pricing cache (chosen plans are
+// byte-identical with or without it); stats, when non-nil, receives the
+// ordering-search effort.
+func computeNormalized(nr Request, digest string, parallelism int,
+	pricing *dp.PriceCache, stats *recursive.SearchStats) ([]byte, error) {
+
 	m, err := models.Build(nr.Model)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	opts := nr.PipelineOptions()
 	opts.Search.Parallelism = parallelism
+	opts.Search.Cache = pricing
+	opts.Search.Stats = stats
 	sum, err := core.Partition(m.G, nr.Workers, opts)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)

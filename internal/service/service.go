@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"tofu/internal/recursive"
 )
 
 // Errors the submission path reports; the HTTP layer maps them to status
@@ -131,6 +133,10 @@ type Config struct {
 	SyncWait time.Duration
 	// Parallelism is each search's DP worker count (0 = GOMAXPROCS).
 	Parallelism int
+	// PricingCacheSize bounds the cross-request pricing-reuse LRU to this
+	// many distinct models (default 32). Warm requests for a cached model —
+	// at any worker count or topology — skip most of the symbolic pricing.
+	PricingCacheSize int
 	// Compute overrides the search itself — the test seam. nil means
 	// ComputePlan.
 	Compute func(Request) ([]byte, error)
@@ -152,6 +158,9 @@ func (c Config) withDefaults() Config {
 	if c.SyncWait <= 0 {
 		c.SyncWait = 2 * time.Second
 	}
+	if c.PricingCacheSize <= 0 {
+		c.PricingCacheSize = 32
+	}
 	return c
 }
 
@@ -162,6 +171,7 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg     Config
 	cache   *Cache
+	pricing *PricingCaches
 	metrics *Metrics
 	started time.Time
 
@@ -182,6 +192,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheSize),
+		pricing:  NewPricingCaches(cfg.PricingCacheSize),
 		metrics:  &Metrics{},
 		started:  time.Now(),
 		inflight: make(map[string]*Job),
@@ -348,9 +359,14 @@ func (s *Service) run(j *Job) {
 	compute := s.cfg.Compute
 	if compute == nil {
 		// The submission path already normalized the request and computed
-		// its digest; skip both on the worker.
+		// its digest; skip both on the worker. The search shares the
+		// model's pricing bucket across requests and reports its
+		// ordering-search effort into /metrics.
 		compute = func(r Request) ([]byte, error) {
-			return computeNormalized(r, j.digest, s.cfg.Parallelism)
+			var st recursive.SearchStats
+			val, err := computeNormalized(r, j.digest, s.cfg.Parallelism, s.pricing.For(r.Model), &st)
+			s.metrics.observeOrderingSearch(st)
+			return val, err
 		}
 	}
 	val, err := compute(j.req)
@@ -418,20 +434,31 @@ func (s *Service) Draining() bool {
 // Metrics snapshots the counters and gauges.
 func (s *Service) Metrics() Snapshot {
 	p50, p99 := s.metrics.percentiles()
+	ph, pm, mh, mm := s.pricing.PricingStats()
 	return Snapshot{
-		Hits:        s.metrics.hits.Load(),
-		Misses:      s.metrics.misses.Load(),
-		Coalesced:   s.metrics.coalesced.Load(),
-		Rejected:    s.metrics.rejected.Load(),
-		JobsDone:    s.metrics.jobsDone.Load(),
-		JobsFailed:  s.metrics.jobsFail.Load(),
-		InFlight:    s.metrics.inFlight.Load(),
-		QueueLen:    len(s.queue),
-		QueueCap:    s.cfg.QueueDepth,
-		CacheLen:    s.cache.Len(),
-		CacheCap:    s.cfg.CacheSize,
-		SearchP50Ms: p50.Seconds() * 1e3,
-		SearchP99Ms: p99.Seconds() * 1e3,
-		UptimeSec:   time.Since(s.started).Seconds(),
+		Hits:              s.metrics.hits.Load(),
+		Misses:            s.metrics.misses.Load(),
+		Coalesced:         s.metrics.coalesced.Load(),
+		Rejected:          s.metrics.rejected.Load(),
+		JobsDone:          s.metrics.jobsDone.Load(),
+		JobsFailed:        s.metrics.jobsFail.Load(),
+		InFlight:          s.metrics.inFlight.Load(),
+		QueueLen:          len(s.queue),
+		QueueCap:          s.cfg.QueueDepth,
+		CacheLen:          s.cache.Len(),
+		CacheCap:          s.cfg.CacheSize,
+		PricingModels:     s.pricing.Models(),
+		PricingModelCap:   s.cfg.PricingCacheSize,
+		PricingHits:       ph,
+		PricingMisses:     pm,
+		PricingModelHits:  mh,
+		PricingModelMiss:  mm,
+		SearchOrderings:   s.metrics.searchOrderings.Load(),
+		SearchPruned:      s.metrics.searchPruned.Load(),
+		SearchDPSteps:     s.metrics.searchDPSteps.Load(),
+		SearchDPStepsFlat: s.metrics.searchDPStepsFlat.Load(),
+		SearchP50Ms:       p50.Seconds() * 1e3,
+		SearchP99Ms:       p99.Seconds() * 1e3,
+		UptimeSec:         time.Since(s.started).Seconds(),
 	}
 }

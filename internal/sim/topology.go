@@ -23,8 +23,20 @@ func DefaultTopology() Topology { return topo.DefaultTopology() }
 // DGX1Topology is the NVLink-island profile.
 func DGX1Topology() Topology { return topo.DGX1Topology() }
 
+// DGX2Topology is the three-tier NVSwitch-box profile.
+func DGX2Topology() Topology { return topo.DGX2Topology() }
+
 // Cluster2x8Topology is the two-node Ethernet cluster profile.
 func Cluster2x8Topology() Topology { return topo.Cluster2x8Topology() }
+
+// Cluster4x2x8Topology is the 64-GPU three-level cluster profile.
+func Cluster4x2x8Topology() Topology { return topo.Cluster4x2x8Topology() }
+
+// Cluster4x2x12Topology is the 96-GPU mixed-factor cluster profile.
+func Cluster4x2x12Topology() Topology { return topo.Cluster4x2x12Topology() }
+
+// Cluster8x2x8Topology is the 128-GPU three-level cluster profile.
+func Cluster8x2x8Topology() Topology { return topo.Cluster8x2x8Topology() }
 
 // Profile returns a named topology from the library.
 func Profile(name string) (Topology, error) { return topo.Profile(name) }

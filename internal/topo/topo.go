@@ -162,11 +162,90 @@ func Cluster2x8Topology() Topology {
 	}
 }
 
+// DGX2Topology models a DGX-2-style NVSwitch box as three tiers: 4-GPU
+// NVLink quads, the per-baseboard NVSwitch plane joining two quads, and the
+// inter-baseboard bridge. GPU compute parameters stay at the calibrated K80
+// values (as in DGX1Topology) so plan differences against the other
+// profiles isolate the interconnect.
+func DGX2Topology() Topology {
+	hw := DefaultHW()
+	hw.NumGPUs = 16
+	hw.P2PBandwidth = 150e9
+	return Topology{
+		Name: "dgx2",
+		HW:   hw,
+		Levels: []Level{
+			{Name: "nvlink", GroupSize: 4, Bandwidth: 150e9},
+			{Name: "nvswitch", GroupSize: 2, Bandwidth: 120e9},
+			{Name: "bridge", GroupSize: 2, Bandwidth: 50e9},
+		},
+	}
+}
+
+// Cluster4x2x8Topology models four dual-socket nodes of eight GPUs each
+// (64 GPUs) joined by a 25 GbE fabric: PCIe inside a socket complex, the
+// inter-socket link inside a node, Ethernet between nodes — the smallest
+// 3-level cluster of the scaling experiments.
+func Cluster4x2x8Topology() Topology {
+	hw := DefaultHW()
+	hw.NumGPUs = 64
+	return Topology{
+		Name: "cluster-4x2x8",
+		HW:   hw,
+		Levels: []Level{
+			{Name: "pcie", GroupSize: 8, Bandwidth: 21e9},
+			{Name: "qpi", GroupSize: 2, Bandwidth: 12e9},
+			{Name: "ethernet", GroupSize: 4, Bandwidth: 3.125e9, Network: true},
+		},
+	}
+}
+
+// Cluster4x2x12Topology is the 96-GPU variant with twelve GPUs per socket
+// complex. Its factor pool mixes a 3 with the 2s (12 = 3·2·2), which makes
+// the factor-to-level ordering space both large (180 orderings — beyond the
+// old enumeration cap) and heterogeneous: the optimal ordering can
+// interleave levels, which the old level-block fallback could never
+// express.
+func Cluster4x2x12Topology() Topology {
+	hw := DefaultHW()
+	hw.NumGPUs = 96
+	return Topology{
+		Name: "cluster-4x2x12",
+		HW:   hw,
+		Levels: []Level{
+			{Name: "pcie", GroupSize: 12, Bandwidth: 21e9},
+			{Name: "qpi", GroupSize: 2, Bandwidth: 12e9},
+			{Name: "ethernet", GroupSize: 4, Bandwidth: 3.125e9, Network: true},
+		},
+	}
+}
+
+// Cluster8x2x8Topology is the 128-GPU scaling point: eight dual-socket
+// 8-GPU nodes. Its 140 candidate orderings put it past the old enumeration
+// cap as well.
+func Cluster8x2x8Topology() Topology {
+	hw := DefaultHW()
+	hw.NumGPUs = 128
+	return Topology{
+		Name: "cluster-8x2x8",
+		HW:   hw,
+		Levels: []Level{
+			{Name: "pcie", GroupSize: 8, Bandwidth: 21e9},
+			{Name: "qpi", GroupSize: 2, Bandwidth: 12e9},
+			{Name: "ethernet", GroupSize: 8, Bandwidth: 3.125e9, Network: true},
+		},
+	}
+}
+
 // profiles is the library of named machines.
 var profiles = map[string]func() Topology{
-	"p2.8xlarge":  DefaultTopology,
-	"dgx1":        DGX1Topology,
-	"cluster-2x8": Cluster2x8Topology,
+	"p2.8xlarge":     DefaultTopology,
+	"dgx1":           DGX1Topology,
+	"dgx2":           DGX2Topology,
+	"cluster-2x8":    Cluster2x8Topology,
+	"cluster-4x2x8":  Cluster4x2x8Topology,
+	"cluster-4x2x12": Cluster4x2x12Topology,
+	"cluster-8x2x8":  Cluster8x2x8Topology,
 }
 
 // Profile returns a named topology from the library.

@@ -158,3 +158,43 @@ func TestReadTopologyRejectsUnknownFields(t *testing.T) {
 		t.Fatal("expected unknown-field error")
 	}
 }
+
+// TestDeepProfiles pins the 3-level library entries the ordering search
+// scales onto: level structure, GPU counts, and the consistency invariants
+// Validate enforces. (JSON round-trips are covered for every profile by
+// TestJSONRoundTrip.)
+func TestDeepProfiles(t *testing.T) {
+	cases := []struct {
+		name   string
+		gpus   int
+		levels int
+	}{
+		{"dgx2", 16, 3},
+		{"cluster-4x2x8", 64, 3},
+		{"cluster-4x2x12", 96, 3},
+		{"cluster-8x2x8", 128, 3},
+	}
+	for _, c := range cases {
+		tp, err := Profile(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tp.NumGPUs(); got != c.gpus {
+			t.Errorf("%s: NumGPUs = %d, want %d", c.name, got, c.gpus)
+		}
+		if got := len(tp.Levels); got != c.levels {
+			t.Errorf("%s: levels = %d, want %d", c.name, got, c.levels)
+		}
+		if !tp.Hierarchical() {
+			t.Errorf("%s: must be hierarchical", c.name)
+		}
+		// Resolvable through the -hw flag path too.
+		got, err := ResolveTopology(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, tp) {
+			t.Errorf("%s: ResolveTopology diverges from Profile", c.name)
+		}
+	}
+}
