@@ -254,7 +254,7 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		f.Close()
+		f.Close() //tofu:allow-errdrop the Encode error is being returned; a secondary close failure adds nothing
 		return err
 	}
 	if err := f.Close(); err != nil {

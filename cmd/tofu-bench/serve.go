@@ -86,14 +86,15 @@ func startLoadServer(cfg service.Config) (*service.Service, *client.Client, func
 		return nil, nil, nil, err
 	}
 	srv := &http.Server{Handler: svc.Handler()}
-	go func() { _ = srv.Serve(ln) }()
+	go func() { _ = srv.Serve(ln) }() //tofu:allow-errdrop Serve returns ErrServerClosed on the loadtest's own Shutdown
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}}
 	cl := client.NewWith("http://"+ln.Addr().String(), hc)
 	stop := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		//tofu:allow-errdrop best-effort teardown at loadtest exit; a failed drain only delays process exit
 		_ = srv.Shutdown(ctx)
-		_ = svc.Shutdown(ctx)
+		_ = svc.Shutdown(ctx) //tofu:allow-errdrop best-effort teardown at loadtest exit
 	}
 	return svc, cl, stop, nil
 }
@@ -211,7 +212,7 @@ func runServeExperiment(outPath string) (string, error) {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		f.Close()
+		f.Close() //tofu:allow-errdrop the Encode error is being returned; a secondary close failure adds nothing
 		return "", err
 	}
 	if err := f.Close(); err != nil {

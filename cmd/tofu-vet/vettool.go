@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tofu/internal/analysis"
+)
+
+// vetConfig is the per-package configuration file cmd/go writes for a
+// -vettool (the x/tools unitchecker protocol). Imports resolve through
+// PackageFile: import path -> gc export data produced by the build.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool analyzes one package under `go vet -vettool=tofu-vet` and returns
+// the process exit code.
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tofu-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tofu-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// We carry no cross-package facts, but cmd/go requires the output file
+	// to exist before it will cache or proceed past this action.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "tofu-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.ImportMap, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "tofu-vet:", err)
+		return 1
+	}
+	diags, err := analysis.Run(pkg, analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tofu-vet:", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		file := d.File
+		if rel, err := filepath.Rel(cfg.Dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", file, d.Line, d.Col, d.Message, d.Analyzer)
+	}
+	return 2
+}

@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over source fixtures and checks its
+// diagnostics against `// want "regexp"` comments embedded in the fixture
+// files, in the style of golang.org/x/tools/go/analysis/analysistest but
+// rebuilt on this tree's stdlib-only loader (see internal/analysis).
+//
+// Fixture layout mirrors x/tools: <testdata>/src/<pkg>/*.go is loaded as one
+// package whose imports resolve through `go list -export` (stdlib only). A
+// want comment expects a diagnostic on its own line; several quoted regexps
+// on one comment expect several diagnostics there:
+//
+//	out = append(out, k) // want `append of map iteration values`
+//
+// Both backquoted and double-quoted regexps are accepted. Every diagnostic
+// must be claimed by a want and every want must be claimed by a diagnostic.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tofu/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return abs
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	claimed bool
+}
+
+// Run loads each fixture package from <testdata>/src/<pkg>, runs the single
+// analyzer over it, and reports any mismatch between emitted diagnostics and
+// the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, p := range pkgs {
+		runPackage(t, testdata, a, p)
+	}
+}
+
+func runPackage(t *testing.T, testdata string, a *analysis.Analyzer, pkgName string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkgName)
+	pkg, err := analysis.LoadDir(".", dir, pkgName)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s [%s]",
+				filepath.Base(d.File), d.Line, d.Col, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s:%d: no diagnostic matching %s", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unclaimed want on the diagnostic's line whose regexp
+// matches its message.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.claimed && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRx pulls the quoted regexps off a want comment: double-quoted (Go
+// string syntax) or backquoted (raw).
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses every `// want ...` comment in the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRx.FindAllString(strings.TrimPrefix(text, "want "), -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment (no quoted regexp): %s",
+						filepath.Base(pos.Filename), pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pat := ""
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v",
+								filepath.Base(pos.Filename), pos.Line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v",
+							filepath.Base(pos.Filename), pos.Line, q, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: q})
+				}
+			}
+		}
+	}
+	return out
+}

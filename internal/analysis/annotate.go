@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation grammar (see DESIGN.md, "Static invariants and tofu-vet"):
+//
+//	//tofu:hotpath [note]         func doc: this function must not allocate;
+//	                              package doc: every function in the package.
+//	//tofu:searchpath [note]      package doc: the package is on the
+//	                              dp.Solve / recursive.Partition search path,
+//	                              so nodeterm enforces determinism in it.
+//	//tofu:allow-<check> reason   suppress <check> on this line (trailing
+//	                              comment), on the next line (own-line
+//	                              comment), or — in a func doc — on the whole
+//	                              function. The reason is mandatory; an empty
+//	                              one is itself reported by tofu-vet.
+const (
+	markerPrefix = "//tofu:"
+	allowPrefix  = "//tofu:allow-"
+)
+
+// marker parses "//tofu:<token> <note>" comment lines; ok is false for
+// ordinary comments.
+func marker(line string) (tok, note string, ok bool) {
+	if !strings.HasPrefix(line, markerPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(line, markerPrefix)
+	tok, note, _ = strings.Cut(rest, " ")
+	return tok, strings.TrimSpace(note), tok != ""
+}
+
+// groupHasMarker reports whether any line of the comment group carries the
+// given //tofu: token.
+func groupHasMarker(g *ast.CommentGroup, token string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if tok, _, ok := marker(c.Text); ok && tok == token {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageMarked reports whether any file's package doc carries the token
+// (e.g. "searchpath", or a package-wide "hotpath").
+func PackageMarked(files []*ast.File, token string) bool {
+	for _, f := range files {
+		if groupHasMarker(f.Doc, token) {
+			return true
+		}
+	}
+	return false
+}
+
+// HotFuncs returns every function declaration the hotalloc analyzer must
+// treat as a hot path: those whose doc comment carries //tofu:hotpath, or
+// all of them when the package doc does.
+func HotFuncs(files []*ast.File) []*ast.FuncDecl {
+	pkgWide := PackageMarked(files, "hotpath")
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pkgWide || groupHasMarker(fd.Doc, "hotpath") {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// suppression is one //tofu:allow-<check> occurrence.
+type suppression struct {
+	check   string
+	file    string
+	line    int // line the comment sits on; it and line+1 are suppressed
+	funcEnd int // >0: doc-comment suppression covering lines [line, funcEnd]
+	reason  string
+}
+
+// collectSuppressions scans all comments of a package for allow markers.
+// Doc-comment markers on a FuncDecl widen to the whole function body.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		// Map doc comment groups to the span of the decl they document.
+		docEnd := map[*ast.CommentGroup]token.Pos{}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docEnd[fd.Doc] = fd.End()
+			}
+		}
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				tok, note, ok := marker(c.Text)
+				if !ok || !strings.HasPrefix(tok, "allow-") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				s := suppression{
+					check:  strings.TrimPrefix(tok, "allow-"),
+					file:   pos.Filename,
+					line:   pos.Line,
+					reason: note,
+				}
+				if end, isDoc := docEnd[g]; isDoc {
+					s.funcEnd = fset.Position(end).Line
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether the suppression applies to a diagnostic of the
+// given check at file:line.
+func (s suppression) covers(check, file string, line int) bool {
+	if s.check != check || s.file != file {
+		return false
+	}
+	if s.funcEnd > 0 {
+		return line >= s.line && line <= s.funcEnd
+	}
+	return line == s.line || line == s.line+1
+}

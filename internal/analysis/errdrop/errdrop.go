@@ -1,0 +1,185 @@
+// Package errdrop flags discarded error returns: bare call statements whose
+// callee returns an error, and errors assigned to the blank identifier. A
+// dropped error on a parse or I/O path is how malformed plans or half-written
+// artifacts slip into the content-addressed cache unnoticed.
+//
+// Not flagged, by design:
+//   - deferred calls (`defer f.Close()` on shutdown paths has no error
+//     consumer; the cleanup idiom is accepted — see the analyzer tests)
+//   - `go f()` statements (no frame to return the error to)
+//   - writes to in-memory sinks that are documented never to fail:
+//     *strings.Builder, *bytes.Buffer, hash.Hash, and fmt.Fprint* directed
+//     at one of those or at os.Stdout / os.Stderr
+//   - fmt.Print/Printf/Println CLI chatter
+//
+// Suppress true-but-intended drops with `//tofu:allow-errdrop <reason>`.
+package errdrop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tofu/internal/analysis"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error returns (`_ =` and bare calls) outside tests",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Deferred and go'd calls hang off DeferStmt/GoStmt, not ExprStmt, so
+	// `defer f.Close()` is naturally exempt while function-literal bodies
+	// underneath them are still walked.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool { return inspectOne(pass, n) })
+	}
+	return nil
+}
+
+// inspectOne handles one node of the walk; returns whether to descend.
+func inspectOne(pass *analysis.Pass, n ast.Node) bool {
+	switch st := n.(type) {
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pos, ok := dropsError(pass, call, nil); ok {
+			pass.Reportf(pos, "result of %s contains an unchecked error", pass.CallName(call))
+		}
+		return true
+	case *ast.AssignStmt:
+		// Flag calls whose error-typed results all land in blanks, e.g.
+		// `_ = enc.Encode(v)` or `n, _ := w.Write(b)`.
+		if len(st.Rhs) == 1 {
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+				if pos, ok := dropsError(pass, call, st.Lhs); ok {
+					pass.Reportf(pos, "error result of %s assigned to blank identifier", pass.CallName(call))
+				}
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// dropsError reports whether the call returns an error that the (possibly
+// nil) assignment targets discard, and is not on the allowlist.
+func dropsError(pass *analysis.Pass, call *ast.CallExpr, lhs []ast.Expr) (token.Pos, bool) {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return token.NoPos, false
+	}
+	errIdx := -1
+	n := 1
+	if tup, ok := t.(*types.Tuple); ok {
+		n = tup.Len()
+		for i := 0; i < n; i++ {
+			if analysis.IsErrorType(tup.At(i).Type()) {
+				errIdx = i
+			}
+		}
+	} else if analysis.IsErrorType(t) {
+		errIdx = 0
+	}
+	if errIdx < 0 {
+		return token.NoPos, false
+	}
+	if lhs != nil {
+		if len(lhs) != n {
+			return token.NoPos, false // single-value context or tuple mismatch
+		}
+		id, ok := lhs[errIdx].(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return token.NoPos, false // the error is bound to a real variable
+		}
+	}
+	if allowlisted(pass, call) {
+		return token.NoPos, false
+	}
+	if lhs != nil {
+		return lhs[errIdx].Pos(), true
+	}
+	return call.Pos(), true
+}
+
+// allowlisted reports whether the dropped error is a documented-infallible
+// sink (see the package comment).
+func allowlisted(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := pass.CalleeFunc(call)
+	if f == nil {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" && sig != nil && sig.Recv() == nil {
+		switch f.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				return infallibleWriter(pass, call.Args[0])
+			}
+		}
+		return false
+	}
+	// Methods on infallible in-memory sinks. Check the receiver expression's
+	// static type first: a hash.Hash's Write resolves to the embedded
+	// io.Writer method, so the signature's receiver alone is too coarse.
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if infallibleSinkType(pass.TypeOf(sel.X)) {
+				return true
+			}
+		}
+		return infallibleSinkType(sig.Recv().Type())
+	}
+	return false
+}
+
+// infallibleWriter reports whether the expression is os.Stdout/os.Stderr or
+// an in-memory sink.
+func infallibleWriter(pass *analysis.Pass, e ast.Expr) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if obj := pass.ObjectOf(sel.Sel); obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	return infallibleSinkType(pass.TypeOf(e))
+}
+
+// infallibleSinkType matches *strings.Builder, *bytes.Buffer and hash.Hash.
+func infallibleSinkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() + "." + obj.Name() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		case "hash.Hash", "hash.Hash32", "hash.Hash64":
+			return true
+		}
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		// Concrete hash implementations (sha256.digest) arrive as the
+		// hash.Hash interface at call sites.
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == "BlockSize" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"tofu/internal/analysis/analysistest"
+	"tofu/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errdrop.Analyzer, "a")
+}

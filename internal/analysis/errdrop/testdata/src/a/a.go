@@ -1,0 +1,81 @@
+// Package a exercises the errdrop analyzer: discarded errors are flagged;
+// deferred cleanup, goroutine statements and documented-infallible sinks are
+// not.
+package a
+
+import (
+	"fmt"
+	"hash"
+	"os"
+	"strings"
+)
+
+func bareCall() {
+	f, err := os.Create("x")
+	if err != nil {
+		return
+	}
+	f.Close() // want `result of f\.Close contains an unchecked error`
+}
+
+func blankAssign() {
+	_ = os.Remove("x") // want `error result of os\.Remove assigned to blank identifier`
+}
+
+func tupleBlank(f *os.File, b []byte) {
+	_, _ = f.Write(b) // want `error result of f\.Write assigned to blank identifier`
+}
+
+func handled() error {
+	if err := os.Remove("x"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferredClose() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred cleanup is exempt by design
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+func goroutine(f *os.File) {
+	go f.Close() // no frame to return the error to; exempt
+}
+
+func goroutineBody(f *os.File) {
+	go func() {
+		f.Close() // want `result of f\.Close contains an unchecked error`
+	}()
+}
+
+func chatter(sb *strings.Builder, h hash.Hash, b []byte) {
+	fmt.Println("progress") // CLI chatter is allowlisted
+	fmt.Fprintf(os.Stderr, "warn\n")
+	sb.WriteString("x") // strings.Builder writes never fail
+	fmt.Fprintf(sb, "y=%d", 1)
+	h.Write(b) // hash.Hash writes never fail
+}
+
+func suppressedTrailing() {
+	os.Remove("x") //tofu:allow-errdrop best-effort cleanup; absence is fine
+}
+
+func suppressedOwnLine() {
+	//tofu:allow-errdrop best-effort cleanup; absence is fine
+	os.Remove("x")
+}
+
+// docSuppressed drops errors throughout; the doc-comment marker widens to
+// the whole function body.
+//
+//tofu:allow-errdrop fixture: every drop in this function is intentional
+func docSuppressed() {
+	os.Remove("a")
+	os.Remove("b")
+}

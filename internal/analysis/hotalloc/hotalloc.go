@@ -1,0 +1,189 @@
+// Package hotalloc enforces allocation-freeness in functions annotated
+// //tofu:hotpath (or every function of a package whose package doc carries
+// the marker). PR 3's 21x search speedup came from removing exactly these
+// constructs from the DP sweep; this analyzer keeps them out. Flagged inside
+// a hot function:
+//
+//   - any call into package fmt (Sprintf, Errorf, Fprintf, ...: interface
+//     boxing of every argument plus formatting buffers)
+//   - string concatenation (`+` / `+=` on strings) inside a loop
+//   - map allocation inside a loop (`make(map...)` or a map composite
+//     literal per iteration)
+//   - explicit conversion of a concrete value to an interface type
+//     (boxing allocates)
+//   - a function literal inside a loop that captures the loop variable
+//     (each iteration allocates a fresh closure + variable cell)
+//
+// Cold error paths inside annotated functions are suppressed with
+// `//tofu:allow-hotalloc <reason>`; the cleaner fix is to keep the hot
+// kernel small enough that its error handling lives in the caller.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tofu/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation-inducing constructs in //tofu:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range analysis.HotFuncs(pass.Files) {
+		checkHot(pass, fd)
+	}
+	return nil
+}
+
+// loopStack tracks the enclosing loops (and their iteration variables)
+// while walking a hot function body.
+type loopStack struct {
+	loops []loopFrame
+}
+
+type loopFrame struct {
+	node ast.Node
+	vars map[types.Object]bool
+}
+
+func (ls *loopStack) inLoop() bool { return len(ls.loops) > 0 }
+
+func (ls *loopStack) loopVar(obj types.Object) bool {
+	for _, f := range ls.loops {
+		if f.vars[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHot walks one annotated function.
+func checkHot(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var ls loopStack
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			frame := loopFrame{node: x, vars: map[types.Object]bool{}}
+			if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							frame.vars[obj] = true
+						}
+					}
+				}
+			}
+			ls.loops = append(ls.loops, frame)
+			if x.Init != nil {
+				ast.Inspect(x.Init, walk)
+			}
+			if x.Cond != nil {
+				ast.Inspect(x.Cond, walk)
+			}
+			if x.Post != nil {
+				ast.Inspect(x.Post, walk)
+			}
+			ast.Inspect(x.Body, walk)
+			ls.loops = ls.loops[:len(ls.loops)-1]
+			return false
+		case *ast.RangeStmt:
+			frame := loopFrame{node: x, vars: map[types.Object]bool{}}
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						frame.vars[obj] = true
+					}
+				}
+			}
+			ls.loops = append(ls.loops, frame)
+			ast.Inspect(x.X, walk)
+			ast.Inspect(x.Body, walk)
+			ls.loops = ls.loops[:len(ls.loops)-1]
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, &ls, x)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && ls.inLoop() && isString(pass.TypeOf(x)) {
+				pass.Reportf(x.OpPos, "string concatenation in a loop in hot path: builds a new string every iteration")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && ls.inLoop() && len(x.Lhs) == 1 && isString(pass.TypeOf(x.Lhs[0])) {
+				pass.Reportf(x.TokPos, "string += in a loop in hot path: builds a new string every iteration")
+			}
+		case *ast.CompositeLit:
+			if ls.inLoop() {
+				if t := pass.TypeOf(x); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(x.Pos(), "map literal in a loop in hot path: allocates a map every iteration")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if cap, ok := capturedLoopVar(pass, &ls, x); ok {
+				pass.Reportf(x.Pos(), "closure captures loop variable %q in hot path: allocates a closure and a variable cell per iteration", cap)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkCall flags fmt calls, per-iteration map makes, and explicit
+// interface conversions.
+func checkCall(pass *analysis.Pass, ls *loopStack, call *ast.CallExpr) {
+	if f := pass.CalleeFunc(call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path: formats and boxes arguments on every call", f.Name())
+		return
+	}
+	if pass.IsBuiltin(call, "make") && ls.inLoop() && len(call.Args) > 0 {
+		if t := pass.TypeOf(call); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				pass.Reportf(call.Pos(), "make(map) in a loop in hot path: allocates a map every iteration")
+			}
+		}
+	}
+	// Explicit conversion to an interface type: T(x) with T interface and x
+	// concrete. The type checker marks conversions in Types.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if at := pass.TypeOf(call.Args[0]); at != nil {
+				if _, argIface := at.Underlying().(*types.Interface); !argIface {
+					pass.Reportf(call.Pos(), "conversion of %s to interface %s in hot path: boxing allocates", at, tv.Type)
+				}
+			}
+		}
+	}
+}
+
+// capturedLoopVar reports the first enclosing-loop variable the function
+// literal's body references.
+func capturedLoopVar(pass *analysis.Pass, ls *loopStack, fl *ast.FuncLit) (string, bool) {
+	if !ls.inLoop() {
+		return "", false
+	}
+	name, found := "", false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && ls.loopVar(obj) {
+				name, found = id.Name, true
+			}
+		}
+		return !found
+	})
+	return name, found
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

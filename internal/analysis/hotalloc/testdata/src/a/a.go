@@ -1,0 +1,112 @@
+// Package a exercises hotalloc at function granularity: only functions whose
+// doc carries //tofu:hotpath are checked; everything else may allocate.
+package a
+
+import "fmt"
+
+// sum is hot and allocation-free: nothing to report.
+//
+//tofu:hotpath
+func sum(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+// describe formats inside a hot function: the acceptance-criteria positive.
+//
+//tofu:hotpath
+func describe(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf in hot path`
+}
+
+// join builds a string per iteration.
+//
+//tofu:hotpath
+func join(parts []string) string {
+	s := ""
+	for i := 0; i < len(parts); i++ {
+		s += parts[i] // want `string \+= in a loop in hot path`
+	}
+	return s
+}
+
+// concat uses the binary operator form.
+//
+//tofu:hotpath
+func concat(parts []string) string {
+	s := ""
+	for i := 0; i < len(parts); i++ {
+		s = s + parts[i] // want `string concatenation in a loop in hot path`
+	}
+	return s
+}
+
+// index allocates a map per iteration.
+//
+//tofu:hotpath
+func index(keys []string) map[string]int {
+	var last map[string]int
+	for i := 0; i < len(keys); i++ {
+		last = make(map[string]int) // want `make\(map\) in a loop in hot path`
+		last[keys[i]] = i
+	}
+	return last
+}
+
+// literals allocates a map literal per iteration.
+//
+//tofu:hotpath
+func literals(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := map[int]bool{i: true} // want `map literal in a loop in hot path`
+		total += len(m)
+	}
+	return total
+}
+
+// box converts a concrete value to an interface explicitly.
+//
+//tofu:hotpath
+func box(n int) any {
+	return any(n) // want `conversion of int to interface .* boxing allocates`
+}
+
+// closures allocates a closure plus a variable cell per iteration.
+//
+//tofu:hotpath
+func closures(xs []int) []func() int {
+	var fs []func() int
+	for i := 0; i < len(xs); i++ {
+		fs = append(fs, func() int { return xs[i] }) // want `closure captures loop variable "i" in hot path`
+	}
+	return fs
+}
+
+// cold has no annotation: fmt here is not hotalloc's business.
+func cold(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+type counter struct{ n int }
+
+// bump shows the annotation works on methods exactly as on functions.
+//
+//tofu:hotpath
+func (c *counter) bump(label string) {
+	c.n++
+	fmt.Println(label) // want `fmt\.Println in hot path`
+}
+
+// suppressed keeps a cold error path inside a hot kernel.
+//
+//tofu:hotpath
+func suppressed(err error) string {
+	if err != nil {
+		return fmt.Sprintf("failed: %v", err) //tofu:allow-hotalloc cold error path; never taken in the sweep
+	}
+	return "ok"
+}

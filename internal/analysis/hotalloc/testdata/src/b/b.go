@@ -1,0 +1,21 @@
+// Package b is hot wholesale: the package-doc marker below puts every
+// function in the package under hotalloc, with no per-function annotations.
+//
+//tofu:hotpath
+package b
+
+import "fmt"
+
+// unannotated carries no marker of its own but is hot via the package doc.
+func unannotated(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf in hot path`
+}
+
+// clean allocates nothing.
+func clean(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,221 @@
+// Package mapiter flags `for range` over a map whose body feeds iteration-
+// order-dependent output: appending the key or value (or anything derived
+// from them) to a slice that is never deterministically sorted afterwards,
+// writing them to an io.Writer / encoder, or sending them down a channel.
+// Go randomizes map iteration order on purpose, so any such loop produces
+// different bytes run to run — the exact bug class that would break the
+// byte-identical-plan invariant and corrupt digest-keyed caches.
+//
+// The canonical fix is NOT flagged: collecting keys into a slice inside the
+// range and sorting that slice afterwards (sort.*, slices.Sort*) before use
+// suppresses the finding, as does a loop whose body never mentions the
+// iteration variables (order cannot matter then).
+//
+// Suppress intentional unordered accumulation with
+// `//tofu:allow-mapiter <reason>`.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tofu/internal/analysis"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration feeding ordered output without a deterministic sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc finds map ranges in one function and audits their bodies.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		auditMapRange(pass, fd, rs)
+		return true
+	})
+}
+
+// auditMapRange inspects one map-range body for order-dependent sinks.
+func auditMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	iterVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				iterVars[obj] = true // `k = range m` over a pre-declared var
+			}
+		}
+	}
+	if len(iterVars) == 0 {
+		return // `for range m`: the body cannot observe iteration order
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if pass.IsBuiltin(x, "append") && usesAny(pass, x, iterVars) {
+				target := appendTarget(x)
+				if target != "" && sortedAfter(pass, fd, rs, target) {
+					return true
+				}
+				pass.Reportf(x.Pos(),
+					"append of map iteration values to %q without a deterministic sort: map order varies run to run",
+					target)
+				return true
+			}
+			if sink, ok := orderedSink(pass, x); ok && usesAny(pass, x, iterVars) {
+				pass.Reportf(x.Pos(),
+					"%s inside map iteration writes output in nondeterministic map order", sink)
+			}
+		case *ast.SendStmt:
+			if usesExprAny(pass, x.Value, iterVars) || usesExprAny(pass, x.Chan, iterVars) {
+				pass.Reportf(x.Pos(), "channel send of map iteration values: receive order varies run to run")
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget renders the slice being appended to (the first argument).
+func appendTarget(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	return analysis.ExprString(call.Args[0])
+}
+
+// usesAny reports whether any argument of the call references an iteration
+// variable.
+func usesAny(pass *analysis.Pass, call *ast.CallExpr, vars map[types.Object]bool) bool {
+	for _, a := range call.Args {
+		if usesExprAny(pass, a, vars) {
+			return true
+		}
+	}
+	return false
+}
+
+func usesExprAny(pass *analysis.Pass, e ast.Expr, vars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && vars[obj] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// orderedSink classifies calls that emit output whose byte order follows
+// call order: fmt printing, JSON encoding, and Write-family methods.
+func orderedSink(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	f := pass.CalleeFunc(call)
+	if f == nil {
+		return "", false
+	}
+	name := pass.CallName(call)
+	if pkg := f.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "fmt":
+			switch f.Name() {
+			case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+				return name, true
+			}
+		case "encoding/json":
+			if f.Name() == "Marshal" || f.Name() == "MarshalIndent" || f.Name() == "Encode" {
+				return name, true
+			}
+		case "io":
+			if f.Name() == "WriteString" {
+				return name, true
+			}
+		}
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch f.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether, later in the same function, the append
+// target is passed to a deterministic sort (sort.* or slices.Sort*). That
+// is the canonical collect-then-sort idiom, which IS deterministic.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, a := range call.Args {
+			if exprMentions(a, target) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall matches package-level functions of sort and slices.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := pass.CalleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// exprMentions reports whether the rendered target appears anywhere inside
+// the expression (including under conversions like sort.Sort(byCost(out))).
+func exprMentions(e ast.Expr, target string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ex, ok := n.(ast.Expr); ok && analysis.ExprString(ex) == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"tofu/internal/analysis/analysistest"
+	"tofu/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), mapiter.Analyzer, "a")
+}

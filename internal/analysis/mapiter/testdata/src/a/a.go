@@ -1,0 +1,106 @@
+// Package a exercises the mapiter analyzer: map iteration feeding ordered
+// output must sort; collect-then-sort and order-insensitive bodies pass.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+)
+
+// keysUnsorted is the bug class: iteration values accumulate into a slice
+// that is never deterministically ordered.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append of map iteration values to "out" without a deterministic sort`
+	}
+	return out
+}
+
+// exportSteps feeds plan JSON straight from a map range: every run emits the
+// steps in a different order, breaking byte-identical plans.
+func exportSteps(w io.Writer, steps map[string]int) {
+	enc := json.NewEncoder(w)
+	for name, cost := range steps {
+		enc.Encode(map[string]any{"op": name, "cost": cost}) // want `enc\.Encode inside map iteration writes output in nondeterministic map order`
+	}
+}
+
+// printKeys leaks map order through fmt.
+func printKeys(w io.Writer, m map[string]bool) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want `fmt\.Fprintln inside map iteration writes output in nondeterministic map order`
+	}
+}
+
+// sendKeys leaks map order through a channel.
+func sendKeys(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send of map iteration values: receive order varies run to run`
+	}
+}
+
+// keysSorted is the canonical fix: collect inside the range, sort after.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keysSlicesSorted uses the slices package for the post-range sort.
+func keysSlicesSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// orderedWalk is the sorted-then-ranged idiom end to end: the map range only
+// collects (sorted after), and the emitting loop ranges the sorted slice,
+// which mapiter does not audit.
+func orderedWalk(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k])
+	}
+}
+
+// sumValues never observes order: commutative accumulation is fine.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// countOnly ranges without iteration variables; the body cannot observe
+// order at all.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// suppressed documents an intentional unordered accumulation.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //tofu:allow-mapiter order is re-established by the caller's digest sort
+	}
+	return out
+}

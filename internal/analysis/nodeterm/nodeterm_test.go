@@ -1,0 +1,12 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"tofu/internal/analysis/analysistest"
+	"tofu/internal/analysis/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nodeterm.Analyzer, "a", "b")
+}

@@ -1,0 +1,48 @@
+// Package a stands in for a search-path package: the marker below opts it
+// into nodeterm scope, as internal/dp and friends do in the real tree.
+//
+//tofu:searchpath fixture
+package a
+
+import (
+	"math/rand" // want `import of math/rand in search path`
+	"time"
+)
+
+func pick(n int) int {
+	return rand.Intn(n)
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in search path`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in search path`
+}
+
+func race(a, b chan int) int {
+	select { // want `select over 2 channels in search path`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// single-case select is deterministic: nothing to choose between.
+func single(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// timed is the documented escape hatch: the func-doc marker suppresses the
+// whole function.
+//
+//tofu:allow-nondet fixture: latency metric that never reaches plan bytes
+func timed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

@@ -1,0 +1,16 @@
+// Package b carries no searchpath marker: nodeterm stays silent however
+// nondeterministic the code is.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func pick(n int) int {
+	return rand.Intn(n)
+}
+
+func stamp() time.Time {
+	return time.Now()
+}

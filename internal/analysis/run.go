@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Run executes the analyzers over one package and returns the surviving
+// diagnostics: findings in *_test.go files are dropped (the invariants are
+// about production code; tests measure wall time and drop errors on
+// purpose), //tofu:allow-<check> suppressions are applied, and any allow
+// marker with an empty justification is itself reported (the grammar makes
+// the one-line reason mandatory so suppressions stay auditable).
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sups := collectSuppressions(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, s := range sups {
+		if s.reason == "" {
+			diags = append(diags, Diagnostic{
+				Analyzer: "tofuvet",
+				File:     s.file,
+				Line:     s.line,
+				Message:  fmt.Sprintf("//tofu:allow-%s needs a one-line justification", s.check),
+			})
+		}
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		token := a.AllowToken()
+		pass.report = func(d Diagnostic) {
+			if strings.HasSuffix(d.File, "_test.go") {
+				return
+			}
+			for _, s := range sups {
+				if s.reason != "" && s.covers(token, d.File, d.Line) {
+					return
+				}
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tofu/internal/analysis"
+	"tofu/internal/analysis/errdrop"
+)
+
+// TestEmptyReasonReported checks that //tofu:allow-<check> without a
+// justification (a) is itself reported by the "tofuvet" meta-check and
+// (b) does not suppress the diagnostic it sits on.
+func TestEmptyReasonReported(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "emptyreason")
+	pkg, err := analysis.LoadDir(".", dir, "emptyreason")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{errdrop.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (tofuvet + errdrop): %+v", len(diags), diags)
+	}
+	var sawMeta, sawErrdrop bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "tofuvet":
+			sawMeta = true
+			if !strings.Contains(d.Message, "needs a one-line justification") {
+				t.Errorf("tofuvet message = %q, want justification complaint", d.Message)
+			}
+		case "errdrop":
+			sawErrdrop = true // the reasonless marker must not suppress this
+		default:
+			t.Errorf("unexpected analyzer %q: %+v", d.Analyzer, d)
+		}
+	}
+	if !sawMeta || !sawErrdrop {
+		t.Errorf("sawMeta=%v sawErrdrop=%v, want both", sawMeta, sawErrdrop)
+	}
+}

@@ -1,0 +1,9 @@
+// Package emptyreason exercises the mandatory-justification rule: an allow
+// marker with no reason suppresses nothing and is itself reported.
+package emptyreason
+
+import "os"
+
+func cleanup() {
+	os.Remove("x") //tofu:allow-errdrop
+}

@@ -14,6 +14,8 @@
 // forced to share a partition decision) and *groups* (sets of operators
 // whose partition decisions are made together, each organized into *slots*
 // of structurally identical per-timestep instances).
+//
+//tofu:searchpath reachable from dp.Solve / recursive.Partition; nodeterm enforces determinism
 package coarsen
 
 import (
@@ -41,6 +43,8 @@ type Var struct {
 
 // Bytes returns the per-member storage size times the member count — the
 // total bytes this variable's decision governs.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (v *Var) Bytes() int64 {
 	if len(v.Tensors) == 0 {
 		return 0
@@ -64,6 +68,8 @@ type Slot struct {
 }
 
 // Rep returns the representative operator.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (s *Slot) Rep() *graph.Node { return s.Ops[0] }
 
 // Group is one step of the DP: operators whose partition decisions are made
@@ -95,6 +101,8 @@ type Coarse struct {
 }
 
 // VarOf returns the variable owning a tensor.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (c *Coarse) VarOf(t *graph.Tensor) *Var { return c.varOf[t.ID] }
 
 // MaxFrontier returns the maximum number of variables simultaneously live

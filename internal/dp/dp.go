@@ -14,6 +14,8 @@
 // every slot's cost under any assignment comes from a dense table built
 // once per step (table.go). See DESIGN.md, "Packed frontier states and
 // dense slot tables".
+//
+//tofu:searchpath reachable from dp.Solve / recursive.Partition; nodeterm enforces determinism
 package dp
 
 import (
@@ -321,6 +323,8 @@ type spCand struct {
 // and replaces only on strictly cheaper cost; workers merge in chunk order
 // the same way — so ties always resolve to the earliest candidate in
 // canonical sweep order, independent of the worker count.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func expandGroup(p *Problem, slots []*slotEval, prev *frontier, combos, next layout) (*frontier, error) {
 	nVars := len(p.Coarse.Vars)
 	nCombos := int(combos.size)

@@ -29,6 +29,8 @@ type FlatReport struct {
 // that length. The per-level slot pricing rides the same dense cost tables
 // as the recursive search (one table set per factor level); frontier states
 // are packed config-index keys.
+//
+//tofu:allow-nondet wall-clock budget accounting for the Table-1 baseline; elapsed time never reaches plan bytes or the digest-keyed cache
 func SolveFlat(p *Problem, factors []int64, budget time.Duration) (*FlatReport, error) {
 	c := p.Coarse
 	rep := &FlatReport{}

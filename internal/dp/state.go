@@ -101,6 +101,8 @@ func makeLayout(vars []*coarsen.Var, alphas []varAlpha) layout {
 
 // decode writes state idx's digit per variable into the scratch array
 // (indexed by variable ID).
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (l *layout) decode(idx int64, digit []uint8) {
 	for j, v := range l.vars {
 		digit[v.ID] = uint8((idx / l.stride[j]) % l.radix[j])
@@ -126,6 +128,8 @@ type frontier struct {
 }
 
 // count is the number of enumerable state positions (dense counts holes).
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (f *frontier) count() int {
 	if f.lay.dense {
 		return int(f.lay.size)
@@ -134,6 +138,8 @@ func (f *frontier) count() int {
 }
 
 // decode writes state position i's digits into the scratch array.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (f *frontier) decode(i int, digit []uint8) {
 	if f.lay.dense {
 		f.lay.decode(int64(i), digit)
@@ -158,6 +164,8 @@ func initialFrontier() *frontier {
 
 // best returns the position and cost of the cheapest live state (ties break
 // by position, i.e. by packed state order).
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (f *frontier) best() (int, float64) {
 	bi, bc := -1, math.Inf(1)
 	for i, c := range f.cost {
@@ -173,6 +181,8 @@ func (f *frontier) best() (int, float64) {
 // deterministic; selection is O(n) expected (quickselect), replacing the
 // legacy full sort. Sparse frontiers compact their state list; dense ones
 // mark pruned states +Inf in place.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (f *frontier) prune(max int) {
 	if f.live <= max {
 		return
@@ -210,6 +220,8 @@ func (f *frontier) prune(max int) {
 // selectCheapest partially sorts idxs so its first k entries are the k
 // smallest by (cost, index) — expected-linear Hoare quickselect with
 // median-of-three pivots.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func selectCheapest(idxs []int32, cost []float64, k int) {
 	lo, hi := 0, len(idxs) // select within idxs[lo:hi]
 	for hi-lo > 1 && k > lo && k < hi {
@@ -260,6 +272,8 @@ func selectCheapest(idxs []int32, cost []float64, k int) {
 
 // cheaper is the total order pruning selects by: cost, then packed state
 // order.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func cheaper(a, b int32, cost []float64) bool {
 	if cost[a] != cost[b] {
 		return cost[a] < cost[b]

@@ -237,6 +237,8 @@ func (ev *slotEval) reusable(p *Problem, alphas []varAlpha) bool {
 // price runs the legacy per-call pricing for one digit cross-product index:
 // decode the index into per-position cuts and take the cheapest strategy.
 // The returned cost is pre-multiplied by the slot multiplicity.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (ev *slotEval) price(ti int, inCuts []partition.Cut) (int32, float64) {
 	for i, tp := range ev.inPos {
 		a := ev.talphas[tp]
@@ -250,6 +252,8 @@ func (ev *slotEval) price(ti int, inCuts []partition.Cut) (int32, float64) {
 
 // index packs the scratch digit array (indexed by variable ID) into the
 // slot's table index.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (ev *slotEval) index(digit []uint8) int {
 	ti := 0
 	for j, v := range ev.tvars {
@@ -259,6 +263,8 @@ func (ev *slotEval) index(digit []uint8) int {
 }
 
 // costAt prices the slot under the digits — the DP sweep's inner lookup.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (ev *slotEval) costAt(digit []uint8) float64 {
 	ti := ev.index(digit)
 	if ev.costT != nil {
@@ -269,6 +275,8 @@ func (ev *slotEval) costAt(digit []uint8) float64 {
 }
 
 // lazy is the oversized-slot path: memoized per-index pricing.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (ev *slotEval) lazy(ti int) (int32, float64) {
 	ev.mu.Lock()
 	b, ok := ev.memo[ti]
@@ -286,6 +294,8 @@ func (ev *slotEval) lazy(ti int) (int32, float64) {
 
 // bestAt returns the cheapest strategy index and (pre-multiplied) cost at a
 // table index.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (ev *slotEval) bestAt(ti int) (int32, float64) {
 	if ev.costT != nil {
 		return ev.bestT[ti], ev.costT[ti]

@@ -4,6 +4,8 @@
 // reverse-mode autodiff generates the backward nodes the same way MXNet's
 // gradient pass does, which is what gives the coarsening pass its
 // forward/backward structure to exploit (Sec 5.1).
+//
+//tofu:searchpath reachable from dp.Solve / recursive.Partition; nodeterm enforces determinism
 package graph
 
 import (

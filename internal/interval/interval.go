@@ -10,6 +10,8 @@
 // of two intervals are non-affine and rejected with ErrNonAffine, mirroring
 // the prototype's behaviour ("we did not encounter any such non-affine
 // operations among MXNet operators").
+//
+//tofu:searchpath reachable from dp.Solve / recursive.Partition; nodeterm enforces determinism
 package interval
 
 import (

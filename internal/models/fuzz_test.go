@@ -1,0 +1,45 @@
+package models_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tofu/internal/models"
+)
+
+// FuzzParseModelConfig drives the strict config parser with arbitrary bytes.
+// Anything it accepts must canonicalize, parse back equal, and canonicalize
+// to identical bytes again — configs feed the service's content digest, so
+// canonical bytes must be a fixed point. Seed corpus: the benchmark-family
+// configs under testdata/fuzz.
+func FuzzParseModelConfig(f *testing.F) {
+	f.Add([]byte(`{"family":"mlp","depth":4,"width":64,"batch":8}`))
+	f.Add([]byte(`{"family":"nope","depth":1,"width":1,"batch":1}`))  // unknown family
+	f.Add([]byte(`{"family":"mlp","depth":0,"width":1,"batch":1}`))   // invalid depth
+	f.Add([]byte(`{"family":"mlp","depth":1,"width":1,"batch":1}{}`)) // trailing document
+	f.Add([]byte(`{"family":"mlp","depht":4}`))                       // misspelled field
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := models.ParseConfig(data)
+		if err != nil {
+			return
+		}
+		canon, err := c.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("accepted config has no canonical form: %v", err)
+		}
+		c2, err := models.ParseConfig(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if c2 != c {
+			t.Fatalf("config changed across canonicalization: %+v vs %+v", c, c2)
+		}
+		canon2, err := c2.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("second canonicalization: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical bytes are not a fixed point:\n%s\n%s", canon, canon2)
+		}
+	})
+}

@@ -4,6 +4,8 @@
 // (Lemma 1). A *basic* strategy partitions the operator's work along exactly
 // one axis among k worker groups; the recursive search composes basic
 // strategies into multi-dimensional plans.
+//
+//tofu:searchpath reachable from dp.Solve / recursive.Partition; nodeterm enforces determinism
 package partition
 
 import (

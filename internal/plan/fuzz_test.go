@@ -1,0 +1,44 @@
+package plan_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tofu/internal/plan"
+)
+
+// FuzzReadPlanJSON drives the strict plan reader with arbitrary bytes. The
+// invariant under test: anything ReadJSON accepts must re-marshal, be
+// accepted again, and re-marshal to identical bytes — the byte-stability the
+// digest-keyed plan cache depends on. Seed corpus: real tofu-plan exports
+// (flat and hierarchical) under testdata/fuzz.
+func FuzzReadPlanJSON(f *testing.F) {
+	f.Add([]byte(`{"workers":2,"steps":[],"total_comm_bytes":0}`))
+	f.Add([]byte(`{"workers":0}`))                                                                                                          // invalid worker count
+	f.Add([]byte(`{"workers":2,"steps":[{"ways":1,"multiplier":1,"comm_bytes":0,"tensor_cut":{},"op_strategy":{}}],"total_comm_bytes":0}`)) // invalid ways
+	f.Add([]byte(`{"digest":"sha256:zz","workers":2,"steps":[],"total_comm_bytes":0}`))                                                     // malformed digest
+	f.Add([]byte(`{"workers":2,"unknown":1}`))                                                                                              // unknown field
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ex, err := plan.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(ex)
+		if err != nil {
+			t.Fatalf("accepted export does not re-marshal: %v", err)
+		}
+		ex2, err := plan.ReadJSON(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-marshaled export rejected: %v\n%s", err, out)
+		}
+		out2, err := json.Marshal(ex2)
+		if err != nil {
+			t.Fatalf("second marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("plan round-trip is not byte-stable:\n%s\n%s", out, out2)
+		}
+	})
+}

@@ -2,6 +2,8 @@
 // partition plans (Appendix A.1), one per recursive step, each cutting every
 // tensor along one dimension among that step's worker groups. The plan is
 // what graph generation consumes, and what Figure 11 visualizes.
+//
+//tofu:searchpath reachable from dp.Solve / recursive.Partition; nodeterm enforces determinism
 package plan
 
 import (

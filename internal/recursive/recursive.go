@@ -5,6 +5,8 @@
 // groups and dividing the shapes before the next step. Theorems 1–3 show the
 // greedy per-step optima compose into a globally optimal plan because every
 // step's cost is a weighted sum of (current) tensor sizes.
+//
+//tofu:searchpath reachable from dp.Solve / recursive.Partition; nodeterm enforces determinism
 package recursive
 
 import (

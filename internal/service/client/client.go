@@ -106,7 +106,7 @@ func (c *Client) Partition(ctx context.Context, r service.Request) (plan.Export,
 		return plan.Export{}, nil, err
 	}
 	raw, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	resp.Body.Close() //tofu:allow-errdrop the body was already read to EOF; close failure cannot lose data
 	if err != nil {
 		return plan.Export{}, nil, err
 	}
@@ -141,7 +141,7 @@ func (c *Client) Plan(ctx context.Context, digest string) (plan.Export, []byte, 
 		return plan.Export{}, nil, err
 	}
 	raw, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	resp.Body.Close() //tofu:allow-errdrop the body was already read to EOF; close failure cannot lose data
 	if err != nil {
 		return plan.Export{}, nil, err
 	}
@@ -162,7 +162,7 @@ func (c *Client) Job(ctx context.Context, id string) (service.Status, error) {
 		return service.Status{}, err
 	}
 	raw, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	resp.Body.Close() //tofu:allow-errdrop the body was already read to EOF; close failure cannot lose data
 	if err != nil {
 		return service.Status{}, err
 	}

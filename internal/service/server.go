@@ -48,7 +48,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = enc.Encode(v) //tofu:allow-errdrop the response is already committed; a write error means the client is gone
 }
 
 // writePlan serves the cached bytes verbatim — no re-encoding, so the wire
@@ -58,7 +58,7 @@ func writePlan(w http.ResponseWriter, digest string, val []byte, source string) 
 	w.Header().Set("Tofu-Digest", digest)
 	w.Header().Set("Tofu-Source", source) // "cache" | "search" | "coalesced"
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(val)
+	_, _ = w.Write(val) //tofu:allow-errdrop the response is already committed; a write error means the client is gone
 }
 
 func (s *Service) handlePartition(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,8 @@
 // the simulator all reason about dense n-dimensional tensors whose extents
 // are known statically, exactly as MXNet's shape inference provides them to
 // the original Tofu prototype.
+//
+//tofu:searchpath reachable from dp.Solve / recursive.Partition; nodeterm enforces determinism
 package shape
 
 import (
@@ -65,12 +67,18 @@ func Of(dims ...int64) Shape {
 }
 
 // Rank returns the number of dimensions.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (s Shape) Rank() int { return len(s) }
 
 // Dim returns the extent of dimension i.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (s Shape) Dim(i int) int64 { return s[i] }
 
 // Elems returns the total number of elements (1 for a scalar).
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (s Shape) Elems() int64 {
 	n := int64(1)
 	for _, d := range s {
@@ -80,6 +88,8 @@ func (s Shape) Elems() int64 {
 }
 
 // Bytes returns the storage size of a tensor of this shape and dtype.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (s Shape) Bytes(d DType) int64 { return s.Elems() * d.Size() }
 
 // Clone returns a copy that may be mutated independently.
@@ -90,6 +100,8 @@ func (s Shape) Clone() Shape {
 }
 
 // Equal reports whether two shapes have identical rank and extents.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (s Shape) Equal(o Shape) bool {
 	if len(s) != len(o) {
 		return false
@@ -150,10 +162,13 @@ func (s Shape) SplitInPlace(dim int, ways int64) error {
 }
 
 // CanSplit reports whether dim can be divided into ways equal parts.
+//
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (s Shape) CanSplit(dim int, ways int64) bool {
 	return dim >= 0 && dim < len(s) && s[dim] >= ways && s[dim]%ways == 0
 }
 
+//tofu:hotpath allocation-free by PR 3; enforced by tofu-vet/hotalloc
 func (s Shape) String() string {
 	if len(s) == 0 {
 		return "()"

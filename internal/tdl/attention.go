@@ -14,20 +14,20 @@ func registerAttentionOps() {
 	b, t, i, j, k := Ax("b"), Ax("t"), Ax("i"), Ax("j"), Ax("k")
 
 	// Token-wise linear: out[b,t,j] = Σ_k x[b,t,k] · w[k,j].
-	Std.RegisterStatic(Describe("linear3d").
+	Std.MustRegisterStatic(Describe("linear3d").
 		In("x", 3).In("w", 2).Out(b, t, j).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("x", 2))},
 			Mul(At("x", b, t, k), At("w", k, j)))))
 
 	// dX[b,t,k] = Σ_j dY[b,t,j] · w[k,j].
-	Std.RegisterStatic(Describe("linear3d_bwd_data").
+	Std.MustRegisterStatic(Describe("linear3d_bwd_data").
 		In("dy", 3).In("w", 2).Out(b, t, k).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(j, ExtentOf("w", 1))},
 			Mul(At("dy", b, t, j), At("w", k, j)))))
 
 	// dW[k,j] = Σ_{b,t} x[b,t,k] · dY[b,t,j] — two reduction axes, so the
 	// analyzer exposes two output-reduction strategies.
-	Std.RegisterStatic(Describe("linear3d_bwd_weight").
+	Std.MustRegisterStatic(Describe("linear3d_bwd_weight").
 		In("x", 3).In("dy", 3).Out(k, j).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(b, ExtentOf("x", 0)),
@@ -35,13 +35,13 @@ func registerAttentionOps() {
 		}, Mul(At("x", b, t, k), At("dy", b, t, j)))))
 
 	// bmm_tn: out[b,i,j] = Σ_k a[b,k,i] · c[b,k,j] (dV of attention).
-	Std.RegisterStatic(Describe("bmm_tn").
+	Std.MustRegisterStatic(Describe("bmm_tn").
 		In("a", 3).In("bm", 3).Out(b, i, j).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 1))},
 			Mul(At("a", b, k, i), At("bm", b, k, j)))))
 
 	// Softmax over the last axis of a 3-D tensor (attention weights).
-	Std.RegisterStatic(Describe("softmax_axis2").
+	Std.MustRegisterStatic(Describe("softmax_axis2").
 		In("x", 3).Out(b, i, j).
 		MustIs(Div(
 			Apply("exp", At("x", b, i, j)),
@@ -49,7 +49,7 @@ func registerAttentionOps() {
 				Apply("exp", At("x", b, i, k))))))
 
 	// Fused softmax gradient: dX[b,i,j] = y·(dy − Σ_k y·dy).
-	Std.RegisterStatic(Describe("softmax_axis2_grad").
+	Std.MustRegisterStatic(Describe("softmax_axis2_grad").
 		In("y", 3).In("dy", 3).Out(b, i, j).
 		MustIs(Apply("softmax_bwd", Add(
 			Mul(At("y", b, i, j), At("dy", b, i, j)),
@@ -58,33 +58,33 @@ func registerAttentionOps() {
 
 	// Token-wise layer norm over the feature axis (stats stop-gradient,
 	// like the batch-norm modeling).
-	Std.RegisterStatic(Describe("ln3_mean").
+	Std.MustRegisterStatic(Describe("ln3_mean").
 		In("x", 3).Out(b, t).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("x", 2))},
 			At("x", b, t, k))))
-	Std.RegisterStatic(Describe("ln3_var").
+	Std.MustRegisterStatic(Describe("ln3_var").
 		In("x", 3).In("mean", 2).Out(b, t).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("x", 2))},
 			Apply("square", Sub(At("x", b, t, k), At("mean", b, t))))))
-	Std.RegisterStatic(Describe("ln3_norm").
+	Std.MustRegisterStatic(Describe("ln3_norm").
 		In("x", 3).In("mean", 2).In("var", 2).In("gamma", 1).In("beta", 1).
 		Out(b, t, j).
 		MustIs(Add(
 			Mul(Mul(Sub(At("x", b, t, j), At("mean", b, t)), Apply("rsqrt", At("var", b, t))), At("gamma", j)),
 			At("beta", j))))
-	Std.RegisterStatic(Describe("ln3_data_grad").
+	Std.MustRegisterStatic(Describe("ln3_data_grad").
 		In("dy", 3).In("x", 3).In("mean", 2).In("var", 2).In("gamma", 1).
 		Out(b, t, j).
 		MustIs(Apply("ln_dx", Add(
 			Mul(At("dy", b, t, j), At("gamma", j)),
 			Mul(Sub(At("x", b, t, j), At("mean", b, t)), Apply("rsqrt", At("var", b, t)))))))
-	Std.RegisterStatic(Describe("ln3_gamma_grad").
+	Std.MustRegisterStatic(Describe("ln3_gamma_grad").
 		In("dy", 3).In("xhat", 3).Out(j).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(b, ExtentOf("dy", 0)),
 			RVar(t, ExtentOf("dy", 1)),
 		}, Mul(At("dy", b, t, j), At("xhat", b, t, j)))))
-	Std.RegisterStatic(Describe("ln3_beta_grad").
+	Std.MustRegisterStatic(Describe("ln3_beta_grad").
 		In("dy", 3).Out(j).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(b, ExtentOf("dy", 0)),
@@ -102,7 +102,7 @@ func registerAttentionOps() {
 
 	// Scatter of the pooled gradient back to the token axis: every position
 	// is zero except pos, whose value comes from dy[b,j].
-	Std.RegisterStatic(Describe("last_token_grad").
+	Std.MustRegisterStatic(Describe("last_token_grad").
 		In("dy", 2).Out(b, t, j).
 		MustIs(Apply("scatter_token", At("dy", b, j))))
 }

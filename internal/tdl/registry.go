@@ -127,6 +127,15 @@ func (r *Registry) RegisterStatic(d *OpDesc) error {
 	return r.Register(d.Name, func(Attrs) (*OpDesc, error) { return d, nil })
 }
 
+// MustRegisterStatic is RegisterStatic that panics; for the init-time
+// operator tables, where a duplicate name is a programming error that must
+// not be silently dropped (tofu-vet's errdrop gate enforces this).
+func (r *Registry) MustRegisterStatic(d *OpDesc) {
+	if err := r.RegisterStatic(d); err != nil {
+		panic(err)
+	}
+}
+
 // Describe returns the TDL description for an operator instance. The
 // returned description is shared and must be treated as read-only.
 func (r *Registry) Describe(name string, attrs Attrs) (*OpDesc, error) {

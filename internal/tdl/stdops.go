@@ -102,36 +102,36 @@ func registerMatmul() {
 	i, j, k := Ax("i"), Ax("j"), Ax("k")
 
 	// C[i,j] = Sum_k A[i,k] * B[k,j]
-	Std.RegisterStatic(Describe("matmul").
+	Std.MustRegisterStatic(Describe("matmul").
 		In("a", 2).In("b", 2).Out(i, j).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 1))},
 			Mul(At("a", i, k), At("b", k, j)))))
 
 	// C[i,j] = Sum_k A[i,k] * B[j,k]   (B transposed; dX of a matmul)
-	Std.RegisterStatic(Describe("matmul_nt").
+	Std.MustRegisterStatic(Describe("matmul_nt").
 		In("a", 2).In("b", 2).Out(i, j).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 1))},
 			Mul(At("a", i, k), At("b", j, k)))))
 
 	// C[i,j] = Sum_k A[k,i] * B[k,j]   (A transposed; dW of a matmul)
-	Std.RegisterStatic(Describe("matmul_tn").
+	Std.MustRegisterStatic(Describe("matmul_tn").
 		In("a", 2).In("b", 2).Out(i, j).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 0))},
 			Mul(At("a", k, i), At("b", k, j)))))
 
 	// Y[i,j] = X[i,j] + bias[j]
-	Std.RegisterStatic(Describe("bias_add").
+	Std.MustRegisterStatic(Describe("bias_add").
 		In("x", 2).In("bias", 1).Out(i, j).
 		MustIs(Add(At("x", i, j), At("bias", j))))
 
 	// db[j] = Sum_i dY[i,j]
-	Std.RegisterStatic(Describe("reduce_sum_axis0").
+	Std.MustRegisterStatic(Describe("reduce_sum_axis0").
 		In("x", 2).Out(j).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(i, ExtentOf("x", 0))},
 			At("x", i, j))))
 
 	// Y[i,j] = X[j,i]
-	Std.RegisterStatic(Describe("transpose").
+	Std.MustRegisterStatic(Describe("transpose").
 		In("x", 2).Out(i, j).
 		MustIs(At("x", j, i)))
 }
@@ -186,7 +186,7 @@ func registerConv() {
 
 	// 1-D convolution, the paper's running example (Fig 1, Fig 3).
 	b, dx := Ax("b"), Ax("dx")
-	Std.RegisterStatic(Describe("conv1d").
+	Std.MustRegisterStatic(Describe("conv1d").
 		In("data", 3).In("filters", 3).Out(b, co, x).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(ci, ExtentOf("filters", 0)),
@@ -224,7 +224,7 @@ func registerPooling() {
 	})
 
 	// out[n,c] = Sum_{y,x} data[n,c,y,x]  (global average pool, pre-scale)
-	Std.RegisterStatic(Describe("global_avgpool").
+	Std.MustRegisterStatic(Describe("global_avgpool").
 		In("data", 4).Out(n, c).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(y, ExtentOf("data", 2)),
@@ -232,7 +232,7 @@ func registerPooling() {
 		}, At("data", n, c, y, x))))
 
 	// dData[n,c,y,x] = dY[n,c] / (H·W)
-	Std.RegisterStatic(Describe("global_avgpool_grad").
+	Std.MustRegisterStatic(Describe("global_avgpool_grad").
 		In("dy", 2).Out(n, c, y, x).
 		MustIs(Apply("scale", At("dy", n, c))))
 }
@@ -243,7 +243,7 @@ func registerBatchNorm() {
 	n, c, y, x := Ax("n"), Ax("c"), Ax("y"), Ax("x")
 
 	// mean[c] = Sum_{n,y,x} X[n,c,y,x]  (scaled by 1/(N·H·W) in the kernel)
-	Std.RegisterStatic(Describe("bn_mean").
+	Std.MustRegisterStatic(Describe("bn_mean").
 		In("x", 4).Out(c).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(n, ExtentOf("x", 0)),
@@ -252,7 +252,7 @@ func registerBatchNorm() {
 		}, At("x", n, c, y, x))))
 
 	// var[c] = Sum_{n,y,x} (X[n,c,y,x] - mean[c])²
-	Std.RegisterStatic(Describe("bn_var").
+	Std.MustRegisterStatic(Describe("bn_var").
 		In("x", 4).In("mean", 1).Out(c).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(n, ExtentOf("x", 0)),
@@ -261,7 +261,7 @@ func registerBatchNorm() {
 		}, Apply("square", Sub(At("x", n, c, y, x), At("mean", c))))))
 
 	// Y[n,c,y,x] = (X - mean[c])·rsqrt(var[c])·gamma[c] + beta[c]
-	Std.RegisterStatic(Describe("bn_norm").
+	Std.MustRegisterStatic(Describe("bn_norm").
 		In("x", 4).In("mean", 1).In("var", 1).In("gamma", 1).In("beta", 1).
 		Out(n, c, y, x).
 		MustIs(Add(
@@ -269,7 +269,7 @@ func registerBatchNorm() {
 			At("beta", c))))
 
 	// dGamma[c] = Sum_{n,y,x} dY[n,c,y,x]·xhat[n,c,y,x]
-	Std.RegisterStatic(Describe("bn_gamma_grad").
+	Std.MustRegisterStatic(Describe("bn_gamma_grad").
 		In("dy", 4).In("xhat", 4).Out(c).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(n, ExtentOf("dy", 0)),
@@ -278,7 +278,7 @@ func registerBatchNorm() {
 		}, Mul(At("dy", n, c, y, x), At("xhat", n, c, y, x)))))
 
 	// dBeta[c] = Sum_{n,y,x} dY[n,c,y,x]
-	Std.RegisterStatic(Describe("bn_beta_grad").
+	Std.MustRegisterStatic(Describe("bn_beta_grad").
 		In("dy", 4).Out(c).
 		MustIs(Reduce(Sum, []ReduceAxis{
 			RVar(n, ExtentOf("dy", 0)),
@@ -288,7 +288,7 @@ func registerBatchNorm() {
 
 	// dX[n,c,y,x] = bn_dx(dY, X, mean[c], var[c], gamma[c]) — per-channel
 	// elementwise combination of already-reduced statistics.
-	Std.RegisterStatic(Describe("bn_data_grad").
+	Std.MustRegisterStatic(Describe("bn_data_grad").
 		In("dy", 4).In("x", 4).In("mean", 1).In("var", 1).In("gamma", 1).
 		Out(n, c, y, x).
 		MustIs(Apply("bn_dx", Add(
@@ -303,7 +303,7 @@ func registerSoftmax() {
 
 	// Y[i,j] = exp(X[i,j]) / Sum_k exp(X[i,k]) — the normalizer is a nested
 	// (non-top-level) reduction, so softmax has no output-reduction strategy.
-	Std.RegisterStatic(Describe("softmax").
+	Std.MustRegisterStatic(Describe("softmax").
 		In("x", 2).Out(i, j).
 		MustIs(Div(
 			Apply("exp", At("x", i, j)),
@@ -311,7 +311,7 @@ func registerSoftmax() {
 				Apply("exp", At("x", i, k))))))
 
 	// dX[i,j] = Y[i,j] - labels[i,j] (dense one-hot labels)
-	Std.RegisterStatic(Describe("softmax_ce_grad").
+	Std.MustRegisterStatic(Describe("softmax_ce_grad").
 		In("y", 2).In("labels", 2).Out(i, j).
 		MustIs(Sub(At("y", i, j), At("labels", i, j))))
 }
@@ -345,13 +345,13 @@ func registerOpaqueOps() {
 
 	// The paper's opaque example (Fig 3): batched Cholesky. Only the batch
 	// dimension is partitionable.
-	Std.RegisterStatic(Describe("batch_cholesky").
+	Std.MustRegisterStatic(Describe("batch_cholesky").
 		In("batch_mat", 3).Out(b, i, j).
 		MustIs(Opaque("Cholesky", []string{"i", "j"},
 			SliceArg{Tensor: "batch_mat", Dims: []SliceDim{IdxDim(Ax("b")), FullDim(), FullDim()}})))
 
 	// Batched matrix inverse: same partitioning structure.
-	Std.RegisterStatic(Describe("batch_inverse").
+	Std.MustRegisterStatic(Describe("batch_inverse").
 		In("batch_mat", 3).Out(b, i, j).
 		MustIs(Opaque("Inverse", []string{"i", "j"},
 			SliceArg{Tensor: "batch_mat", Dims: []SliceDim{IdxDim(Ax("b")), FullDim(), FullDim()}})))

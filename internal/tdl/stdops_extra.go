@@ -121,26 +121,26 @@ func registerExtraReductions() {
 	}
 	for _, r := range []rd{{"sum", Sum}, {"max", Max}, {"min", Min}, {"prod", Prod}} {
 		red := r.red
-		Std.RegisterStatic(Describe("reduce_"+r.name+"_axis1").
+		Std.MustRegisterStatic(Describe("reduce_"+r.name+"_axis1").
 			In("x", 2).Out(i).
 			MustIs(Reduce(red, []ReduceAxis{RVar(j, ExtentOf("x", 1))},
 				At("x", i, j))))
 	}
-	Std.RegisterStatic(Describe("reduce_max_axis0").
+	Std.MustRegisterStatic(Describe("reduce_max_axis0").
 		In("x", 2).Out(j).
 		MustIs(Reduce(Max, []ReduceAxis{RVar(i, ExtentOf("x", 0))},
 			At("x", i, j))))
-	Std.RegisterStatic(Describe("reduce_min_axis0").
+	Std.MustRegisterStatic(Describe("reduce_min_axis0").
 		In("x", 2).Out(j).
 		MustIs(Reduce(Min, []ReduceAxis{RVar(i, ExtentOf("x", 0))},
 			At("x", i, j))))
-	Std.RegisterStatic(Describe("reduce_prod_axis0").
+	Std.MustRegisterStatic(Describe("reduce_prod_axis0").
 		In("x", 2).Out(j).
 		MustIs(Reduce(Prod, []ReduceAxis{RVar(i, ExtentOf("x", 0))},
 			At("x", i, j))))
 
 	// L2-norm-squared per row (weight-decay bookkeeping).
-	Std.RegisterStatic(Describe("sqnorm_axis1").
+	Std.MustRegisterStatic(Describe("sqnorm_axis1").
 		In("x", 2).Out(i).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(j, ExtentOf("x", 1))},
 			Apply("square", At("x", i, j)))))
@@ -148,7 +148,7 @@ func registerExtraReductions() {
 	// Full 4-D reduction to channel statistics with Max (activation-range
 	// tracking for quantization-aware training).
 	n, c, y, x := Ax("n"), Ax("c"), Ax("y"), Ax("x")
-	Std.RegisterStatic(Describe("absmax_per_channel").
+	Std.MustRegisterStatic(Describe("absmax_per_channel").
 		In("x", 4).Out(c).
 		MustIs(Reduce(Max, []ReduceAxis{
 			RVar(n, ExtentOf("x", 0)),
@@ -162,22 +162,22 @@ func registerBroadcastOps() {
 	n, c, y, x := Ax("n"), Ax("c"), Ax("y"), Ax("x")
 
 	// Row/column broadcasts over matrices.
-	Std.RegisterStatic(Describe("broadcast_mul_row").
+	Std.MustRegisterStatic(Describe("broadcast_mul_row").
 		In("x", 2).In("v", 1).Out(i, j).
 		MustIs(Mul(At("x", i, j), At("v", j))))
-	Std.RegisterStatic(Describe("broadcast_mul_col").
+	Std.MustRegisterStatic(Describe("broadcast_mul_col").
 		In("x", 2).In("v", 1).Out(i, j).
 		MustIs(Mul(At("x", i, j), At("v", i))))
-	Std.RegisterStatic(Describe("broadcast_add_col").
+	Std.MustRegisterStatic(Describe("broadcast_add_col").
 		In("x", 2).In("v", 1).Out(i, j).
 		MustIs(Add(At("x", i, j), At("v", i))))
-	Std.RegisterStatic(Describe("broadcast_div_col").
+	Std.MustRegisterStatic(Describe("broadcast_div_col").
 		In("x", 2).In("v", 1).Out(i, j).
 		MustIs(Div(At("x", i, j), At("v", i))))
 
 	// Per-channel scale/shift over NCHW (the affine half of batch-norm,
 	// exposed standalone the way frameworks do).
-	Std.RegisterStatic(Describe("scale_shift_nchw").
+	Std.MustRegisterStatic(Describe("scale_shift_nchw").
 		In("x", 4).In("gamma", 1).In("beta", 1).Out(n, c, y, x).
 		MustIs(Add(Mul(At("x", n, c, y, x), At("gamma", c)), At("beta", c))))
 }
@@ -186,31 +186,31 @@ func registerBatchedLinalg() {
 	b, i, j, k := Ax("b"), Ax("i"), Ax("j"), Ax("k")
 
 	// Batched matrix multiply (attention scores et al.).
-	Std.RegisterStatic(Describe("bmm").
+	Std.MustRegisterStatic(Describe("bmm").
 		In("a", 3).In("bm", 3).Out(b, i, j).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 2))},
 			Mul(At("a", b, i, k), At("bm", b, k, j)))))
 	// Batched matmul with the second operand transposed.
-	Std.RegisterStatic(Describe("bmm_nt").
+	Std.MustRegisterStatic(Describe("bmm_nt").
 		In("a", 3).In("bm", 3).Out(b, i, j).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(k, ExtentOf("a", 2))},
 			Mul(At("a", b, i, k), At("bm", b, j, k)))))
 	// Batched outer product.
-	Std.RegisterStatic(Describe("bouter").
+	Std.MustRegisterStatic(Describe("bouter").
 		In("u", 2).In("v", 2).Out(b, i, j).
 		MustIs(Mul(At("u", b, i), At("v", b, j))))
 	// Batched transpose.
-	Std.RegisterStatic(Describe("btranspose").
+	Std.MustRegisterStatic(Describe("btranspose").
 		In("x", 3).Out(b, i, j).
 		MustIs(At("x", b, j, i)))
 	// Batched triangular solve and LU live behind opaque functions, like
 	// batch_cholesky.
-	Std.RegisterStatic(Describe("batch_trsm").
+	Std.MustRegisterStatic(Describe("batch_trsm").
 		In("lhs", 3).In("rhs", 3).Out(b, i, j).
 		MustIs(Opaque("Trsm", []string{"i", "j"},
 			SliceArg{Tensor: "lhs", Dims: []SliceDim{IdxDim(Ax("b")), FullDim(), FullDim()}},
 			SliceArg{Tensor: "rhs", Dims: []SliceDim{IdxDim(Ax("b")), FullDim(), FullDim()}})))
-	Std.RegisterStatic(Describe("batch_lu").
+	Std.MustRegisterStatic(Describe("batch_lu").
 		In("x", 3).Out(b, i, j).
 		MustIs(Opaque("LU", []string{"i", "j"},
 			SliceArg{Tensor: "x", Dims: []SliceDim{IdxDim(Ax("b")), FullDim(), FullDim()}})))
@@ -220,15 +220,15 @@ func registerNormalization() {
 	i, j := Ax("i"), Ax("j")
 
 	// Layer norm statistics: per-row mean and variance over features.
-	Std.RegisterStatic(Describe("ln_mean").
+	Std.MustRegisterStatic(Describe("ln_mean").
 		In("x", 2).Out(i).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(j, ExtentOf("x", 1))},
 			At("x", i, j))))
-	Std.RegisterStatic(Describe("ln_var").
+	Std.MustRegisterStatic(Describe("ln_var").
 		In("x", 2).In("mean", 1).Out(i).
 		MustIs(Reduce(Sum, []ReduceAxis{RVar(j, ExtentOf("x", 1))},
 			Apply("square", Sub(At("x", i, j), At("mean", i))))))
-	Std.RegisterStatic(Describe("ln_norm").
+	Std.MustRegisterStatic(Describe("ln_norm").
 		In("x", 2).In("mean", 1).In("var", 1).In("gamma", 1).In("beta", 1).
 		Out(i, j).
 		MustIs(Add(
@@ -238,7 +238,7 @@ func registerNormalization() {
 	// L2 normalization per row: x / ||x|| with a nested reduction, like
 	// softmax's normalizer.
 	k := Ax("k")
-	Std.RegisterStatic(Describe("l2_normalize").
+	Std.MustRegisterStatic(Describe("l2_normalize").
 		In("x", 2).Out(i, j).
 		MustIs(Div(
 			At("x", i, j),
@@ -246,7 +246,7 @@ func registerNormalization() {
 				Apply("square", At("x", i, k))))))
 
 	// Log-softmax (same structure as softmax).
-	Std.RegisterStatic(Describe("log_softmax").
+	Std.MustRegisterStatic(Describe("log_softmax").
 		In("x", 2).Out(i, j).
 		MustIs(Sub(
 			At("x", i, j),
@@ -329,21 +329,21 @@ func registerExtraMisc() {
 
 	// Tile rows (broadcast repeat): out[i,j] = x[0? no — x[i mod R] is not
 	// affine; the affine version repeats a single row.
-	Std.RegisterStatic(Describe("repeat_row").
+	Std.MustRegisterStatic(Describe("repeat_row").
 		In("v", 1).Out(i, j).
 		MustIs(At("v", j)))
 
 	// Embedding-style gather is data-dependent indexing, which TDL cannot
 	// express (paper Sec 9); expose it as an opaque batched op whose batch
 	// dimension still partitions.
-	Std.RegisterStatic(Describe("gather_rows").
+	Std.MustRegisterStatic(Describe("gather_rows").
 		In("table", 2).In("ids", 2).Out(i, j).
 		MustIs(Opaque("Gather", []string{"j"},
 			SliceArg{Tensor: "table", Dims: []SliceDim{FullDim(), FullDim()}},
 			SliceArg{Tensor: "ids", Dims: []SliceDim{IdxDim(Ax("i")), FullDim()}})))
 
 	// One-hot expansion of dense labels is an opaque per-row op as well.
-	Std.RegisterStatic(Describe("one_hot").
+	Std.MustRegisterStatic(Describe("one_hot").
 		In("ids", 2).Out(i, j).
 		MustIs(Opaque("OneHot", []string{"j"},
 			SliceArg{Tensor: "ids", Dims: []SliceDim{IdxDim(Ax("i")), FullDim()}})))

@@ -1,0 +1,45 @@
+package topo_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tofu/internal/topo"
+)
+
+// FuzzReadTopology drives the strict machine-file reader with arbitrary
+// bytes. Anything it accepts must have a canonical content encoding, survive
+// a write/read round trip, and canonicalize to the same bytes afterwards —
+// the property that lets built-in profiles and user JSON files share cache
+// digests. Seed corpus: the built-in profiles, serialized by WriteJSON.
+func FuzzReadTopology(f *testing.F) {
+	f.Add([]byte(`{"name":"flat","hw":{"num_gpus":4,"gpu_mem_bytes":1,"peak_flops":1,"mem_bw":1,"p2p_bandwidth":1,"host_bandwidth":1},"levels":[{"name":"l0","group_size":4,"bandwidth":1}]}`))
+	f.Add([]byte(`{"levels":[]}`))
+	f.Add([]byte(`{"name":"x","unknown":true}`)) // unknown field
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, err := topo.ReadTopology(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		c1, err := tp.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("accepted topology has no canonical form: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tp.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted topology does not re-serialize: %v", err)
+		}
+		tp2, err := topo.ReadTopology(&buf)
+		if err != nil {
+			t.Fatalf("rewritten topology rejected: %v\n%s", err, buf.Bytes())
+		}
+		c2, err := tp2.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("round-tripped topology has no canonical form: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical encoding changed across a round trip:\n%s\n%s", c1, c2)
+		}
+	})
+}
