@@ -34,9 +34,16 @@ type BenchRecord struct {
 	DPStepsFlat int64   `json:"dp_steps_flat,omitempty"`
 	FlatNsPerOp float64 `json:"flat_ns_per_op,omitempty"`
 
+	// SearchSteps/SearchStepsWarm record a warm-start row (warm-start/*):
+	// branch-and-bound nodes expanded by a cold search vs one seeded with
+	// the neighbor index's ordering. Machine-stable, gated like dp_steps.
+	SearchSteps     int64 `json:"search_steps,omitempty"`
+	SearchStepsWarm int64 `json:"search_steps_warm,omitempty"`
+
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
 	BaselineDPSteps     int64   `json:"baseline_dp_steps,omitempty"`
+	BaselineStepsWarm   int64   `json:"baseline_search_steps_warm,omitempty"`
 	NsRatio             float64 `json:"ns_ratio,omitempty"`
 	AllocsRatio         float64 `json:"allocs_ratio,omitempty"`
 }
@@ -49,8 +56,10 @@ type BenchFile struct {
 	Short      bool          `json:"short,omitempty"`
 	Benchmarks []BenchRecord `json:"benchmarks"`
 	// Serve carries the serve-layer loadtest next to the search numbers,
-	// so one baseline file gates both.
-	Serve *ServeResult `json:"serve,omitempty"`
+	// so one baseline file gates both. ServeStore is the persistent-store
+	// restart loadtest (cold search vs store-served warm across replicas).
+	Serve      *ServeResult      `json:"serve,omitempty"`
+	ServeStore *ServeStoreResult `json:"serve_store,omitempty"`
 }
 
 // runSearchBenchmarks measures recursive.Partition on the benchmark
@@ -166,6 +175,21 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 		out.Benchmarks = append(out.Benchmarks, rec)
 	}
 
+	// The warm-start rows ride along in both modes (each case runs in well
+	// under a second): cold vs neighbor-seeded search steps on the gated
+	// fleet profiles, floored at 2x in runWarmStartRows itself.
+	warmRows, warmRegr, err := runWarmStartRows()
+	if err != nil {
+		return fmt.Errorf("warm-start rows: %w", err)
+	}
+	regressions = append(regressions, warmRegr...)
+	for _, rec := range warmRows {
+		fmt.Printf("%-28s %14d cold steps %8d warm steps (%.2fx fewer, dp %d vs flat %d)\n",
+			rec.Name, rec.SearchSteps, rec.SearchStepsWarm,
+			float64(rec.SearchSteps)/float64(rec.SearchStepsWarm), rec.DPSteps, rec.DPStepsFlat)
+	}
+	out.Benchmarks = append(out.Benchmarks, warmRows...)
+
 	// The serve loadtest rides along. The throughput floor is enforced via
 	// the regression list below — after the artifact is written — so a slow
 	// run never discards the search measurements; only genuine failures
@@ -184,6 +208,25 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 		regressions = append(regressions, fmt.Sprintf(
 			"serve/%s: warm throughput %.0f req/s below the %d req/s floor",
 			serve.Model, serve.WarmRPS, int64(serveFloorRPS)))
+	}
+
+	// The store-restart loadtest rides along the same way: its own floors
+	// (store answered, zero searches, 10x speedup) are enforced inside the
+	// run, surfaced here as regressions so the artifact still gets written.
+	storeOpts := defaultStoreLoadOpts(short)
+	storeDir, err := os.MkdirTemp("", "tofu-bench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	serveStore, err := runStoreRestartLoadtest(storeDir, storeOpts)
+	out.ServeStore = &serveStore
+	if err != nil {
+		regressions = append(regressions, fmt.Sprintf("serve-store/%s: %v", serveStore.Model, err))
+	} else {
+		fmt.Printf("%-28s %14.0f req/s warm %8.1fx speedup over cold %.1f req/s (restart, %d store-served)\n",
+			"serve-store/"+serveStore.Model, serveStore.WarmRPS, serveStore.Speedup,
+			serveStore.ColdRPS, serveStore.StoreServed)
 	}
 	if baselinePath != "" {
 		base, err := readBenchFile(baselinePath)
@@ -235,6 +278,16 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 						"%s: dp steps regressed (%d -> %d)", rec.Name, b.DPSteps, rec.DPSteps))
 				}
 			}
+			// Warm-started search steps likewise: a growing count means the
+			// seed stopped pruning.
+			if b.SearchStepsWarm > 0 && rec.SearchStepsWarm > 0 {
+				rec.BaselineStepsWarm = b.SearchStepsWarm
+				if float64(rec.SearchStepsWarm) > float64(b.SearchStepsWarm)*regressionThreshold {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s: warm-started search steps regressed (%d -> %d)",
+						rec.Name, b.SearchStepsWarm, rec.SearchStepsWarm))
+				}
+			}
 		}
 		// Warm-cache serve throughput is wall-clock like ns/op: gate it only
 		// against a baseline recorded on matching hardware.
@@ -243,6 +296,14 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 				regressions = append(regressions, fmt.Sprintf(
 					"serve/%s: warm req/s regressed %.2fx (%.0f -> %.0f)",
 					serve.Model, ratio, base.Serve.WarmRPS, serve.WarmRPS))
+			}
+		}
+		// Same for the store-restart loop's warm throughput.
+		if gateNs && base.ServeStore != nil && base.ServeStore.WarmRPS > 0 && serveStore.WarmRPS > 0 {
+			if ratio := base.ServeStore.WarmRPS / serveStore.WarmRPS; ratio > regressionThreshold {
+				regressions = append(regressions, fmt.Sprintf(
+					"serve-store/%s: warm req/s regressed %.2fx (%.0f -> %.0f)",
+					serveStore.Model, ratio, base.ServeStore.WarmRPS, serveStore.WarmRPS))
 			}
 		}
 	}

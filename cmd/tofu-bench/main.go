@@ -8,7 +8,7 @@
 //	           [-quick] [-flat-budget 20s] [-parallel N] [-cpuprofile cpu.out]
 //	           [-hw <profile>|machine.json]
 //
-//	tofu-bench -exp serve [-serve-json BENCH_PR4.json]
+//	tofu-bench -exp serve [-serve-json BENCH_PR4.json] [-store DIR]
 //
 //	tofu-bench -bench-json BENCH.json [-bench-short] [-bench-baseline BENCH_CI.json]
 //
@@ -54,6 +54,8 @@ func main() {
 		"compare the benchmark run against this baseline JSON; exit non-zero on >20% ns/op or allocs/op regression")
 	serveJSON := flag.String("serve-json", "BENCH_PR4.json",
 		"where -exp serve records the loadtest numbers")
+	serveStore := flag.String("store", "",
+		"plan store directory for -exp serve: adds the restart loadtest (replica A fills, dies; replica B serves warm) and the warm-start search rows")
 	cpuProfile := flag.String("cpuprofile", "",
 		"write a pprof CPU profile of the run to this file")
 	flag.Parse()
@@ -98,7 +100,7 @@ func main() {
 	}
 
 	if *exp == "serve" {
-		out, err := runServeExperiment(*serveJSON)
+		out, err := runServeExperiment(*serveJSON, *serveStore)
 		if err != nil {
 			fatalf("serve: %v", err)
 		}

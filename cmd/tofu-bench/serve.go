@@ -43,12 +43,15 @@ type ServeResult struct {
 	WarmP99Us       float64 `json:"warm_p99_us"`
 }
 
-// ServeFile is the BENCH_PR4.json artifact schema.
+// ServeFile is the -exp serve artifact schema (BENCH_PR4.json, and with
+// -store also the store-restart and warm-start sections of BENCH_PR7.json).
 type ServeFile struct {
-	GoOS   string      `json:"go_os"`
-	GoArch string      `json:"go_arch"`
-	NumCPU int         `json:"num_cpu"`
-	Serve  ServeResult `json:"serve"`
+	GoOS       string            `json:"go_os"`
+	GoArch     string            `json:"go_arch"`
+	NumCPU     int               `json:"num_cpu"`
+	Serve      ServeResult       `json:"serve"`
+	ServeStore *ServeStoreResult `json:"serve_store,omitempty"`
+	WarmStart  []BenchRecord     `json:"warm_start,omitempty"`
 }
 
 // serveFloorRPS is the warm-cache throughput the serving layer must always
@@ -198,13 +201,58 @@ func runServeLoadtest(o serveLoadOpts) (ServeResult, error) {
 }
 
 // runServeExperiment is tofu-bench -exp serve: run the loadtest at full
-// scale and record BENCH_PR4.json.
-func runServeExperiment(outPath string) (string, error) {
+// scale and record the artifact (BENCH_PR4.json by default). With a store
+// directory it additionally runs the restart loadtest — replica A fills the
+// store and dies, replica B serves warm from disk — and the warm-start
+// search rows, enforcing the 10x restart-speedup and 2x step floors.
+func runServeExperiment(outPath, storeDir string) (string, error) {
 	res, err := runServeLoadtest(defaultServeLoadOpts(false))
 	if err != nil {
 		return "", err
 	}
 	out := ServeFile{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU(), Serve: res}
+	summary := fmt.Sprintf(`Serve loadtest (%s)
+  cold request:          %8.1f ms   (one real search + serving overhead)
+  coalesced burst:       %8.1f ms   (%d concurrent identical requests, %d search)
+  warm closed loop:      %8.0f req/s sustained over %.1fs x %d clients
+  warm latency:          p50 %.0f us, p99 %.0f us  (%d requests)`,
+		res.Model, res.ColdMs, res.CoalescedWallMs, res.CoalescedConcurrency, res.CoalescedSearches,
+		res.WarmRPS, res.WarmDurationSec, res.WarmConcurrency,
+		res.WarmP50Us, res.WarmP99Us, res.WarmRequests)
+
+	if storeDir != "" {
+		st, err := runStoreRestartLoadtest(storeDir, defaultStoreLoadOpts(false))
+		if err != nil {
+			return "", fmt.Errorf("store restart: %w", err)
+		}
+		out.ServeStore = &st
+		summary += fmt.Sprintf(`
+Store restart (%s, dir %s)
+  replica A cold:        %8.1f ms   -> %.1f req/s without a store
+  replica B warm:        %8.0f req/s from the shared store (%d store-served, %d searches)
+  restart speedup:       %8.1fx     (floor %dx)`,
+			st.Model, storeDir, st.ColdMs, st.ColdRPS,
+			st.WarmRPS, st.StoreServed, st.Searches, st.Speedup, int64(storeRestartSpeedupFloor))
+
+		rows, regr, err := runWarmStartRows()
+		if err != nil {
+			return "", err
+		}
+		if len(regr) > 0 {
+			return "", fmt.Errorf("warm-start floors: %v", regr)
+		}
+		out.WarmStart = rows
+		for _, rec := range rows {
+			summary += fmt.Sprintf(`
+Warm start (%s)
+  cold search steps:     %8d
+  warm search steps:     %8d     (%.2fx fewer, floor %dx; dp steps %d, flat %d)`,
+				rec.Name, rec.SearchSteps, rec.SearchStepsWarm,
+				float64(rec.SearchSteps)/float64(rec.SearchStepsWarm),
+				int64(warmStartStepFactor), rec.DPSteps, rec.DPStepsFlat)
+		}
+	}
+
 	f, err := os.Create(outPath)
 	if err != nil {
 		return "", err
@@ -218,13 +266,5 @@ func runServeExperiment(outPath string) (string, error) {
 	if err := f.Close(); err != nil {
 		return "", err
 	}
-	return fmt.Sprintf(`Serve loadtest (%s)
-  cold request:          %8.1f ms   (one real search + serving overhead)
-  coalesced burst:       %8.1f ms   (%d concurrent identical requests, %d search)
-  warm closed loop:      %8.0f req/s sustained over %.1fs x %d clients
-  warm latency:          p50 %.0f us, p99 %.0f us  (%d requests)
-wrote %s`,
-		res.Model, res.ColdMs, res.CoalescedWallMs, res.CoalescedConcurrency, res.CoalescedSearches,
-		res.WarmRPS, res.WarmDurationSec, res.WarmConcurrency,
-		res.WarmP50Us, res.WarmP99Us, res.WarmRequests, outPath), nil
+	return summary + "\nwrote " + outPath, nil
 }

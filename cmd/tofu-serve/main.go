@@ -5,8 +5,17 @@
 //
 // Usage:
 //
-//	tofu-serve [-addr :8080] [-cache-size 128] [-pool N] [-queue-depth 64]
-//	           [-sync-wait 2s] [-parallel N] [-drain-timeout 30s]
+//	tofu-serve [-addr :8080] [-cache-size 128] [-cache-bytes N] [-pool N]
+//	           [-queue-depth 64] [-sync-wait 2s] [-parallel N]
+//	           [-drain-timeout 30s] [-store DIR] [-store-fsync]
+//	           [-tenant-quota N] [-sweep manifest.json] [-sweep-interval 250ms]
+//
+// -store layers a persistent content-addressed plan store under the in-memory
+// LRU: plans computed by any replica sharing DIR are served from disk (after
+// checksum and digest verification) instead of re-searched, across restarts.
+// -sweep precomputes a fleet manifest's plans in the background using idle
+// capacity only; user traffic always takes priority. -tenant-quota bounds the
+// concurrent searches any one Tofu-Tenant header may hold (429 beyond it).
 //
 // API:
 //
@@ -35,11 +44,14 @@ import (
 	"time"
 
 	"tofu/internal/service"
+	"tofu/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (use :0 for a random port)")
 	cacheSize := flag.Int("cache-size", 128, "plan LRU capacity (entries)")
+	cacheBytes := flag.Int64("cache-bytes", 0,
+		"plan LRU byte budget (0 = entries-only bound)")
 	pool := flag.Int("pool", 0, "search worker pool size (0 = half of GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 64, "queued-search bound; a full queue answers 429")
 	syncWait := flag.Duration("sync-wait", 2*time.Second,
@@ -48,15 +60,51 @@ func main() {
 		"DP worker goroutines per search (0 = GOMAXPROCS); plans are identical either way")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight searches to drain")
+	storeDir := flag.String("store", "",
+		"persistent plan store directory, shared across restarts and replicas (empty = memory only)")
+	storeFsync := flag.Bool("store-fsync", false,
+		"fsync store writes (survive power loss, not just process death)")
+	tenantQuota := flag.Int("tenant-quota", 0,
+		"max concurrent searches per Tofu-Tenant header (0 = unlimited)")
+	sweepPath := flag.String("sweep", "",
+		"fleet manifest JSON to precompute in the background on idle capacity")
+	sweepInterval := flag.Duration("sweep-interval", 250*time.Millisecond,
+		"idle-poll cadence of the manifest sweeper")
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{Fsync: *storeFsync})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	svc := service.New(service.Config{
 		CacheSize:   *cacheSize,
+		CacheBytes:  *cacheBytes,
 		Workers:     *pool,
 		QueueDepth:  *queueDepth,
 		SyncWait:    *syncWait,
 		Parallelism: *parallel,
+		Store:       st,
+		TenantQuota: *tenantQuota,
 	})
+
+	var sweeper *service.Sweeper
+	if *sweepPath != "" {
+		data, err := os.ReadFile(*sweepPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reqs, digests, err := service.ParseManifest(data)
+		if err != nil {
+			log.Fatalf("sweep manifest %s: %v", *sweepPath, err)
+		}
+		sweeper = svc.StartSweeper(reqs, digests, *sweepInterval)
+		log.Printf("sweeping %d manifest entries on idle capacity (interval %v)", len(reqs), *sweepInterval)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -73,8 +121,12 @@ func main() {
 		WriteTimeout:      *syncWait + time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("tofu-serve listening on %s (cache %d, queue %d, sync-wait %v)",
-		ln.Addr(), *cacheSize, *queueDepth, *syncWait)
+	storeNote := "memory only"
+	if st != nil {
+		storeNote = "store " + *storeDir
+	}
+	log.Printf("tofu-serve listening on %s (cache %d, queue %d, sync-wait %v, %s)",
+		ln.Addr(), *cacheSize, *queueDepth, *syncWait, storeNote)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -91,6 +143,9 @@ func main() {
 		return
 	}
 
+	if sweeper != nil {
+		sweeper.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

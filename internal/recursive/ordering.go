@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
@@ -71,6 +72,13 @@ type SearchStats struct {
 	// BestCost is the winning bandwidth-weighted communication time Σ δ/B
 	// in seconds.
 	BestCost float64 `json:"best_cost"`
+	// WarmStart reports that Options.WarmStart supplied a valid, feasible
+	// seed ordering whose cost (WarmCost) primed the incumbent before any
+	// tree expansion — pruning fires from the first pop instead of waiting
+	// for the naive dive's (often looser) cost. The chosen plan is
+	// byte-identical with or without a seed; only the effort counters move.
+	WarmStart bool    `json:"warm_start,omitempty"`
+	WarmCost  float64 `json:"warm_cost,omitempty"`
 }
 
 // prefixState is the per-factor-prefix memo node: the DP result of the
@@ -80,6 +88,11 @@ type prefixState struct {
 	once   sync.Once
 	parent *prefixState
 	factor int64
+	// done flips after the once body returns; readers that merely want to
+	// PEEK at an already-computed sibling's δ (the memo gate in boundAt)
+	// check it instead of entering once.Do, which would block on — or worse,
+	// run — a DP step the peek was trying to avoid.
+	done atomic.Bool
 
 	res    *dp.Result
 	shapes map[int]shape.Shape
@@ -105,14 +118,19 @@ type lbQuery struct {
 }
 
 // obNode is one branch-and-bound tree node: a (factor, level) prefix with
-// its accumulated weighted cost and admissible total bound.
+// its accumulated weighted cost and admissible total bound. Nodes are LAZY:
+// a child is pushed with its parent's evaluated state and the parent's bound
+// as a provisional priority, and runs its own DP step only when popped — so
+// a strong incumbent (a warm-start seed, or an early leaf) prunes whole
+// subtrees before their prefix DP ever runs, instead of after.
 type obNode struct {
-	steps []factorLevel
-	ranks []uint8 // rank sequence in canonical pool order — the lex tie-break
-	key   string  // factor-prefix memo key
-	ps    *prefixState
-	g     float64 // Σ δ_i/B_i over steps
-	bound float64 // g + admissible remaining-cost bound
+	steps  []factorLevel
+	ranks  []uint8 // rank sequence in canonical pool order — the lex tie-break
+	key    string  // factor-prefix memo key (own factor included)
+	parKey string  // parent's factor-prefix key (for the pop-time re-bound)
+	par    *prefixState
+	gPar   float64 // parent's Σ δ_i/B_i
+	bound  float64 // provisional: the parent's evaluated bound (admissible)
 }
 
 // orderSearch carries one branch-and-bound run.
@@ -219,8 +237,29 @@ func (s *orderSearch) prefixFor(parent *prefixState, key string, f int64) *prefi
 		s.prefixes[key] = ps
 	}
 	s.mu.Unlock()
-	ps.once.Do(func() { s.computeStep(ps) })
+	ps.once.Do(func() {
+		s.computeStep(ps)
+		ps.done.Store(true)
+	})
 	return ps
+}
+
+// memoDelta peeks at the already-computed realized δ of extending key by
+// factor f, without triggering the DP. When present it is the EXACT cost of
+// placing f directly below this prefix — and by the same config-subset
+// monotonicity the lastDelta gate relies on (a descendant's shapes divide
+// this prefix's shapes, so its strategy set only shrinks while Lemma 1
+// keeps the pricing), it lower-bounds placing f anywhere deeper. That makes
+// it the tightest admissible per-step gate available; a warm-start seed
+// plants exactly these states along the winning chain before the first pop.
+func (s *orderSearch) memoDelta(key string, f int64) (float64, bool) {
+	s.mu.Lock()
+	ps := s.prefixes[childKey(key, f)]
+	s.mu.Unlock()
+	if ps == nil || !ps.done.Load() || ps.err != nil || ps.res == nil {
+		return 0, false
+	}
+	return ps.res.CommBytes, true
 }
 
 // computeStep runs one prefix's DP step: lower-bound first (it prepares the
@@ -329,6 +368,14 @@ func (s *orderSearch) offerLeaf(steps []factorLevel, ranks []uint8, cost float64
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Leaves++
+	s.offerLocked(steps, ranks, cost)
+}
+
+// offerLocked applies the incumbent update rule (strict improvement, then
+// rank-lex tie-break) under s.mu. Seeding paths (dive, warm start) share it
+// with offerLeaf so a seed can never displace an equal-cost lex-smaller
+// ordering the tree finds later.
+func (s *orderSearch) offerLocked(steps []factorLevel, ranks []uint8, cost float64) {
 	if !s.bestSet || cost < s.bestCost ||
 		(cost == s.bestCost && lexLess(ranks, s.bestRanks)) {
 		s.bestSet = true
@@ -363,73 +410,102 @@ func childKey(key string, f int64) string {
 	return key + strconv.FormatInt(f, 10) + "."
 }
 
-// expand generates a node's surviving children in canonical order: one per
-// distinct remaining (factor, level) pair. Complete children go straight to
-// the incumbent; infeasible ones record their reason and vanish with their
-// whole subtree.
-func (s *orderSearch) expand(n *obNode) []*obNode {
+// remaining returns the per-uniq-pair multiplicities still unplaced after
+// the given rank prefix.
+func (s *orderSearch) remaining(ranks []uint8) []int {
 	rem := make([]int, len(s.counts))
 	copy(rem, s.counts)
-	for _, r := range n.ranks {
+	for _, r := range ranks {
 		rem[r]--
 	}
-	var children []*obNode
+	return rem
+}
+
+// boundAt computes the admissible total bound g + h for the subtree rooted
+// at the prefix (key, ps) with remaining pair multiset rem. Every
+// still-unplaced pair costs at least its factor's lower bound at this
+// prefix's shapes — tightened, outside beam mode, by the realized δ of the
+// same factor's last occurrence in the prefix (lastDelta) and by the
+// realized δ of the already-memoized child step for that factor (memoDelta)
+// — over its own level's bandwidth. An error means some remaining factor
+// can never run at or below these shapes: the subtree is infeasible.
+//
+// The realized-δ tightenings rely on per-step optima being monotone down a
+// branch, which beam search voids: a later beam result over a smaller state
+// space can land below an earlier step's beam cost. dp.LowerBound alone
+// stays admissible against beam results (it bounds the true optimum, which
+// the beam never beats).
+func (s *orderSearch) boundAt(ps *prefixState, key string, g float64, rem []int) (float64, error) {
+	h := 0.0
+	for j, fl2 := range s.uniq {
+		if rem[j] == 0 {
+			continue
+		}
+		lb, _, err := s.lowerBoundFor(ps, fl2.f)
+		if err != nil {
+			return 0, err
+		}
+		if s.opts.MaxStates == 0 {
+			if d := ps.lastDelta[fl2.f]; d > lb {
+				lb = d
+			}
+			if d, ok := s.memoDelta(key, fl2.f); ok && d > lb {
+				lb = d
+			}
+		}
+		h += float64(rem[j]) * lb / s.tp.LevelBandwidth(fl2.level)
+	}
+	return g + h, nil
+}
+
+// process evaluates one popped node: run its own (memoized) DP step, offer
+// complete orderings to the incumbent, bound the subtree at the node's own
+// shapes, and — if the bound survives the incumbent — emit its children in
+// canonical order with that bound as their provisional priority. Children
+// run no DP here; whether they ever do is decided against the incumbent in
+// force when THEY pop, which is what lets a strong early incumbent save
+// their prefix DP entirely. The root (empty key) skips the step and bounds
+// the whole pool at the original shapes.
+func (s *orderSearch) process(n *obNode) []*obNode {
+	ps := s.rootPS
+	g := 0.0
+	if n.key != "" {
+		fl := n.steps[len(n.steps)-1]
+		ps = s.prefixFor(n.par, n.key, fl.f)
+		if ps.err != nil {
+			s.addErr(ps.err)
+			return nil
+		}
+		g = n.gPar + ps.res.CommBytes/s.tp.LevelBandwidth(fl.level)
+		if len(n.steps) == len(s.pool) {
+			s.offerLeaf(n.steps, n.ranks, g)
+			return nil
+		}
+	}
+	rem := s.remaining(n.ranks)
+	bound, err := s.boundAt(ps, n.key, g, rem)
+	if err != nil {
+		s.addErr(err)
+		return nil
+	}
+	s.mu.Lock()
+	if s.shouldPrune(bound) {
+		s.stats.Pruned++
+		s.mu.Unlock()
+		return nil
+	}
+	s.stats.Expanded++
+	s.mu.Unlock()
+	children := make([]*obNode, 0, len(s.uniq))
 	for i, fl := range s.uniq {
 		if rem[i] == 0 {
 			continue
 		}
-		key := childKey(n.key, fl.f)
-		ps := s.prefixFor(n.ps, key, fl.f)
-		if ps.err != nil {
-			s.addErr(ps.err)
-			continue
-		}
-		g := n.g + ps.res.CommBytes/s.tp.LevelBandwidth(fl.level)
 		steps := append(append(make([]factorLevel, 0, len(n.steps)+1), n.steps...), fl)
 		ranks := append(append(make([]uint8, 0, len(n.ranks)+1), n.ranks...), uint8(i))
-		if len(steps) == len(s.pool) {
-			s.offerLeaf(steps, ranks, g)
-			continue
-		}
-		// Admissible remaining cost: every still-unplaced pair costs at
-		// least its factor's lower bound at the child's shapes — or, when
-		// the same factor already ran in this prefix, at least that step's
-		// realized δ (per-step optima are monotone down a branch) — over its
-		// own level's bandwidth.
-		h := 0.0
-		feasible := true
-		for j, fl2 := range s.uniq {
-			left := rem[j]
-			if j == i {
-				left--
-			}
-			if left == 0 {
-				continue
-			}
-			lb, _, err := s.lowerBoundFor(ps, fl2.f)
-			if err != nil {
-				s.addErr(err)
-				feasible = false
-				break
-			}
-			// The realized-δ tightening relies on per-step optima being
-			// monotone down a branch, which beam search voids: a later
-			// same-factor beam result over a smaller state space can land
-			// below an earlier step's beam cost. dp.LowerBound alone stays
-			// admissible against beam results (it bounds the true optimum,
-			// which the beam never beats).
-			if s.opts.MaxStates == 0 {
-				if d := ps.lastDelta[fl2.f]; d > lb {
-					lb = d
-				}
-			}
-			h += float64(left) * lb / s.tp.LevelBandwidth(fl2.level)
-		}
-		if !feasible {
-			continue
-		}
 		children = append(children, &obNode{
-			steps: steps, ranks: ranks, key: key, ps: ps, g: g, bound: g + h,
+			steps: steps, ranks: ranks, key: childKey(n.key, fl.f),
+			parKey: n.key, par: ps, gPar: g, bound: bound,
 		})
 	}
 	return children
@@ -441,32 +517,69 @@ func (s *orderSearch) expand(n *obNode) []*obNode {
 // count is left to the tree walk, which revisits this ordering through
 // shared prefixes at zero DP cost.
 func (s *orderSearch) dive() {
-	ps := s.rootPS
-	key := ""
-	g := 0.0
-	for _, fl := range s.pool {
-		key = childKey(key, fl.f)
-		ps = s.prefixFor(ps, key, fl.f)
-		if ps.err != nil {
-			s.addErr(ps.err)
-			return
-		}
-		g += ps.res.CommBytes / s.tp.LevelBandwidth(fl.level)
-	}
 	ranks := make([]uint8, 0, len(s.pool))
 	for i := range s.uniq {
 		for c := 0; c < s.counts[i]; c++ {
 			ranks = append(ranks, uint8(i))
 		}
 	}
+	s.seedOrdering(s.pool, ranks)
+}
+
+// seedOrdering walks one complete ordering through the (memoized) prefix
+// chain and offers its cost to the incumbent, returning that cost and
+// whether the whole chain was feasible. Seeds never count as leaves; the
+// tree walk re-offers the same ordering through shared prefixes at zero DP
+// cost, so the final plan is the tree's choice either way.
+func (s *orderSearch) seedOrdering(order []factorLevel, ranks []uint8) (float64, bool) {
+	ps := s.rootPS
+	key := ""
+	g := 0.0
+	for _, fl := range order {
+		key = childKey(key, fl.f)
+		ps = s.prefixFor(ps, key, fl.f)
+		if ps.err != nil {
+			s.addErr(ps.err)
+			return 0, false
+		}
+		g += ps.res.CommBytes / s.tp.LevelBandwidth(fl.level)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.bestSet {
-		s.bestSet = true
-		s.bestCost = g
-		s.bestSteps = s.pool
-		s.bestRanks = ranks
+	s.offerLocked(order, ranks, g)
+	return g, true
+}
+
+// warmOrder validates Options.WarmStart against the pool: the seed must be
+// a permutation of exactly the machine's (factor, level) multiset. An
+// invalid seed is ignored (the caller falls back to the naive dive) — seeds
+// are advisory; they can never change the plan, only the search effort.
+func (s *orderSearch) warmOrder() ([]factorLevel, []uint8, bool) {
+	w := s.opts.WarmStart
+	if len(w) != len(s.pool) {
+		return nil, nil, false
 	}
+	rem := make([]int, len(s.counts))
+	copy(rem, s.counts)
+	order := make([]factorLevel, len(w))
+	ranks := make([]uint8, len(w))
+	for i, ws := range w {
+		fl := factorLevel{f: ws.Factor, level: ws.Level}
+		found := false
+		for j, u := range s.uniq {
+			if u == fl && rem[j] > 0 {
+				rem[j]--
+				order[i] = fl
+				ranks[i] = uint8(j)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, false
+		}
+	}
+	return order, ranks, true
 }
 
 // run drains the branch-and-bound tree and assembles the winning plan.
@@ -474,59 +587,90 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 	s.stats.Orderings = multinomial(s.counts)
 	s.stats.FlatDPSolves = s.stats.Orderings * len(s.pool)
 
+	// Seed the incumbent: the warm-start ordering when one is supplied and
+	// valid (its prefix chain is the one a neighboring request already found
+	// to win), then always the naive hierarchy-following dive — the
+	// incumbent keeps whichever is better, so a poor seed can only waste its
+	// own chain's DP steps, never add any elsewhere.
+	if order, ranks, ok := s.warmOrder(); ok {
+		if cost, feasible := s.seedOrdering(order, ranks); feasible {
+			s.mu.Lock()
+			s.stats.WarmStart = true
+			s.stats.WarmCost = cost
+			s.mu.Unlock()
+		}
+	}
 	s.dive()
 
 	par := s.opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	pq := &nodeHeap{{key: "", ps: s.rootPS}}
+	pq := &nodeHeap{{key: "", par: s.rootPS}}
 	heap.Init(pq)
 	for pq.Len() > 0 {
-		// Pop up to par surviving nodes and expand them concurrently; their
-		// shared prefix work dedupes through the once-guarded memos.
+		// Pop up to par surviving nodes and evaluate them concurrently;
+		// their shared prefix work dedupes through the once-guarded memos.
+		// A node whose provisional bound already exceeds the incumbent dies
+		// here, BEFORE its DP step runs — with a warm-started incumbent this
+		// fires from the very first expansion round.
 		var batch []*obNode
 		for len(batch) < par && pq.Len() > 0 {
 			n := heap.Pop(pq).(*obNode)
 			s.mu.Lock()
-			if s.shouldPrune(n.bound) {
+			prune := s.shouldPrune(n.bound)
+			s.mu.Unlock()
+			if !prune && len(n.steps) > 0 {
+				// Re-bound against the CURRENT memo state before paying
+				// for the node's DP step: realized δs learned since this
+				// node was pushed (the warm-start chain above all) often
+				// lift the parent-scope bound past the incumbent. All the
+				// ingredients are memoized, so this costs map lookups.
+				b, err := s.boundAt(n.par, n.parKey, n.gPar, s.remaining(n.ranks[:len(n.ranks)-1]))
+				if err == nil {
+					s.mu.Lock()
+					prune = s.shouldPrune(b)
+					s.mu.Unlock()
+				}
+			}
+			if prune {
+				s.mu.Lock()
 				s.stats.Pruned++
 				s.mu.Unlock()
 				continue
 			}
-			s.stats.Expanded++
-			s.mu.Unlock()
 			batch = append(batch, n)
 		}
 		children := make([][]*obNode, len(batch))
 		if len(batch) == 1 {
-			children[0] = s.expand(batch[0])
+			children[0] = s.process(batch[0])
 		} else {
 			var wg sync.WaitGroup
 			for i, n := range batch {
 				wg.Add(1)
 				go func(i int, n *obNode) {
 					defer wg.Done()
-					children[i] = s.expand(n)
+					children[i] = s.process(n)
 				}(i, n)
 			}
 			wg.Wait()
 		}
 		for _, cs := range children {
 			for _, c := range cs {
-				s.mu.Lock()
-				pruned := s.shouldPrune(c.bound)
-				if pruned {
-					s.stats.Pruned++
-				}
-				s.mu.Unlock()
-				if !pruned {
-					heap.Push(pq, c)
-				}
+				heap.Push(pq, c)
 			}
 		}
 	}
 
+	if !s.bestSet {
+		// Total infeasibility: the lazy walk may have died at the very
+		// first bound query, leaving a single reason where the user needs
+		// every distinct one (which factor fails at which shapes). Sweep
+		// the memoized factor-prefix tree collecting the rest — this runs
+		// only when no ordering can host the topology, and each distinct
+		// factor prefix costs at most one memoized DP.
+		s.diagnose()
+	}
 	s.stats.BestCost = s.bestCost
 	if s.opts.Stats != nil {
 		*s.opts.Stats = s.stats
@@ -535,6 +679,46 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 		return nil, infeasibleTopoErr(s.tp, s.errs.errs)
 	}
 	return s.buildPlan()
+}
+
+// diagnose walks every distinct factor prefix (levels collapse: DP shapes
+// depend only on the factor sequence) and records each prefix's
+// infeasibility reason, so a fully infeasible topology reports every
+// distinct failing shape — matching the exhaustive engine — instead of just
+// the first bound error the pruned walk happened to hit. Infeasible
+// branches stop descending, so the sweep touches exactly the feasible
+// prefix frontier plus its failing fringe.
+func (s *orderSearch) diagnose() {
+	fc := map[int64]int{}
+	var factors []int64
+	for i, fl := range s.uniq {
+		if fc[fl.f] == 0 {
+			factors = append(factors, fl.f)
+		}
+		fc[fl.f] += s.counts[i]
+	}
+	depth := len(s.pool)
+	var walk func(ps *prefixState, key string, placed int)
+	walk = func(ps *prefixState, key string, placed int) {
+		if placed == depth {
+			return
+		}
+		for _, f := range factors {
+			if fc[f] == 0 {
+				continue
+			}
+			ck := childKey(key, f)
+			cps := s.prefixFor(ps, ck, f)
+			if cps.err != nil {
+				s.addErr(cps.err)
+				continue
+			}
+			fc[f]--
+			walk(cps, ck, placed+1)
+			fc[f]++
+		}
+	}
+	walk(s.rootPS, "", 0)
 }
 
 // buildPlan materializes the winning ordering from the shared prefix memos —

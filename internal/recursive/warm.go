@@ -1,0 +1,66 @@
+package recursive
+
+import "tofu/internal/topo"
+
+// WarmStep is one factor-to-level placement of a warm-start seed ordering
+// (see Options.WarmStart). The JSON form is what the serving layer's
+// neighbor index persists alongside cached plans.
+type WarmStep struct {
+	Factor int64 `json:"factor"`
+	Level  int   `json:"level"`
+}
+
+// WarmOrderFromSteps maps a neighboring plan's step sequence onto tp's
+// factor-to-level pool, producing a complete candidate ordering to seed the
+// branch-and-bound incumbent (Options.WarmStart). The neighbor typically
+// answered the same model on a different machine or worker count — Lemma 1
+// prices every step at original shapes, so the ordering that won there is a
+// strong first guess here, and "re-pricing" it is exactly what the seed
+// walk's prefix DP chain does on the requested topology.
+//
+// Each neighbor step claims the unused pool pair with the same factor whose
+// level index is nearest the neighbor's (ties to the inner level, then
+// canonical order); factors the pool does not owe are skipped, and whatever
+// the neighbor never placed follows in canonical order. The result is
+// always a valid permutation of the pool — identical machines round-trip
+// their own ordering exactly — and a poor mapping only costs search effort,
+// never plan quality: seeds cannot change the chosen plan.
+//
+// A nil return means tp has no ordering search to seed (flat or
+// single-pair machines).
+func WarmOrderFromSteps(tp topo.Topology, neighbor []WarmStep) []WarmStep {
+	pool := topoPool(tp)
+	if len(pool) <= 1 {
+		return nil
+	}
+	used := make([]bool, len(pool))
+	out := make([]WarmStep, 0, len(pool))
+	for _, ns := range neighbor {
+		best := -1
+		for i, fl := range pool {
+			if used[i] || fl.f != ns.Factor {
+				continue
+			}
+			if best < 0 || absInt(fl.level-ns.Level) < absInt(pool[best].level-ns.Level) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			out = append(out, WarmStep{Factor: pool[best].f, Level: pool[best].level})
+		}
+	}
+	for i, fl := range pool {
+		if !used[i] {
+			out = append(out, WarmStep{Factor: fl.f, Level: fl.level})
+		}
+	}
+	return out
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

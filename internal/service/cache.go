@@ -8,11 +8,15 @@ import (
 // Cache is a bounded LRU over serialized plans, keyed by request digest.
 // Values are the exact bytes a fresh search would serialize, so a cache hit
 // is byte-identical to a miss — the cache changes latency, never content.
+// It is bounded two ways: an entry cap and an optional byte budget over
+// len(value); crossing either evicts from the least recently used end.
 type Cache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64 // 0 = unlimited
+	bytes    int64
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
 }
 
 type cacheEntry struct {
@@ -20,12 +24,25 @@ type cacheEntry struct {
 	val    []byte
 }
 
-// NewCache returns an LRU holding at most capacity plans (minimum 1).
+// NewCache returns an LRU holding at most capacity plans (minimum 1) with
+// no byte budget.
 func NewCache(capacity int) *Cache {
+	return NewCacheBytes(capacity, 0)
+}
+
+// NewCacheBytes returns an LRU holding at most capacity plans (minimum 1)
+// and, when maxBytes > 0, at most maxBytes of plan payload. The most
+// recently inserted entry is never evicted by the byte budget — a single
+// oversized plan caches (and immediately bounds the cache to itself) rather
+// than thrashing uncacheably.
+func NewCacheBytes(capacity int, maxBytes int64) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &Cache{cap: capacity, maxBytes: maxBytes, order: list.New(), items: make(map[string]*list.Element)}
 }
 
 // Get returns the cached plan and promotes it to most recently used.
@@ -40,21 +57,33 @@ func (c *Cache) Get(digest string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// Put inserts (or refreshes) a plan, evicting the least recently used entry
-// when the cache is full.
+// Put inserts (or refreshes) a plan, evicting least recently used entries
+// while either bound is exceeded.
 func (c *Cache) Put(digest string, val []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[digest]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
 		c.order.MoveToFront(el)
+		c.evictLocked()
 		return
 	}
 	c.items[digest] = c.order.PushFront(&cacheEntry{digest: digest, val: val})
-	for c.order.Len() > c.cap {
+	c.bytes += int64(len(val))
+	c.evictLocked()
+}
+
+// evictLocked trims the LRU tail until both bounds hold (always keeping the
+// most recently used entry).
+func (c *Cache) evictLocked() {
+	for c.order.Len() > 1 && (c.order.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		last := c.order.Back()
+		e := last.Value.(*cacheEntry)
 		c.order.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).digest)
+		delete(c.items, e.digest)
+		c.bytes -= int64(len(e.val))
 	}
 }
 
@@ -63,6 +92,13 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Bytes reports the resident plan payload bytes (sum of len(value)).
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Keys lists resident digests from most to least recently used — the

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ManifestFormat names the fleet-manifest wire format ParseManifest accepts.
+const ManifestFormat = "tofu-fleet-manifest-v1"
+
+// Manifest declares the (model × machine) pairs a fleet expects to serve —
+// the speculative precompute sweeper's work list. The JSON form is the
+// -sweep file of tofu-serve.
+type Manifest struct {
+	Format string `json:"format"`
+	// Requests are ordinary partition requests; the sweeper drains them in
+	// order through idle queue capacity.
+	Requests []Request `json:"requests"`
+}
+
+// ParseManifest strictly decodes a fleet manifest: unknown fields, trailing
+// documents, a wrong format tag, invalid requests, and duplicate entries
+// (two requests normalizing to one digest) are all errors — a manifest
+// defect should fail daemon boot, not surface as a mysteriously idle
+// sweeper. The returned requests are normalized and parallel to their
+// digests.
+func ParseManifest(data []byte) ([]Request, []string, error) {
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, nil, fmt.Errorf("service: decoding manifest: %w", err)
+	}
+	if dec.More() {
+		return nil, nil, fmt.Errorf("service: trailing data after manifest")
+	}
+	if m.Format != ManifestFormat {
+		return nil, nil, fmt.Errorf("service: unknown manifest format %q (want %q)", m.Format, ManifestFormat)
+	}
+	if len(m.Requests) == 0 {
+		return nil, nil, fmt.Errorf("service: manifest declares no requests")
+	}
+	reqs := make([]Request, 0, len(m.Requests))
+	digests := make([]string, 0, len(m.Requests))
+	seen := make(map[string]int)
+	for i, r := range m.Requests {
+		nr, err := r.Normalize()
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: manifest request %d: %w", i, err)
+		}
+		d, err := nr.digestNormalized()
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: manifest request %d: %w", i, err)
+		}
+		if j, dup := seen[d]; dup {
+			return nil, nil, fmt.Errorf("service: manifest requests %d and %d are the same search (%s)", j, i, d)
+		}
+		seen[d] = i
+		reqs = append(reqs, nr)
+		digests = append(digests, d)
+	}
+	return reqs, digests, nil
+}

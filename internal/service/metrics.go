@@ -26,12 +26,26 @@ type Metrics struct {
 	inFlight  atomic.Int64 // searches running right now
 
 	// Ordering-search effort, summed over topology-aware searches: the
-	// candidate spaces seen, branch-and-bound nodes pruned, DP steps run,
-	// and the DP steps a flat enumeration would have run instead.
+	// candidate spaces seen, branch-and-bound nodes expanded (search
+	// steps) and pruned, DP steps run, the DP steps a flat enumeration
+	// would have run instead, and how many searches started from a
+	// neighbor-seeded incumbent.
 	searchOrderings   atomic.Int64
+	searchSteps       atomic.Int64
 	searchPruned      atomic.Int64
 	searchDPSteps     atomic.Int64
 	searchDPStepsFlat atomic.Int64
+	searchWarm        atomic.Int64
+
+	// Persistent-store serving path: requests answered from the store, and
+	// checksum-valid entries rejected by plan verification.
+	storeServed  atomic.Int64
+	storeBadPlan atomic.Int64
+
+	// Per-tenant quota rejections and speculative-sweep completions.
+	tenantRejected atomic.Int64
+	sweepDone      atomic.Int64
+	sweepFailed    atomic.Int64
 
 	mu  sync.Mutex
 	lat [latWindow]time.Duration
@@ -43,9 +57,13 @@ func (m *Metrics) observeOrderingSearch(st recursive.SearchStats) {
 		return // flat machine or topology-blind search
 	}
 	m.searchOrderings.Add(int64(st.Orderings))
+	m.searchSteps.Add(int64(st.Expanded))
 	m.searchPruned.Add(int64(st.Pruned))
 	m.searchDPSteps.Add(int64(st.DPSolves))
 	m.searchDPStepsFlat.Add(int64(st.FlatDPSolves))
+	if st.WarmStart {
+		m.searchWarm.Add(1)
+	}
 }
 
 func (m *Metrics) observeSearch(d time.Duration) {
@@ -89,6 +107,28 @@ type Snapshot struct {
 	QueueCap   int   `json:"queue_cap"`
 	CacheLen   int   `json:"cache_len"`
 	CacheCap   int   `json:"cache_cap"`
+	// CacheBytes is the LRU's resident payload; CacheBytesCap its byte
+	// budget (0 = entries-only bound).
+	CacheBytes    int64 `json:"cache_bytes"`
+	CacheBytesCap int64 `json:"cache_bytes_cap"`
+	// Store* report the persistent plan store (all zero when none is
+	// configured): entry reads served/missed/quarantined by the store
+	// itself, plus the service-level split — requests answered from store
+	// bytes, checksum-valid entries rejected by plan verification, and
+	// write-through failures.
+	StoreEnabled   bool  `json:"store_enabled"`
+	StorePuts      int64 `json:"store_puts"`
+	StoreHits      int64 `json:"store_hits"`
+	StoreMisses    int64 `json:"store_misses"`
+	StoreCorrupt   int64 `json:"store_corrupt"`
+	StoreServed    int64 `json:"store_served"`
+	StoreBadPlan   int64 `json:"store_bad_plan"`
+	StorePutErrors int64 `json:"store_put_errors"`
+	// TenantRejected counts per-tenant quota 429s (before global
+	// backpressure); Sweep* count speculative-precompute completions.
+	TenantRejected int64 `json:"tenant_rejected"`
+	SweepDone      int64 `json:"sweep_done"`
+	SweepFailed    int64 `json:"sweep_failed"`
 	// Pricing* report the cross-request pricing-reuse layer: resident model
 	// buckets, per-slot pricing hits vs builds across all searches, and
 	// bucket-level model hits vs creations.
@@ -99,12 +139,16 @@ type Snapshot struct {
 	PricingModelHits int64 `json:"pricing_model_hits"`
 	PricingModelMiss int64 `json:"pricing_model_misses"`
 	// Search* report cumulative topology-aware ordering-search effort: the
-	// candidate orderings examined, branch-and-bound nodes pruned, DP steps
-	// actually run, and what a flat enumeration would have cost.
+	// candidate orderings examined, branch-and-bound nodes expanded (search
+	// steps) and pruned, DP steps actually run, what a flat enumeration
+	// would have cost, and how many searches were warm-started from a
+	// neighboring cached plan.
 	SearchOrderings   int64   `json:"search_orderings"`
+	SearchSteps       int64   `json:"search_steps"`
 	SearchPruned      int64   `json:"search_pruned"`
 	SearchDPSteps     int64   `json:"search_dp_steps"`
 	SearchDPStepsFlat int64   `json:"search_dp_steps_flat"`
+	SearchWarmStarted int64   `json:"search_warm_started"`
 	SearchP50Ms       float64 `json:"search_p50_ms"`
 	SearchP99Ms       float64 `json:"search_p99_ms"`
 	UptimeSec         float64 `json:"uptime_sec"`

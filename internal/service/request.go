@@ -217,16 +217,18 @@ func ComputePlan(r Request, parallelism int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return computeNormalized(nr, digest, parallelism, nil, nil)
+	return computeWarm(nr, digest, parallelism, nil, nil, nil)
 }
 
-// computeNormalized is ComputePlan for a request the caller has already
+// computeWarm is ComputePlan for a request the caller has already
 // normalized and digested — the worker-pool hot path. pricing, when
-// non-nil, supplies the model's shared pricing cache (chosen plans are
-// byte-identical with or without it); stats, when non-nil, receives the
+// non-nil, supplies the model's shared pricing cache; warm, when non-nil,
+// seeds the branch-and-bound incumbent with a neighboring plan's ordering.
+// Chosen plans are byte-identical with or without either (seeds and caches
+// change search effort, never content); stats, when non-nil, receives the
 // ordering-search effort.
-func computeNormalized(nr Request, digest string, parallelism int,
-	pricing *dp.PriceCache, stats *recursive.SearchStats) ([]byte, error) {
+func computeWarm(nr Request, digest string, parallelism int,
+	pricing *dp.PriceCache, stats *recursive.SearchStats, warm []recursive.WarmStep) ([]byte, error) {
 
 	m, err := models.Build(nr.Model)
 	if err != nil {
@@ -236,6 +238,7 @@ func computeNormalized(nr Request, digest string, parallelism int,
 	opts.Search.Parallelism = parallelism
 	opts.Search.Cache = pricing
 	opts.Search.Stats = stats
+	opts.Search.WarmStart = warm
 	sum, err := core.Partition(m.G, nr.Workers, opts)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)

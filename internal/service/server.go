@@ -85,8 +85,14 @@ func (s *Service) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writePlan(w, digest, val, "cache")
 		return
 	}
-	job, kind, err := s.Submit(req, digest)
+	// The tenant header scopes quota accounting only — it never reaches the
+	// digest, so tenants share cache entries for identical requests.
+	job, kind, err := s.SubmitTenant(req, digest, r.Header.Get("Tofu-Tenant"))
 	switch {
+	case errors.Is(err, ErrTenantQuota):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -8,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"tofu/internal/plan"
 	"tofu/internal/recursive"
+	"tofu/internal/store"
 )
 
 // Errors the submission path reports; the HTTP layer maps them to status
@@ -17,6 +20,11 @@ var (
 	// ErrQueueFull is queue backpressure: the job queue is at capacity and
 	// the caller should retry later.
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrTenantQuota is per-tenant backpressure: this tenant already has its
+	// full quota of jobs queued or running, even though the global queue may
+	// have room. Checked before ErrQueueFull so one tenant's burst reads as
+	// its own 429, not everyone's.
+	ErrTenantQuota = errors.New("service: tenant over job quota")
 	// ErrShuttingDown rejects new work while in-flight jobs drain.
 	ErrShuttingDown = errors.New("service: shutting down")
 )
@@ -38,6 +46,10 @@ type Job struct {
 	id     string
 	digest string
 	req    Request
+	// tenant is the quota bucket holding a slot for this job ("" = none);
+	// sweep marks speculative-precompute work for the metrics split.
+	tenant string
+	sweep  bool
 
 	// done closes when the search finishes (either way); val/err are only
 	// read after done.
@@ -122,6 +134,19 @@ const maxRetainedJobs = 1024
 type Config struct {
 	// CacheSize bounds the plan LRU (entries; default 128).
 	CacheSize int
+	// CacheBytes additionally bounds the plan LRU's payload bytes
+	// (0 = entries-only).
+	CacheBytes int64
+	// Store, when set, layers a persistent content-addressed plan store
+	// under the LRU: misses fall through to it (bytes verified against the
+	// request digest before serving), finished searches write through to
+	// it, and its entries seed the warm-start neighbor index at boot.
+	// Replicas sharing one store directory serve each other's plans.
+	Store *store.Store
+	// TenantQuota bounds each tenant's queued-plus-running jobs
+	// (0 = no per-tenant limit). Tenants over quota get ErrTenantQuota
+	// before the global queue is consulted.
+	TenantQuota int
 	// Workers is the search worker-pool size (default: half of GOMAXPROCS,
 	// at least 1 — each search is itself parallel).
 	Workers int
@@ -180,24 +205,40 @@ type Service struct {
 	inflight map[string]*Job // digest -> the job every identical request joins
 	jobs     map[string]*Job // id -> job, finished jobs retained (bounded)
 	doneIDs  []string        // finished job ids, oldest first (retention ring)
+	tenants  map[string]int  // tenant -> queued-plus-running jobs
 	seq      int64
+
+	neighbors *neighborIndex
 
 	queue chan *Job
 	wg    sync.WaitGroup
 }
 
-// New starts a service and its worker pool.
+// New starts a service and its worker pool. A configured store is scanned
+// once here so the warm-start neighbor index starts with everything the
+// fleet already computed.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheSize),
-		pricing:  NewPricingCaches(cfg.PricingCacheSize),
-		metrics:  &Metrics{},
-		started:  time.Now(),
-		inflight: make(map[string]*Job),
-		jobs:     make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueDepth),
+		cfg:       cfg,
+		cache:     NewCacheBytes(cfg.CacheSize, cfg.CacheBytes),
+		pricing:   NewPricingCaches(cfg.PricingCacheSize),
+		metrics:   &Metrics{},
+		started:   time.Now(),
+		inflight:  make(map[string]*Job),
+		jobs:      make(map[string]*Job),
+		tenants:   make(map[string]int),
+		neighbors: newNeighborIndex(),
+		queue:     make(chan *Job, cfg.QueueDepth),
+	}
+	if cfg.Store != nil {
+		// Corrupt entries are quarantined inside the scan; a scan error
+		// (unreadable directory) degrades to an empty index, not a crash —
+		// the store is an accelerator, never a dependency.
+		_ = cfg.Store.Scan(func(meta store.Meta, _ []byte) error { //tofu:allow-errdrop boot scan is best-effort; the callback never errors
+			s.neighbors.add(meta.ModelDigest, meta.Digest, meta.Workers, warmStepsFromMeta(meta))
+			return nil
+		})
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -206,13 +247,34 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Lookup answers from the plan cache only.
+// Lookup answers from the warm layers: the in-memory LRU first, then the
+// persistent store (when configured). Store bytes are verified to answer
+// the digest — plan.ReadJSONExpect on top of the store's own checksum —
+// before being promoted into the LRU and served.
 func (s *Service) Lookup(digest string) ([]byte, bool) {
 	val, ok := s.cache.Get(digest)
 	if ok {
 		s.metrics.hits.Add(1)
+		return val, ok
 	}
-	return val, ok
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	meta, val, err := s.cfg.Store.Get(digest)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := plan.ReadJSONExpect(bytes.NewReader(val), digest); err != nil {
+		// Checksum-valid but not a plan answering this digest: a writer
+		// bug, not bit rot. Don't serve it; the search recomputes.
+		s.metrics.storeBadPlan.Add(1)
+		return nil, false
+	}
+	s.cache.Put(digest, val)
+	s.neighbors.add(meta.ModelDigest, meta.Digest, meta.Workers, warmStepsFromMeta(meta))
+	s.metrics.hits.Add(1)
+	s.metrics.storeServed.Add(1)
+	return val, true
 }
 
 // SubmitKind says how Submit resolved a request: a fresh search, a join
@@ -232,6 +294,19 @@ const (
 // ErrShuttingDown. The caller must have Normalized the request (digest must
 // be its Digest).
 func (s *Service) Submit(req Request, digest string) (job *Job, kind SubmitKind, err error) {
+	return s.submit(req, digest, "", false)
+}
+
+// SubmitTenant is Submit under a tenant's quota: when Config.TenantQuota is
+// set and the tenant already has that many jobs queued or running, the
+// submission is rejected with ErrTenantQuota — before the global queue is
+// consulted, so one tenant's burst cannot read as fleet-wide backpressure.
+// Joining an in-flight search is always free: the work already exists.
+func (s *Service) SubmitTenant(req Request, digest, tenant string) (job *Job, kind SubmitKind, err error) {
+	return s.submit(req, digest, tenant, false)
+}
+
+func (s *Service) submit(req Request, digest, tenant string, sweep bool) (job *Job, kind SubmitKind, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -248,11 +323,17 @@ func (s *Service) Submit(req Request, digest string) (job *Job, kind SubmitKind,
 		s.metrics.misses.Add(1)
 		return j, SubmitJoined, nil
 	}
+	if tenant != "" && s.cfg.TenantQuota > 0 && s.tenants[tenant] >= s.cfg.TenantQuota {
+		s.metrics.tenantRejected.Add(1)
+		return nil, SubmitNew, fmt.Errorf("%w (tenant %q, quota %d)", ErrTenantQuota, tenant, s.cfg.TenantQuota)
+	}
 	s.seq++
 	j := &Job{
 		id:      fmt.Sprintf("j%06d-%s", s.seq, shortDigest(digest)),
 		digest:  digest,
 		req:     req,
+		tenant:  tenant,
+		sweep:   sweep,
 		done:    make(chan struct{}),
 		state:   JobQueued,
 		created: time.Now(),
@@ -262,6 +343,9 @@ func (s *Service) Submit(req Request, digest string) (job *Job, kind SubmitKind,
 	default:
 		s.metrics.rejected.Add(1)
 		return nil, SubmitNew, ErrQueueFull
+	}
+	if tenant != "" {
+		s.tenants[tenant]++
 	}
 	s.inflight[digest] = j
 	s.jobs[j.id] = j
@@ -360,11 +444,18 @@ func (s *Service) run(j *Job) {
 	if compute == nil {
 		// The submission path already normalized the request and computed
 		// its digest; skip both on the worker. The search shares the
-		// model's pricing bucket across requests and reports its
-		// ordering-search effort into /metrics.
+		// model's pricing bucket across requests, seeds its incumbent from
+		// the best neighboring cached plan (same model, elsewhere in the
+		// fleet — seeds change search effort, never plan bytes), and
+		// reports its effort into /metrics.
 		compute = func(r Request) ([]byte, error) {
+			var warm []recursive.WarmStep
+			md, mdErr := modelDigest(r.Model)
+			if mdErr == nil && r.Topology != nil {
+				warm = s.neighbors.seedFor(md, j.digest, r.Workers, *r.Topology)
+			}
 			var st recursive.SearchStats
-			val, err := computeNormalized(r, j.digest, s.cfg.Parallelism, s.pricing.For(r.Model), &st)
+			val, err := computeWarm(r, j.digest, s.cfg.Parallelism, s.pricing.For(r.Model), &st, warm)
 			s.metrics.observeOrderingSearch(st)
 			return val, err
 		}
@@ -373,13 +464,28 @@ func (s *Service) run(j *Job) {
 	s.metrics.observeSearch(time.Since(start))
 	s.metrics.inFlight.Add(-1)
 
+	if err == nil {
+		s.persist(j, val)
+	}
+
 	s.mu.Lock()
 	j.val, j.err = val, err
 	if err == nil {
 		s.cache.Put(j.digest, val)
 		s.metrics.jobsDone.Add(1)
+		if j.sweep {
+			s.metrics.sweepDone.Add(1)
+		}
 	} else {
 		s.metrics.jobsFail.Add(1)
+		if j.sweep {
+			s.metrics.sweepFailed.Add(1)
+		}
+	}
+	if j.tenant != "" {
+		if s.tenants[j.tenant]--; s.tenants[j.tenant] <= 0 {
+			delete(s.tenants, j.tenant)
+		}
 	}
 	delete(s.inflight, j.digest)
 	s.retainFinishedLocked(j)
@@ -391,6 +497,32 @@ func (s *Service) run(j *Job) {
 		j.setState(JobFailed)
 	}
 	close(j.done)
+}
+
+// persist writes a finished plan through to the persistent store (when
+// configured) and feeds the warm-start neighbor index. Both are best-effort
+// accelerators: the parse guards against a Compute seam returning non-plan
+// bytes, and a store write failure costs the fleet a future recompute, not
+// this request.
+func (s *Service) persist(j *Job, val []byte) {
+	ex, err := plan.ReadJSON(bytes.NewReader(val))
+	if err != nil {
+		return
+	}
+	md, err := modelDigest(j.req.Model)
+	if err != nil {
+		return
+	}
+	s.neighbors.add(md, j.digest, ex.Workers, warmStepsFromExport(ex))
+	if s.cfg.Store == nil {
+		return
+	}
+	_ = s.cfg.Store.Put(store.Meta{ //tofu:allow-errdrop the store counts its own put failures; a failed write costs a future recompute, not this request
+		Digest:      j.digest,
+		ModelDigest: md,
+		Workers:     ex.Workers,
+		Steps:       storeStepsFromExport(ex),
+	}, val)
 }
 
 func (s *Service) retainFinishedLocked(j *Job) {
@@ -435,6 +567,10 @@ func (s *Service) Draining() bool {
 func (s *Service) Metrics() Snapshot {
 	p50, p99 := s.metrics.percentiles()
 	ph, pm, mh, mm := s.pricing.PricingStats()
+	var st store.Stats
+	if s.cfg.Store != nil {
+		st = s.cfg.Store.Stats()
+	}
 	return Snapshot{
 		Hits:              s.metrics.hits.Load(),
 		Misses:            s.metrics.misses.Load(),
@@ -447,6 +583,19 @@ func (s *Service) Metrics() Snapshot {
 		QueueCap:          s.cfg.QueueDepth,
 		CacheLen:          s.cache.Len(),
 		CacheCap:          s.cfg.CacheSize,
+		CacheBytes:        s.cache.Bytes(),
+		CacheBytesCap:     s.cfg.CacheBytes,
+		StoreEnabled:      s.cfg.Store != nil,
+		StorePuts:         st.Puts,
+		StoreHits:         st.Hits,
+		StoreMisses:       st.Misses,
+		StoreCorrupt:      st.Corrupt,
+		StoreServed:       s.metrics.storeServed.Load(),
+		StoreBadPlan:      s.metrics.storeBadPlan.Load(),
+		StorePutErrors:    st.PutErrors,
+		TenantRejected:    s.metrics.tenantRejected.Load(),
+		SweepDone:         s.metrics.sweepDone.Load(),
+		SweepFailed:       s.metrics.sweepFailed.Load(),
 		PricingModels:     s.pricing.Models(),
 		PricingModelCap:   s.cfg.PricingCacheSize,
 		PricingHits:       ph,
@@ -454,9 +603,11 @@ func (s *Service) Metrics() Snapshot {
 		PricingModelHits:  mh,
 		PricingModelMiss:  mm,
 		SearchOrderings:   s.metrics.searchOrderings.Load(),
+		SearchSteps:       s.metrics.searchSteps.Load(),
 		SearchPruned:      s.metrics.searchPruned.Load(),
 		SearchDPSteps:     s.metrics.searchDPSteps.Load(),
 		SearchDPStepsFlat: s.metrics.searchDPStepsFlat.Load(),
+		SearchWarmStarted: s.metrics.searchWarm.Load(),
 		SearchP50Ms:       p50.Seconds() * 1e3,
 		SearchP99Ms:       p99.Seconds() * 1e3,
 		UptimeSec:         time.Since(s.started).Seconds(),

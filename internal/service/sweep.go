@@ -1,0 +1,141 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Sweeper is the speculative precompute worker: it drains a fleet manifest
+// of (model × machine) pairs through the service's ordinary job queue, but
+// only when the service is completely idle — no queued and no running jobs
+// — and only one search at a time. User traffic therefore always wins: a
+// request arriving while a sweep search runs queues normally, and the
+// sweeper won't start another until the queue drains again. Plans it
+// precomputes land in the same cache, store, and neighbor index as
+// user-requested ones.
+type Sweeper struct {
+	svc      *Service
+	reqs     []Request
+	digests  []string
+	interval time.Duration
+
+	mu   sync.Mutex
+	done map[string]bool // digests answered or permanently failed
+
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// StartSweeper launches a sweeper over a parsed manifest (see
+// ParseManifest). interval is the idle-poll cadence (default 250ms). Stop
+// it before shutting the service down.
+func (s *Service) StartSweeper(reqs []Request, digests []string, interval time.Duration) *Sweeper {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	sw := &Sweeper{
+		svc:      s,
+		reqs:     reqs,
+		digests:  digests,
+		interval: interval,
+		done:     make(map[string]bool),
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	go sw.loop()
+	return sw
+}
+
+// Stop halts the sweeper and waits for its loop to exit. Any sweep search
+// already submitted keeps running; it is an ordinary job.
+func (sw *Sweeper) Stop() {
+	select {
+	case <-sw.stop:
+	default:
+		close(sw.stop)
+	}
+	<-sw.stopped
+}
+
+// Done reports how many manifest entries the sweeper has resolved (served
+// from cache, precomputed, or permanently failed) out of the total.
+func (sw *Sweeper) Done() (resolved, total int) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return len(sw.done), len(sw.reqs)
+}
+
+func (sw *Sweeper) isDone(d string) bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.done[d]
+}
+
+func (sw *Sweeper) markDone(d string) {
+	sw.mu.Lock()
+	sw.done[d] = true
+	sw.mu.Unlock()
+}
+
+func (sw *Sweeper) loop() {
+	defer close(sw.stopped)
+	t := time.NewTicker(sw.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sw.stop:
+			return
+		case <-t.C:
+		}
+		if !sw.svc.idle() {
+			continue
+		}
+		job := sw.submitNext()
+		if job == nil {
+			continue
+		}
+		// Wait for the sweep search so at most one runs; bail promptly on
+		// Stop (the job itself finishes on its own).
+		select {
+		case <-job.Done():
+		case <-sw.stop:
+			return
+		}
+	}
+}
+
+// idle reports whether the service has no queued and no running work — the
+// only state the sweeper is allowed to consume capacity in.
+func (s *Service) idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight) == 0 && len(s.queue) == 0 && s.metrics.inFlight.Load() == 0 && !s.closed
+}
+
+// submitNext submits the first unresolved manifest entry, marking entries
+// that are already cached (or stored) as resolved along the way. nil means
+// nothing was submitted this tick.
+func (sw *Sweeper) submitNext() *Job {
+	for i, d := range sw.digests {
+		if sw.isDone(d) {
+			continue
+		}
+		if _, ok := sw.svc.Lookup(d); ok {
+			sw.markDone(d)
+			continue
+		}
+		j, kind, err := sw.svc.submit(sw.reqs[i], d, "", true)
+		if err != nil {
+			// Queue raced busy (or shutdown): try again next idle tick.
+			return nil
+		}
+		if kind == SubmitCached {
+			sw.markDone(d)
+			continue
+		}
+		// Joined jobs count too: the answer is on its way.
+		sw.markDone(d)
+		return j
+	}
+	return nil
+}

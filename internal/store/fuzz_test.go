@@ -1,0 +1,54 @@
+package store_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tofu/internal/store"
+)
+
+// FuzzReadEntry drives the on-disk entry parser with arbitrary bytes.
+// Anything it accepts must satisfy the store's integrity contract — valid
+// digest-shaped key, checksummed payload — and must survive a re-serialize /
+// re-parse round trip with identical payload bytes (the byte-identity the
+// serving layer's store hits rely on). Seed corpus: a healthy entry plus
+// truncated, flipped and header-only corruptions under testdata/fuzz.
+func FuzzReadEntry(f *testing.F) {
+	good, err := store.AppendEntry(nil, store.Meta{
+		Digest:  "sha256:" + "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+		Workers: 8,
+		Steps:   []store.Step{{Factor: 2, Level: 0}, {Factor: 2, Level: 1}, {Factor: 2, Level: 1}},
+	}, []byte(`{"plan":"payload"}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	f.Add(bytes.ReplaceAll(good, []byte("payload"), []byte("payl0ad")))
+	f.Add([]byte(`{"format":"tofu-plan-store-v1"}` + "\n"))
+	f.Add([]byte("\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, payload, err := store.ReadEntry(data)
+		if err != nil {
+			return
+		}
+		if int64(len(payload)) != meta.PlanBytes || len(payload) == 0 {
+			t.Fatalf("accepted entry with payload/header length mismatch: %d vs %d",
+				len(payload), meta.PlanBytes)
+		}
+		out, err := store.AppendEntry(nil, meta, payload)
+		if err != nil {
+			t.Fatalf("accepted entry does not re-serialize: %v", err)
+		}
+		meta2, payload2, err := store.ReadEntry(out)
+		if err != nil {
+			t.Fatalf("re-serialized entry rejected: %v", err)
+		}
+		if !bytes.Equal(payload, payload2) {
+			t.Fatalf("payload changed across round trip")
+		}
+		if meta2.Digest != meta.Digest || meta2.PlanSHA256 != meta.PlanSHA256 {
+			t.Fatalf("identity changed across round trip: %+v vs %+v", meta, meta2)
+		}
+	})
+}

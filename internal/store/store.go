@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tofu/internal/plan"
+)
+
+// ErrNotFound reports a digest with no (healthy) entry on disk.
+var ErrNotFound = errors.New("store: entry not found")
+
+// Options tunes a Store.
+type Options struct {
+	// Fsync makes every Put durable before it becomes visible: the temp
+	// file is synced before the rename and the directory after it. Off by
+	// default — the store is a cache of recomputable artifacts, and a torn
+	// write is caught by the checksum and quarantined, so most deployments
+	// prefer the faster policy.
+	Fsync bool
+}
+
+// Store is a content-addressed plan store rooted at one directory: entry
+// files named <64 hex>.plan (the digest without its "sha256:" prefix),
+// written via temp-file-plus-rename so readers — including other replicas
+// sharing the directory — never observe a partial entry.
+type Store struct {
+	dir  string
+	opts Options
+
+	// Counters for the /metrics endpoint; quarantines also land here.
+	puts      atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	corrupt   atomic.Int64
+	putErrors atomic.Int64
+
+	// seq disambiguates concurrent temp files within one process; the PID
+	// in the name disambiguates across replicas sharing the directory.
+	seq atomic.Int64
+
+	// quarantineMu serializes quarantine renames so two readers hitting the
+	// same corrupt entry don't race each other's os.Rename.
+	quarantineMu sync.Mutex
+}
+
+// Open roots a store at dir, creating it if needed.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entryPath maps a digest to its entry file.
+func (s *Store) entryPath(digest string) (string, error) {
+	if err := plan.ValidateDigest(digest); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return filepath.Join(s.dir, strings.TrimPrefix(digest, plan.DigestPrefix)+".plan"), nil
+}
+
+// Put persists a plan under meta.Digest: serialize the entry, write it to a
+// private temp file in the same directory, then rename it into place.
+// Concurrent Puts of the same digest are idempotent — both write the same
+// bytes and the second rename atomically replaces the first.
+func (s *Store) Put(meta Meta, planBytes []byte) error {
+	path, err := s.entryPath(meta.Digest)
+	if err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	data, err := AppendEntry(nil, meta, planBytes)
+	if err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), s.seq.Add(1))
+	if err := s.writeFile(tmp, data); err != nil {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp) //tofu:allow-errdrop best-effort temp cleanup; the rename error is what matters
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Fsync {
+		if err := s.syncDir(); err != nil {
+			s.putErrors.Add(1)
+			return err
+		}
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+func (s *Store) writeFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()       //tofu:allow-errdrop the write error is being returned
+		_ = os.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the write error is what matters
+		return err
+	}
+	if s.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()       //tofu:allow-errdrop the sync error is being returned
+			_ = os.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the sync error is what matters
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the close error is what matters
+		return err
+	}
+	return nil
+}
+
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Get loads and verifies the entry for a digest. A missing entry returns
+// ErrNotFound; a corrupt one (torn write, checksum mismatch, wrong-digest
+// content) is quarantined to a .corrupt sibling and then reported as
+// ErrNotFound too — corruption costs a recompute, never an outage.
+func (s *Store) Get(digest string) (Meta, []byte, error) {
+	path, err := s.entryPath(digest)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.misses.Add(1)
+		return Meta{}, nil, ErrNotFound
+	}
+	if err != nil {
+		s.misses.Add(1)
+		return Meta{}, nil, fmt.Errorf("store: %w", err)
+	}
+	meta, payload, err := s.readVerified(path, data, digest)
+	if err != nil {
+		s.misses.Add(1)
+		return Meta{}, nil, err
+	}
+	s.hits.Add(1)
+	return meta, payload, nil
+}
+
+// readVerified parses an entry file's bytes and checks that it answers the
+// digest its filename promises, quarantining on any defect.
+func (s *Store) readVerified(path string, data []byte, digest string) (Meta, []byte, error) {
+	meta, payload, err := ReadEntry(data)
+	if err == nil && meta.Digest != digest {
+		err = fmt.Errorf("store: entry %s carries digest %s", filepath.Base(path), meta.Digest)
+	}
+	if err != nil {
+		s.quarantine(path)
+		return Meta{}, nil, fmt.Errorf("%w (quarantined: %v)", ErrNotFound, err)
+	}
+	return meta, payload, nil
+}
+
+// quarantine moves a corrupt entry aside so it is never re-read and never
+// silently deleted — operators can inspect it. Rename failures (e.g. the
+// other replica quarantined it first) are absorbed: the entry is already
+// out of the serving path either way.
+func (s *Store) quarantine(path string) {
+	s.corrupt.Add(1)
+	s.quarantineMu.Lock()
+	defer s.quarantineMu.Unlock()
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	dst := fmt.Sprintf("%s.corrupt.%d", path, s.seq.Add(1))
+	if err := os.Rename(path, dst); err != nil {
+		// Lost a race with another quarantiner or the file vanished; the
+		// next Get simply misses.
+		return
+	}
+}
+
+// Scan walks every entry in the store in digest order, verifying each and
+// quarantining corrupt ones, and calls fn with the healthy entries — the
+// boot-time path that rebuilds the in-memory neighbor index from a shared
+// directory. fn returning an error stops the scan.
+func (s *Store) Scan(fn func(Meta, []byte) error) error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.plan"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		base := strings.TrimSuffix(filepath.Base(path), ".plan")
+		digest := plan.DigestPrefix + base
+		if plan.ValidateDigest(digest) != nil {
+			// Not one of ours (temp files don't match the glob, but a
+			// stray file could); leave it alone.
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			// Raced with a concurrent quarantine or delete; skip.
+			continue
+		}
+		meta, payload, err := s.readVerified(path, data, digest)
+		if err != nil {
+			continue
+		}
+		if err := fn(meta, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats is the store's counter snapshot for /metrics.
+type Stats struct {
+	Puts      int64 `json:"store_puts"`
+	Hits      int64 `json:"store_hits"`
+	Misses    int64 `json:"store_misses"`
+	Corrupt   int64 `json:"store_corrupt"`
+	PutErrors int64 `json:"store_put_errors"`
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts:      s.puts.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		PutErrors: s.putErrors.Load(),
+	}
+}

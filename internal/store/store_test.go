@@ -1,0 +1,273 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func digestFor(b byte) string {
+	return "sha256:" + strings.Repeat(fmt.Sprintf("%02x", b), 32)
+}
+
+func testMeta(d string) Meta {
+	return Meta{
+		Digest:      d,
+		ModelDigest: strings.Repeat("ab", 32),
+		Workers:     16,
+		Steps:       []Step{{Factor: 2, Level: 0}, {Factor: 2, Level: 0}, {Factor: 2, Level: 1}, {Factor: 2, Level: 1}},
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	d := digestFor(1)
+	payload := []byte(`{"digest":"` + d + `"}` + "\n")
+	data, err := AppendEntry(nil, testMeta(d), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, got, err := ReadEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload changed across round trip: %q -> %q", payload, got)
+	}
+	if meta.Digest != d || meta.Workers != 16 || len(meta.Steps) != 4 {
+		t.Errorf("meta changed across round trip: %+v", meta)
+	}
+}
+
+func TestEntryRejectsCorruption(t *testing.T) {
+	d := digestFor(2)
+	payload := []byte("plan-bytes")
+	data, err := AppendEntry(nil, testMeta(d), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             nil,
+		"no-newline":        []byte(`{"format":"tofu-plan-store-v1"}`),
+		"truncated-payload": data[:len(data)-1],
+		"extended-payload":  append(append([]byte{}, data...), 'x'),
+		"flipped-byte": func() []byte {
+			c := append([]byte{}, data...)
+			c[len(c)-1] ^= 0xff
+			return c
+		}(),
+		"bad-format": []byte(`{"format":"nope","digest":"` + d + `","workers":1,"plan_sha256":"00","plan_bytes":1}` + "\nx"),
+		"bad-digest": []byte(`{"format":"tofu-plan-store-v1","digest":"sha256:xyz","workers":1,"plan_sha256":"00","plan_bytes":1}` + "\nx"),
+		"unknown-field": []byte(`{"format":"tofu-plan-store-v1","digest":"` + d +
+			`","workers":1,"plan_sha256":"00","plan_bytes":1,"extra":true}` + "\nx"),
+	}
+	for name, c := range cases {
+		if _, _, err := ReadEntry(c); err == nil {
+			t.Errorf("%s: corrupt entry accepted", name)
+		}
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := digestFor(3)
+	payload := []byte("the plan bytes")
+	if _, _, err := s.Get(d); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store Get: want ErrNotFound, got %v", err)
+	}
+	if err := s.Put(testMeta(d), payload); err != nil {
+		t.Fatal(err)
+	}
+	meta, got, err := s.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("Get returned %q, want %q", got, payload)
+	}
+	if meta.ModelDigest != strings.Repeat("ab", 32) {
+		t.Errorf("meta lost model digest: %+v", meta)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Errorf("stats %+v, want 1 put / 1 hit / 1 miss", st)
+	}
+	// No temp litter after a successful Put.
+	tmps, _ := filepath.Glob(filepath.Join(s.Dir(), "*.tmp.*"))
+	if len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}
+
+func TestStoreFsyncPolicy(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := digestFor(4)
+	if err := s.Put(testMeta(d), []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := s.Get(d); err != nil || string(got) != "durable" {
+		t.Fatalf("fsync store Get: %q, %v", got, err)
+	}
+}
+
+func TestStoreQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := digestFor(5)
+	if err := s.Put(testMeta(d), []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, strings.TrimPrefix(d, "sha256:")+".plan")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(d); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt Get: want ErrNotFound, got %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt entry still in serving path")
+	}
+	quarantined, _ := filepath.Glob(path + ".corrupt.*")
+	if len(quarantined) != 1 {
+		t.Errorf("want 1 quarantined file, found %v", quarantined)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt counter %d, want 1", st.Corrupt)
+	}
+	// The digest is recomputable: a fresh Put heals the slot.
+	if err := s.Put(testMeta(d), []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := s.Get(d); err != nil || string(got) != "good bytes" {
+		t.Fatalf("healed Get: %q, %v", got, err)
+	}
+}
+
+// TestStoreWrongDigestContent plants a valid entry under the wrong filename
+// — the content-addressing violation a misbehaving replica could produce —
+// and wants it quarantined, not served.
+func TestStoreWrongDigestContent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := AppendEntry(nil, testMeta(digestFor(6)), []byte("entry six"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := filepath.Join(dir, strings.TrimPrefix(digestFor(7), "sha256:")+".plan")
+	if err := os.WriteFile(wrong, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(digestFor(7)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("wrong-digest Get: want ErrNotFound, got %v", err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt counter %d, want 1", st.Corrupt)
+	}
+}
+
+func TestStoreScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := byte(10); b < 13; b++ {
+		if err := s.Put(testMeta(digestFor(b)), []byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One corrupt entry and one stray file must both be skipped.
+	bad := filepath.Join(dir, strings.Repeat("ff", 32)+".plan")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.plan"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	err = s.Scan(func(m Meta, payload []byte) error {
+		seen = append(seen, m.Digest)
+		if len(payload) != 1 {
+			t.Errorf("scan payload %q", payload)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("scan saw %v, want 3 healthy entries", seen)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] >= seen[i] {
+			t.Errorf("scan out of digest order: %v", seen)
+		}
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt counter %d, want 1 (the garbage entry)", st.Corrupt)
+	}
+}
+
+// TestStoreSharedDirReplicas is the fleet contract in miniature: two Store
+// handles (two "replicas") on one directory — and a third opened later (a
+// "restart") — all serve each other's writes, concurrently and race-free.
+func TestStoreSharedDirReplicas(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		d := digestFor(byte(20 + i))
+		go func() {
+			defer wg.Done()
+			if err := a.Put(testMeta(d), []byte(d)); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := b.Put(testMeta(d), []byte(d)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	restarted, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d := digestFor(byte(20 + i))
+		if _, got, err := restarted.Get(d); err != nil || string(got) != d {
+			t.Fatalf("replica read of %s: %q, %v", d, got, err)
+		}
+	}
+}

@@ -237,6 +237,47 @@ func Cluster8x2x8Topology() Topology {
 	}
 }
 
+// Cluster2x4x2x12Topology is the 192-GPU two-rack fleet point: per rack,
+// four dual-socket nodes with twelve GPUs per socket complex, racks joined
+// by an oversubscribed spine. The fourth (spine) level plus the mixed
+// factor pool (12 = 3·2·2 alongside the 2s and a 4) makes this the
+// deepest ordering space in the library — the regime the warm-started
+// branch-and-bound is aimed at.
+func Cluster2x4x2x12Topology() Topology {
+	hw := DefaultHW()
+	hw.NumGPUs = 192
+	return Topology{
+		Name: "cluster-2x4x2x12",
+		HW:   hw,
+		Levels: []Level{
+			{Name: "pcie", GroupSize: 12, Bandwidth: 21e9},
+			{Name: "qpi", GroupSize: 2, Bandwidth: 12e9},
+			{Name: "ethernet", GroupSize: 4, Bandwidth: 3.125e9, Network: true},
+			{Name: "spine", GroupSize: 2, Bandwidth: 1.25e9, Network: true},
+		},
+	}
+}
+
+// Cluster2x8x2x8Topology is the 256-GPU two-rack fleet point: per rack,
+// eight dual-socket 8-GPU nodes, racks joined by an oversubscribed spine.
+// Like cluster-2x4x2x12 it adds a fourth communication tier whose
+// bandwidth cliff (2.5x below rack Ethernet) rewards orderings the greedy
+// level-block heuristic misses.
+func Cluster2x8x2x8Topology() Topology {
+	hw := DefaultHW()
+	hw.NumGPUs = 256
+	return Topology{
+		Name: "cluster-2x8x2x8",
+		HW:   hw,
+		Levels: []Level{
+			{Name: "pcie", GroupSize: 8, Bandwidth: 21e9},
+			{Name: "qpi", GroupSize: 2, Bandwidth: 12e9},
+			{Name: "ethernet", GroupSize: 8, Bandwidth: 3.125e9, Network: true},
+			{Name: "spine", GroupSize: 2, Bandwidth: 1.25e9, Network: true},
+		},
+	}
+}
+
 // profiles is the library of named machines.
 var profiles = map[string]func() Topology{
 	"p2.8xlarge":     DefaultTopology,
@@ -246,6 +287,9 @@ var profiles = map[string]func() Topology{
 	"cluster-4x2x8":  Cluster4x2x8Topology,
 	"cluster-4x2x12": Cluster4x2x12Topology,
 	"cluster-8x2x8":  Cluster8x2x8Topology,
+
+	"cluster-2x4x2x12": Cluster2x4x2x12Topology,
+	"cluster-2x8x2x8":  Cluster2x8x2x8Topology,
 }
 
 // Profile returns a named topology from the library.
