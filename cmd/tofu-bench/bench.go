@@ -190,6 +190,21 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 	}
 	out.Benchmarks = append(out.Benchmarks, warmRows...)
 
+	// The joint hybrid-parallelism rows ride along in both modes (each gate
+	// profile completes in about a second): segment-memo dp.Solve counts vs
+	// the flat boundary enumeration, floored at 10x in runHybridRows itself.
+	hybridRows, hybridRegr, err := runHybridRows()
+	if err != nil {
+		return fmt.Errorf("hybrid rows: %w", err)
+	}
+	regressions = append(regressions, hybridRegr...)
+	for _, rec := range hybridRows {
+		fmt.Printf("%-28s %14.0f ns/op %12d B/op %10d allocs/op (dp %d vs flat %d, %.1fx)\n",
+			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp,
+			rec.DPSteps, rec.DPStepsFlat, float64(rec.DPStepsFlat)/float64(max(rec.DPSteps, 1)))
+	}
+	out.Benchmarks = append(out.Benchmarks, hybridRows...)
+
 	// The serve loadtest rides along. The throughput floor is enforced via
 	// the regression list below — after the artifact is written — so a slow
 	// run never discards the search measurements; only genuine failures

@@ -10,6 +10,8 @@
 //
 //	tofu-bench -exp serve [-serve-json BENCH_PR4.json] [-store DIR]
 //
+//	tofu-bench -exp hybrid [-hybrid-json BENCH_PR8.json] [-quick]
+//
 //	tofu-bench -bench-json BENCH.json [-bench-short] [-bench-baseline BENCH_CI.json]
 //
 // -exp serve is the closed-loop load generator for the tofu-serve layer: a
@@ -54,6 +56,8 @@ func main() {
 		"compare the benchmark run against this baseline JSON; exit non-zero on >20% ns/op or allocs/op regression")
 	serveJSON := flag.String("serve-json", "BENCH_PR4.json",
 		"where -exp serve records the loadtest numbers")
+	hybridJSON := flag.String("hybrid-json", "BENCH_PR8.json",
+		"where -exp hybrid records the joint-search effort counters and wall times")
 	serveStore := flag.String("store", "",
 		"plan store directory for -exp serve: adds the restart loadtest (replica A fills, dies; replica B serves warm) and the warm-start search rows")
 	cpuProfile := flag.String("cpuprofile", "",
@@ -105,6 +109,25 @@ func main() {
 			fatalf("serve: %v", err)
 		}
 		fmt.Println(out)
+		return
+	}
+
+	if *exp == "hybrid" {
+		out, err := runHybridExperiment(*hybridJSON)
+		fmt.Print(out)
+		if err != nil {
+			fatalf("hybrid: %v", err)
+		}
+		hopts := experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}
+		htopo, err := sim.ResolveTopology(*hwArg)
+		if err != nil {
+			fatal(err)
+		}
+		table, err := experiments.Hybrid(hopts, htopo)
+		if err != nil {
+			fatalf("hybrid: %v", err)
+		}
+		fmt.Println(table)
 		return
 	}
 

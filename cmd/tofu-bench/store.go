@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	"tofu/internal/models"
@@ -218,15 +219,35 @@ func runWarmStartRows() ([]BenchRecord, []string, error) {
 		for i, st := range p.Steps {
 			seed[i] = recursive.WarmStep{Factor: st.K, Level: st.Level}
 		}
+		// The warm search runs under testing.Benchmark so the row carries real
+		// timed iterations: without ns_per_op and a nonzero iteration count the
+		// >20% wall-clock regression gate silently skips these rows. The step
+		// counters are deterministic, so reading them after the last iteration
+		// loses nothing.
 		var warm recursive.SearchStats
-		if _, err := recursive.Partition(m.G, k, recursive.Options{
-			Topology: &tp, Parallelism: 1, Stats: &warm,
-			WarmStart: recursive.WarmOrderFromSteps(tp, seed),
-		}); err != nil {
-			return nil, nil, fmt.Errorf("%s: warm: %w", c.prof, err)
+		warmSeed := recursive.WarmOrderFromSteps(tp, seed)
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := recursive.Partition(m.G, k, recursive.Options{
+					Topology: &tp, Parallelism: 1, Stats: &warm,
+					WarmStart: warmSeed,
+				}); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, nil, fmt.Errorf("%s: warm: %w", c.prof, benchErr)
 		}
 		rec := BenchRecord{
 			Name:            fmt.Sprintf("warm-start/%s@%d/%s", c.prof, k, c.cfg),
+			NsPerOp:         float64(r.NsPerOp()),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			AllocsPerOp:     r.AllocsPerOp(),
+			Iterations:      r.N,
 			SearchSteps:     int64(cold.Expanded),
 			SearchStepsWarm: int64(warm.Expanded),
 			DPSteps:         int64(warm.DPSolves),

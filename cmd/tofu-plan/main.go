@@ -37,6 +37,14 @@ func main() {
 	hwArg := flag.String("hw", "",
 		"hardware profile name or topology JSON file; overrides -workers with the machine's GPU count "+
 			"and makes the search topology-aware on hierarchical machines")
+	pipeline := flag.Bool("pipeline", false,
+		"joint hybrid-parallelism search: pipeline stages across a slow interconnect level with the "+
+			"partition DP inside each stage (requires a hierarchical -hw)")
+	pipelineLevel := flag.Int("pipeline-level", 0,
+		"interconnect level the pipeline stages straddle (0 = search all levels); implies -pipeline when set")
+	microBatches := flag.Int("micro-batches", 0,
+		"micro-batch count for pipelined simulation (0 = one per stage when the batch divides); "+
+			"never changes the chosen plan")
 	flag.Parse()
 
 	cfg := tofu.ModelConfig{Family: *family, Depth: *depth, Width: *width, Batch: *batch}
@@ -60,6 +68,9 @@ func main() {
 		}
 		popts.Topology = &topo
 		*workers = int64(topo.NumGPUs())
+	}
+	if *pipeline || *pipelineLevel > 0 {
+		popts.Pipeline = &tofu.PipelineSpec{Level: *pipelineLevel, MicroBatches: *microBatches}
 	}
 	s, err := tofu.PartitionWithOptions(m.G, *workers, popts)
 	if err != nil {
@@ -94,6 +105,18 @@ func main() {
 			st.Orderings, st.Leaves, st.Expanded, st.Pruned)
 		fmt.Printf("  dp steps: %d shared+pruned vs %d flat enumeration (%.1fx less), %d bound queries\n",
 			st.DPSolves, st.FlatDPSolves, float64(st.FlatDPSolves)/float64(max(st.DPSolves, 1)), st.LBQueries)
+	}
+	if h := s.Hybrid; h != nil {
+		st := h.Stats
+		fmt.Printf("hybrid search: level %d, %d stages of %d workers (%d boundary sets, %d costed, %d pruned)\n",
+			h.Level, len(h.Stages), h.Stages[0].Workers, st.BoundarySets, st.Leaves, st.Pruned)
+		fmt.Printf("  dp solves: %d memoized+pruned vs %d flat enumeration (%.1fx less), %d bound queries\n",
+			st.DPSolves, st.FlatDPSolves,
+			float64(st.FlatDPSolves)/float64(max(st.DPSolves, 1)), st.LBQueries)
+		for i, stg := range h.Stages {
+			fmt.Printf("  stage %d: groups [%d,%d), %d steps, hand-off %.2f MB\n",
+				i, stg.Groups[0], stg.Groups[1], len(stg.Plan.Steps), stg.HandoffBytes/(1<<20))
+		}
 	}
 	fmt.Printf("plan: %d recursive steps, total communication %.2f GB/iteration\n",
 		len(s.Plan.Steps), s.Plan.TotalComm()/(1<<30))

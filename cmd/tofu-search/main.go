@@ -34,6 +34,9 @@ func main() {
 		"measure the model from this canonical config JSON file (- for stdin) instead of the paper pair")
 	hwArg := flag.String("hw", "p2.8xlarge",
 		"hardware profile name or topology JSON file (see tofu.TopologyProfiles)")
+	pipeline := flag.Bool("pipeline", false,
+		"also run the joint hybrid-parallelism benchmark: pipeline stages x partition DP "+
+			"against tensor-only search on the hierarchical cluster profiles")
 	flag.Parse()
 
 	topo, err := sim.ResolveTopology(*hwArg)
@@ -59,6 +62,14 @@ func main() {
 	// effort next to Table 1's timings.
 	if topo.Hierarchical() {
 		out, err := experiments.Orderings(opts, topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	if *pipeline {
+		out, err := experiments.Hybrid(opts, topo)
 		if err != nil {
 			log.Fatal(err)
 		}

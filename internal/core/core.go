@@ -13,6 +13,7 @@ import (
 	"tofu/internal/coarsen"
 	"tofu/internal/graph"
 	"tofu/internal/graphgen"
+	"tofu/internal/hybrid"
 	"tofu/internal/memplan"
 	"tofu/internal/plan"
 	"tofu/internal/recursive"
@@ -30,6 +31,24 @@ type Options struct {
 	// Topology overrides the simulated machine (DefaultTopology when nil)
 	// and, when hierarchical, switches the search into topology-aware mode.
 	Topology *sim.Topology
+	// Pipeline, when non-nil, switches Partition into the joint
+	// hybrid-parallelism search: pipeline stages across a slow interconnect
+	// level, the partition DP inside each stage. Requires a hierarchical
+	// Topology whose GPU count equals the worker count.
+	Pipeline *PipelineSpec
+}
+
+// PipelineSpec requests hybrid (pipeline x partition) search.
+type PipelineSpec struct {
+	// Level is the interconnect level the stages straddle (0 = search all).
+	Level int
+	// MicroBatches divides the batch for pipelined simulation (0 = one
+	// micro-batch per stage when the batch divides evenly, else 1). The
+	// chosen plan does not depend on it.
+	MicroBatches int
+	// Exhaustive disables branch-and-bound pruning (differential oracle;
+	// plans are byte-identical either way).
+	Exhaustive bool
 }
 
 // SetHW is the flat-machine compatibility setter: it wraps an HW into a
@@ -65,6 +84,11 @@ type Summary struct {
 	// Search reports the topology-aware ordering search's effort (zero for
 	// flat machines and topology-blind searches).
 	Search recursive.SearchStats
+	// Hybrid is the joint pipeline-and-partition result when Options.Pipeline
+	// requested one: per-stage plans and execution structures. Plan then
+	// holds the combined stage-annotated plan, Sharded is nil (execution is
+	// per stage), and Memory is the worst stage's footprint.
+	Hybrid *hybrid.Result
 	// Frontier is the coarsened graph's maximum DP frontier width.
 	Frontier int
 	// Groups and Vars describe the coarsened search space.
@@ -79,6 +103,9 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 	co, err := coarsen.Coarsen(g)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Pipeline != nil {
+		return partitionHybrid(g, k, co, opts)
 	}
 	search := opts.Search
 	if search.Topology == nil && opts.Topology != nil && int64(opts.Topology.NumGPUs()) == k {
@@ -121,11 +148,114 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 	}, nil
 }
 
+// partitionHybrid is the Options.Pipeline branch of Partition: the joint
+// search stages the graph across a slow interconnect level and partitions
+// within each stage.
+func partitionHybrid(g *graph.Graph, k int64, co *coarsen.Coarse, opts Options) (*Summary, error) {
+	if opts.Search.StrategyFilter != nil || opts.Search.Factors != nil || opts.Search.TopologyNaive {
+		return nil, fmt.Errorf("core: pipeline search does not compose with strategy filters, explicit factors or naive ordering")
+	}
+	if opts.Topology == nil {
+		return nil, fmt.Errorf("core: pipeline search needs a hierarchical topology")
+	}
+	var st hybrid.Stats
+	start := time.Now()
+	res, err := hybrid.Partition(g, k, hybrid.Options{
+		Topology:    opts.Topology,
+		Level:       opts.Pipeline.Level,
+		DType:       opts.Search.DType,
+		MaxStates:   opts.Search.MaxStates,
+		Parallelism: opts.Search.Parallelism,
+		Gen:         opts.Gen,
+		Cache:       opts.Search.Cache,
+		Exhaustive:  opts.Pipeline.Exhaustive,
+		Stats:       &st,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	s := &Summary{
+		Plan:       res.Plan,
+		Hybrid:     res,
+		SearchTime: elapsed,
+		Frontier:   co.MaxFrontier(),
+		Groups:     len(co.Groups),
+		Vars:       len(co.Vars),
+	}
+	// Memory is per-GPU: the worst stage's footprint bounds the machine.
+	for _, stg := range res.Stages {
+		rep := memplan.Plan(stg.Sharded, opts.Mem)
+		if rep.PeakBytes > s.Memory.PeakBytes {
+			s.Memory = rep
+		}
+	}
+	return s, nil
+}
+
 // Simulate runs one training iteration of the partitioned graph on the
 // simulated machine and reports timing, throughput and memory. RunOptions
 // are forwarded to the simulator instead of silently passing the zero value
 // (DisableComm for compute-only breakdowns, Replicas for data-parallel
-// baselines).
+// baselines). Hybrid summaries route through the pipelined model with a
+// guaranteed-feasible micro-batch count (an explicit infeasible
+// Options.Pipeline.MicroBatches falls back to 1; SimulatePipeline is the
+// strict variant).
 func Simulate(s *Summary, batch int64, opts Options, ro sim.RunOptions) sim.Result {
+	if s.Hybrid != nil {
+		m := 0
+		if opts.Pipeline != nil {
+			m = opts.Pipeline.MicroBatches
+		}
+		if m < 1 || int64(m) > batch || batch%int64(m) != 0 {
+			m = defaultMicroBatches(batch, len(s.Hybrid.Stages))
+		}
+		r, err := simulatePipeline(s, batch, m, opts, ro)
+		if err != nil {
+			// Unreachable: m was normalized feasible and the stages carry
+			// their execution structures.
+			return sim.Result{}
+		}
+		return r
+	}
 	return sim.Run(s.Sharded, opts.topology(), batch, opts.Mem, ro)
+}
+
+// SimulatePipeline prices a hybrid summary's pipelined execution with the
+// requested micro-batch count (Options.Pipeline.MicroBatches; 0 picks
+// defaultMicroBatches). Unlike Simulate it rejects infeasible splits.
+func SimulatePipeline(s *Summary, batch int64, opts Options, ro sim.RunOptions) (sim.Result, error) {
+	if s.Hybrid == nil {
+		return sim.Result{}, fmt.Errorf("core: summary has no pipeline stages")
+	}
+	m := 0
+	if opts.Pipeline != nil {
+		m = opts.Pipeline.MicroBatches
+	}
+	if m == 0 {
+		m = defaultMicroBatches(batch, len(s.Hybrid.Stages))
+	}
+	return simulatePipeline(s, batch, m, opts, ro)
+}
+
+func simulatePipeline(s *Summary, batch int64, microBatches int, opts Options, ro sim.RunOptions) (sim.Result, error) {
+	stages := make([]sim.PipelineStage, len(s.Hybrid.Stages))
+	for i, stg := range s.Hybrid.Stages {
+		stages[i] = sim.PipelineStage{
+			Sharded:          stg.Sharded,
+			Topo:             stg.Topo,
+			HandoffBytes:     stg.HandoffBytes,
+			HandoffBandwidth: stg.HandoffBandwidth,
+		}
+	}
+	return sim.RunPipelineStages(stages, batch, microBatches, opts.Mem, ro)
+}
+
+// defaultMicroBatches picks one micro-batch per stage when the batch splits
+// evenly, else the whole batch at once — always feasible.
+func defaultMicroBatches(batch int64, stages int) int {
+	if stages >= 1 && int64(stages) <= batch && batch%int64(stages) == 0 {
+		return stages
+	}
+	return 1
 }

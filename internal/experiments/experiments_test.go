@@ -115,3 +115,15 @@ func TestAblationsQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestHybridQuick(t *testing.T) {
+	out, err := Hybrid(quick(), sim.DefaultTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"cluster-2x8", "cluster-4x2x8", "dp steps", "hybrid s/iter", "stages"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Hybrid missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package graph
+
+import "fmt"
+
+// Subgraphed is the result of extracting an induced subgraph: the new graph
+// plus the identity maps back into the original. Cross-boundary tensors —
+// consumed inside but produced outside, or produced inside for outside
+// consumers — appear as producer-less clones (activations and gradients
+// become Input-kind feeds; weights, inputs and optimizer state keep their
+// kind), so the extraction is a closed, valid graph whose shapes and dtypes
+// match the original tensor-for-tensor.
+type Subgraphed struct {
+	G *Graph
+	// TensorID maps a subgraph tensor ID to the original tensor's ID.
+	TensorID []int
+	// NodeID maps a subgraph node ID to the original node's ID.
+	NodeID []int
+}
+
+// Subgraph extracts the induced subgraph over a node keep-set, preserving
+// construction (topological) order: kept nodes are cloned in ascending
+// original ID order, so the clone satisfies the same producers-before-
+// consumers invariant Topo verifies. GradOf/Grad and FwdOf links survive
+// only when both endpoints are kept; control dependencies on dropped nodes
+// are dropped with them. The hybrid pipeline search uses this to solve each
+// contiguous stage of the coarsened graph as a standalone partition problem.
+func (g *Graph) Subgraph(keep func(*Node) bool) (*Subgraphed, error) {
+	sub := &Subgraphed{G: NewWithRegistry(g.registry)}
+	tmap := make([]*Tensor, len(g.Tensors)) // original tensor ID -> clone
+	nmap := make([]*Node, len(g.Nodes))     // original node ID -> clone
+
+	// cloneTensor materializes a tensor into the subgraph. producerKept
+	// reports whether the producing node (if any) is part of the keep-set;
+	// when it is not, the clone is an external feed: produced values arrive
+	// as Input-kind tensors, parameters and state keep their kind.
+	cloneTensor := func(t *Tensor, producerKept bool) *Tensor {
+		kind := t.Kind
+		// Only a severed producer demotes the clone to a feed; tensors that
+		// were producer-less to begin with (inputs, seeds) keep their kind.
+		if t.Producer != nil && !producerKept && (kind == Activation || kind == Gradient) {
+			kind = Input
+		}
+		ct := sub.G.NewTensor(t.Name, kind, t.Shape, t.DType)
+		ct.DType = t.DType
+		tmap[t.ID] = ct
+		sub.TensorID = append(sub.TensorID, t.ID)
+		return ct
+	}
+
+	for _, n := range g.Nodes {
+		if !keep(n) {
+			continue
+		}
+		inputs := make([]*Tensor, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ct := tmap[in.ID]
+			if ct == nil {
+				ct = cloneTensor(in, in.Producer != nil && nmap[in.Producer.ID] != nil)
+			}
+			inputs[i] = ct
+		}
+		if tmap[n.Output.ID] != nil {
+			// A consumer saw this tensor before its producer ran — the
+			// original graph would have failed Topo the same way.
+			return nil, fmt.Errorf("graph: subgraph node %v produces already-extracted tensor %v", n, n.Output)
+		}
+		out := cloneTensor(n.Output, true)
+		cn := &Node{
+			ID:        sub.G.nextNodeID,
+			Op:        n.Op,
+			Attrs:     n.Attrs,
+			Inputs:    inputs,
+			Output:    out,
+			GradAgg:   n.GradAgg,
+			InPlace:   n.InPlace,
+			UnrollTag: n.UnrollTag,
+			Timestep:  n.Timestep,
+		}
+		sub.G.nextNodeID++
+		out.Producer = cn
+		for _, in := range inputs {
+			in.Consumers = append(in.Consumers, cn)
+		}
+		if n.FwdOf != nil && nmap[n.FwdOf.ID] != nil {
+			cn.FwdOf = nmap[n.FwdOf.ID]
+		}
+		for _, d := range n.CtrlDeps {
+			if cd := nmap[d.ID]; cd != nil {
+				cn.CtrlDeps = append(cn.CtrlDeps, cd)
+			}
+		}
+		nmap[n.ID] = cn
+		sub.NodeID = append(sub.NodeID, n.ID)
+		sub.G.Nodes = append(sub.G.Nodes, cn)
+	}
+
+	// Gradient pairing survives when both tensors were extracted — the
+	// coarsening pass reads it to group forward and backward operators.
+	for subID, origID := range sub.TensorID {
+		ot := g.Tensors[origID]
+		ct := sub.G.Tensors[subID]
+		if ot.GradOf != nil && tmap[ot.GradOf.ID] != nil {
+			ct.GradOf = tmap[ot.GradOf.ID]
+		}
+		if ot.Grad != nil && tmap[ot.Grad.ID] != nil {
+			ct.Grad = tmap[ot.Grad.ID]
+		}
+	}
+	if err := sub.G.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: extracted subgraph invalid: %w", err)
+	}
+	return sub, nil
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"testing"
+
+	"tofu/internal/shape"
+)
+
+// buildTwoLayer builds a two-layer MLP with backward pass, so the graph has
+// activations, gradients and weight updates to slice through.
+func buildTwoLayer(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	x := g.Input("x", shape.Of(32, 64))
+	w1 := g.Weight("w1", shape.Of(64, 128))
+	w2 := g.Weight("w2", shape.Of(128, 16))
+	h := g.Apply("matmul", nil, x, w1)
+	h = g.Apply("relu", nil, h)
+	out := g.Apply("matmul", nil, h, w2)
+	seed := g.NewTensor("dout", Activation, out.Shape, shape.Float32)
+	if err := g.Backward(map[*Tensor]*Tensor{out: seed}, AutodiffOptions{InPlaceAgg: true}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSubgraphWholeGraphIdentity(t *testing.T) {
+	g := buildTwoLayer(t)
+	sub, err := g.Subgraph(func(*Node) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.G.Nodes) != len(g.Nodes) {
+		t.Fatalf("kept %d of %d nodes", len(sub.G.Nodes), len(g.Nodes))
+	}
+	if len(sub.G.Tensors) != len(g.Tensors) {
+		t.Fatalf("kept %d of %d tensors", len(sub.G.Tensors), len(g.Tensors))
+	}
+	for i, n := range sub.G.Nodes {
+		orig := g.Nodes[sub.NodeID[i]]
+		if n.Op != orig.Op || len(n.Inputs) != len(orig.Inputs) {
+			t.Fatalf("node %d: op %q/%d inputs, original %q/%d", i, n.Op, len(n.Inputs), orig.Op, len(orig.Inputs))
+		}
+	}
+	for i, ct := range sub.G.Tensors {
+		ot := g.Tensors[sub.TensorID[i]]
+		if !ct.Shape.Equal(ot.Shape) || ct.DType != ot.DType || ct.Kind != ot.Kind {
+			t.Fatalf("tensor %d: %v/%v/%v, original %v/%v/%v",
+				i, ct.Shape, ct.DType, ct.Kind, ot.Shape, ot.DType, ot.Kind)
+		}
+	}
+}
+
+func TestSubgraphPrefixCut(t *testing.T) {
+	g := buildTwoLayer(t)
+	// Keep the first half of the nodes (a topological prefix).
+	cut := len(g.Nodes) / 2
+	sub, err := g.Subgraph(func(n *Node) bool { return n.ID < cut })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.G.Nodes) != cut {
+		t.Fatalf("kept %d nodes, want %d", len(sub.G.Nodes), cut)
+	}
+	if err := sub.G.Validate(); err != nil {
+		t.Fatalf("extracted prefix invalid: %v", err)
+	}
+	if _, err := sub.G.Topo(); err != nil {
+		t.Fatalf("extracted prefix breaks topological order: %v", err)
+	}
+	// Every ID map entry must point at a matching original.
+	for i, origID := range sub.TensorID {
+		if !sub.G.Tensors[i].Shape.Equal(g.Tensors[origID].Shape) {
+			t.Fatalf("tensor map %d -> %d shape mismatch", i, origID)
+		}
+	}
+}
+
+func TestSubgraphSuffixFeedsBecomeInputs(t *testing.T) {
+	g := buildTwoLayer(t)
+	// Keep the second half: activations produced by the dropped prefix must
+	// arrive as producer-less Input feeds; weights keep their kind.
+	cut := len(g.Nodes) / 2
+	sub, err := g.Subgraph(func(n *Node) bool { return n.ID >= cut })
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds, weights := 0, 0
+	for i, ct := range sub.G.Tensors {
+		ot := g.Tensors[sub.TensorID[i]]
+		if ct.Producer != nil {
+			if ot.Kind != ct.Kind {
+				t.Fatalf("produced tensor %q changed kind %v -> %v", ct.Name, ot.Kind, ct.Kind)
+			}
+			continue
+		}
+		switch ot.Kind {
+		case Activation, Gradient:
+			if ot.Producer == nil {
+				// Producer-less in the original too (the autodiff seed):
+				// stays what it was.
+				if ct.Kind != ot.Kind {
+					t.Fatalf("original feed %q changed kind %v -> %v", ct.Name, ot.Kind, ct.Kind)
+				}
+				continue
+			}
+			if ct.Kind != Input {
+				t.Fatalf("cross-boundary %v %q kept kind %v", ot.Kind, ct.Name, ct.Kind)
+			}
+			feeds++
+		case Weight:
+			if ct.Kind != Weight {
+				t.Fatalf("weight %q became %v", ct.Name, ct.Kind)
+			}
+			weights++
+		}
+	}
+	if feeds == 0 {
+		t.Error("no cross-boundary feeds found; cut did not sever the graph")
+	}
+	if weights == 0 {
+		t.Error("no weights in the suffix")
+	}
+}
+
+func TestSubgraphEmptyAndErrors(t *testing.T) {
+	g := buildTwoLayer(t)
+	sub, err := g.Subgraph(func(*Node) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.G.Nodes) != 0 || len(sub.G.Tensors) != 0 {
+		t.Fatalf("empty keep-set extracted %d nodes, %d tensors", len(sub.G.Nodes), len(sub.G.Tensors))
+	}
+}

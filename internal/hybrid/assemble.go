@@ -1,0 +1,115 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"tofu/internal/graph"
+	"tofu/internal/graphgen"
+	"tofu/internal/partition"
+	"tofu/internal/plan"
+	"tofu/internal/shape"
+)
+
+// assemble materializes the winning boundary set: per-stage execution
+// structures plus one combined stage-annotated plan in full-graph IDs, with
+// per-stage multipliers restarting at 1 (each stage's kSub workers divide
+// only that stage's tensors).
+func (s *search) assemble(ls *levelState, set []int) (*Result, error) {
+	L := len(s.c.Groups)
+	bounds := make([]int, 0, ls.S+1)
+	bounds = append(bounds, 0)
+	bounds = append(bounds, set...)
+	bounds = append(bounds, L)
+
+	res := &Result{Level: ls.level, Cost: ls.bestCost}
+	combined := &plan.Plan{
+		K:           ls.kSub * int64(ls.S),
+		FinalShapes: make(map[int]shape.Shape),
+	}
+	info := &plan.PipelineInfo{Level: ls.level}
+	for si := 0; si+1 < len(bounds); si++ {
+		lo, hi := bounds[si], bounds[si+1]
+		sg := ls.segment(lo, hi)
+		if sg.err != nil {
+			// Unreachable: the winning set's segments all solved feasibly.
+			return nil, sg.err
+		}
+		sub := s.subs[segKey{lo, hi}]
+		sh, err := graphgen.Generate(sub.G, sg.plan, s.opts.Gen)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: stage %d graph generation: %w", si, err)
+		}
+		hb, hbw := 0.0, 0.0
+		if hi < L {
+			hb = s.xb[hi]
+			hbw = ls.bw[si+1]
+		}
+		res.Stages = append(res.Stages, Stage{
+			Groups:           [2]int{lo, hi},
+			Workers:          ls.kSub,
+			Topo:             ls.subTopo,
+			G:                sub.G,
+			Sub:              sub,
+			Plan:             sg.plan,
+			Sharded:          sh,
+			HandoffBytes:     hb,
+			HandoffBandwidth: hbw,
+		})
+		info.Stages = append(info.Stages, plan.StageInfo{
+			Groups:       [2]int{lo, hi},
+			Workers:      ls.kSub,
+			HandoffBytes: hb,
+		})
+		for _, st := range sg.plan.Steps {
+			combined.Steps = append(combined.Steps,
+				remapStep(st, sub, len(s.g.Tensors), len(s.g.Nodes), si))
+		}
+		// A tensor touched by several stages (a shared weight) keeps its
+		// earliest stage's shard shape — FinalShapes on the combined plan is
+		// informational; execution reads the per-stage plans.
+		for tid, origID := range sub.TensorID {
+			if _, ok := combined.FinalShapes[origID]; ok {
+				continue
+			}
+			if fs, ok := sg.plan.FinalShapes[tid]; ok {
+				combined.FinalShapes[origID] = fs.Clone()
+			}
+		}
+	}
+	combined.Pipeline = info
+	res.Plan = combined
+	return res, nil
+}
+
+// remapStep lifts one stage-local step into full-graph IDs through the
+// extraction's identity maps. Tensors and nodes outside the stage stay
+// uncut/strategy-less, exactly like tensors a flat step never references.
+func remapStep(st *plan.Step, sub *graph.Subgraphed, nTensors, nNodes, stage int) *plan.Step {
+	out := &plan.Step{
+		K:          st.K,
+		Multiplier: st.Multiplier,
+		CommBytes:  st.CommBytes,
+		Level:      st.Level,
+		States:     st.States,
+		Configs:    st.Configs,
+		Stage:      stage,
+		TensorCut:  make([]int, nTensors),
+		OpStrategy: make([]partition.Strategy, nNodes),
+		OpComm:     make([]partition.Parts, nNodes),
+	}
+	for i := range out.TensorCut {
+		out.TensorCut[i] = -1
+	}
+	for tid, d := range st.TensorCut {
+		if d >= 0 {
+			out.TensorCut[sub.TensorID[tid]] = d
+		}
+	}
+	for nid := range st.OpStrategy {
+		out.OpStrategy[sub.NodeID[nid]] = st.OpStrategy[nid]
+	}
+	for nid := range st.OpComm {
+		out.OpComm[sub.NodeID[nid]] = st.OpComm[nid]
+	}
+	return out
+}

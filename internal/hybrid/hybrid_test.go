@@ -1,0 +1,253 @@
+package hybrid_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tofu/internal/hybrid"
+	"tofu/internal/models"
+	"tofu/internal/plan"
+	"tofu/internal/topo"
+)
+
+// diffCases are the differential-test profiles: every hierarchical shape the
+// repo ships (2-, 3- and 4-level), with the model sized so the exhaustive
+// oracle stays tractable (boundary sets = C(L-1, S-1)).
+var diffCases = []struct {
+	prof  string
+	cfg   models.Config
+	level int // 0 = auto
+}{
+	{"dgx1", models.Config{Family: "mlp", Depth: 4, Width: 256, Batch: 64}, 0},
+	{"cluster-2x8", models.Config{Family: "mlp", Depth: 4, Width: 256, Batch: 64}, 0},
+	{"cluster-4x2x8", models.Config{Family: "mlp", Depth: 4, Width: 256, Batch: 64}, 0},
+	{"cluster-2x4x2x12", models.Config{Family: "mlp", Depth: 4, Width: 384, Batch: 48}, 2},
+}
+
+func planBytes(t *testing.T, p *plan.Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatalf("serializing plan: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestHybridMatchesOracle is the tentpole differential test: the
+// branch-and-bound joint search must return byte-identical plans to the
+// exhaustive boundary oracle on every feasible profile, at Parallelism 1, 2
+// and 8.
+func TestHybridMatchesOracle(t *testing.T) {
+	for _, c := range diffCases {
+		tp, err := topo.Profile(c.prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := models.Build(c.cfg)
+		if err != nil {
+			t.Fatalf("building %s: %v", c.cfg, err)
+		}
+		k := int64(tp.NumGPUs())
+		oracle, err := hybrid.Partition(m.G, k, hybrid.Options{
+			Topology: &tp, Level: c.level, Parallelism: 1, Exhaustive: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", c.prof, err)
+		}
+		want := planBytes(t, oracle.Plan)
+		for _, par := range []int{1, 2, 8} {
+			var st hybrid.Stats
+			res, err := hybrid.Partition(m.G, k, hybrid.Options{
+				Topology: &tp, Level: c.level, Parallelism: par, Stats: &st,
+			})
+			if err != nil {
+				t.Fatalf("%s par %d: %v", c.prof, par, err)
+			}
+			if got := planBytes(t, res.Plan); !bytes.Equal(got, want) {
+				t.Errorf("%s par %d: branch-and-bound plan differs from exhaustive oracle", c.prof, par)
+			}
+			if res.Cost != oracle.Cost {
+				t.Errorf("%s par %d: cost %g, oracle %g", c.prof, par, res.Cost, oracle.Cost)
+			}
+			if res.Level != oracle.Level {
+				t.Errorf("%s par %d: level %d, oracle %d", c.prof, par, res.Level, oracle.Level)
+			}
+		}
+	}
+}
+
+// TestHybridPruningFloor enforces the tentpole's acceptance gate in-tree:
+// on the 3- and 4-level cluster profiles the segment memo plus
+// branch-and-bound must run >= 10x fewer dp.Solve calls than exhaustive
+// boundary enumeration would.
+func TestHybridPruningFloor(t *testing.T) {
+	cases := []struct {
+		prof  string
+		cfg   models.Config
+		level int
+	}{
+		{"cluster-4x2x8", models.Config{Family: "mlp", Depth: 4, Width: 256, Batch: 64}, 0},
+		{"cluster-2x4x2x12", models.Config{Family: "mlp", Depth: 4, Width: 384, Batch: 48}, 2},
+	}
+	for _, c := range cases {
+		tp, err := topo.Profile(c.prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := models.Build(c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st hybrid.Stats
+		if _, err := hybrid.Partition(m.G, int64(tp.NumGPUs()), hybrid.Options{
+			Topology: &tp, Level: c.level, Parallelism: 1, Stats: &st,
+		}); err != nil {
+			t.Fatalf("%s: %v", c.prof, err)
+		}
+		if st.DPSolves*10 > st.FlatDPSolves {
+			t.Errorf("%s: %d dp solves vs %d flat — below the 10x floor",
+				c.prof, st.DPSolves, st.FlatDPSolves)
+		}
+		if st.Pruned == 0 {
+			t.Errorf("%s: branch-and-bound pruned nothing", c.prof)
+		}
+	}
+}
+
+// TestHybridPlanRoundTrip checks the stage-annotated export survives the
+// validating reader and re-serializes byte-identically.
+func TestHybridPlanRoundTrip(t *testing.T) {
+	tp, err := topo.Profile("cluster-2x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.Build(models.Config{Family: "mlp", Depth: 4, Width: 256, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hybrid.Partition(m.G, int64(tp.NumGPUs()), hybrid.Options{Topology: &tp, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := planBytes(t, res.Plan)
+	ex, err := plan.ReadJSON(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("stage-annotated plan rejected by reader: %v", err)
+	}
+	if ex.Pipeline == nil || len(ex.Pipeline.Stages) != len(res.Stages) {
+		t.Fatalf("pipeline descriptor lost in round trip: %+v", ex.Pipeline)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ex); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("stage-annotated plan changed across a read/write round trip")
+	}
+}
+
+// TestHybridStageInvariants checks the combined plan's structure: steps
+// grouped by nondecreasing stage with per-stage multiplier chains, a
+// contiguous stage cover, equal stage sub-machines, and a zero hand-off on
+// the last stage.
+func TestHybridStageInvariants(t *testing.T) {
+	tp, err := topo.Profile("cluster-4x2x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.Build(models.Config{Family: "mlp", Depth: 4, Width: 256, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hybrid.Partition(m.G, int64(tp.NumGPUs()), hybrid.Options{Topology: &tp, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Plan
+	if p.K != int64(tp.NumGPUs()) {
+		t.Errorf("combined plan K = %d, want %d", p.K, tp.NumGPUs())
+	}
+	if p.Pipeline == nil {
+		t.Fatal("combined plan has no pipeline descriptor")
+	}
+	if p.Pipeline.Level != res.Level {
+		t.Errorf("descriptor level %d, result level %d", p.Pipeline.Level, res.Level)
+	}
+	prevHi := 0
+	for si, st := range p.Pipeline.Stages {
+		if st.Groups[0] != prevHi {
+			t.Errorf("stage %d groups start at %d, want %d", si, st.Groups[0], prevHi)
+		}
+		prevHi = st.Groups[1]
+		if st.Workers != res.Stages[si].Workers {
+			t.Errorf("stage %d: descriptor workers %d, stage workers %d", si, st.Workers, res.Stages[si].Workers)
+		}
+		if got := res.Stages[si]; got.Sharded == nil || got.Plan == nil || got.G == nil {
+			t.Fatalf("stage %d missing execution structures", si)
+		}
+	}
+	if last := p.Pipeline.Stages[len(p.Pipeline.Stages)-1]; last.HandoffBytes != 0 {
+		t.Errorf("last stage hands off %g bytes", last.HandoffBytes)
+	}
+	stage, prod := 0, int64(1)
+	for i, s := range p.Steps {
+		if s.Stage < stage {
+			t.Fatalf("step %d: stage %d after stage %d", i, s.Stage, stage)
+		}
+		if s.Stage > stage {
+			stage, prod = s.Stage, 1
+		}
+		if s.Multiplier != prod {
+			t.Errorf("step %d: multiplier %d, want %d (stage %d restart)", i, s.Multiplier, prod, stage)
+		}
+		prod *= s.K
+	}
+	if len(p.FinalShapes) == 0 {
+		t.Error("combined plan has no final shapes")
+	}
+}
+
+// TestHybridInfeasible covers the error paths: more stages than pipeline
+// groups, flat machines, worker mismatches and out-of-range levels.
+func TestHybridInfeasible(t *testing.T) {
+	m, err := models.Build(models.Config{Family: "mlp", Depth: 4, Width: 384, Batch: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := topo.Profile("cluster-2x4x2x12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 1 wants 16 stages; mlp-4 coarsens to 15 groups.
+	if _, err := hybrid.Partition(m.G, int64(deep.NumGPUs()), hybrid.Options{
+		Topology: &deep, Level: 1, Parallelism: 1,
+	}); err == nil || !strings.Contains(err.Error(), "stages exceed") {
+		t.Errorf("oversubscribed level: got %v", err)
+	}
+	if _, err := hybrid.Partition(m.G, int64(deep.NumGPUs()), hybrid.Options{
+		Topology: &deep, Level: len(deep.Levels), Parallelism: 1,
+	}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range level: got %v", err)
+	}
+	if _, err := hybrid.Partition(m.G, int64(deep.NumGPUs())*2, hybrid.Options{
+		Topology: &deep, Parallelism: 1,
+	}); err == nil || !strings.Contains(err.Error(), "want") {
+		t.Errorf("worker mismatch: got %v", err)
+	}
+	flat, err := topo.Profile("p2.8xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hybrid.Partition(m.G, int64(flat.NumGPUs()), hybrid.Options{
+		Topology: &flat, Parallelism: 1,
+	}); err == nil || !strings.Contains(err.Error(), "flat") {
+		t.Errorf("flat machine: got %v", err)
+	}
+	if _, err := hybrid.Partition(m.G, int64(deep.NumGPUs()), hybrid.Options{Parallelism: 1}); err == nil {
+		t.Error("nil topology accepted")
+	}
+}

@@ -18,6 +18,9 @@ type Export struct {
 	Digest  string       `json:"digest,omitempty"`
 	Workers int64        `json:"workers"`
 	Steps   []StepExport `json:"steps"`
+	// Pipeline describes the stage structure of a hybrid-parallel plan;
+	// omitted for flat plans, so their JSON is unchanged.
+	Pipeline *PipelineInfo `json:"pipeline,omitempty"`
 	// TotalCommBytes is Σ δ_i.
 	TotalCommBytes float64 `json:"total_comm_bytes"`
 }
@@ -29,7 +32,10 @@ type StepExport struct {
 	CommBytes  float64 `json:"comm_bytes"`
 	// Level is the interconnect tier the step's communication crosses;
 	// omitted for flat plans, so their JSON is unchanged.
-	Level      int              `json:"level,omitempty"`
+	Level int `json:"level,omitempty"`
+	// Stage is the pipeline stage the step belongs to; omitted for flat
+	// plans and first-stage steps (absent means 0).
+	Stage      int              `json:"stage,omitempty"`
 	TensorCut  map[string]int   `json:"tensor_cut"` // tensor ID (decimal) -> dim
 	OpStrategy map[string]strat `json:"op_strategy"`
 }
@@ -42,10 +48,10 @@ type strat struct {
 
 // ToExport converts a plan into its serializable form.
 func (p *Plan) ToExport() Export {
-	ex := Export{Digest: p.Digest, Workers: p.K, TotalCommBytes: p.TotalComm()}
+	ex := Export{Digest: p.Digest, Workers: p.K, Pipeline: p.Pipeline, TotalCommBytes: p.TotalComm()}
 	for _, s := range p.Steps {
 		se := StepExport{
-			Ways: s.K, Multiplier: s.Multiplier, CommBytes: s.CommBytes, Level: s.Level,
+			Ways: s.K, Multiplier: s.Multiplier, CommBytes: s.CommBytes, Level: s.Level, Stage: s.Stage,
 			TensorCut:  make(map[string]int, len(s.TensorCut)),
 			OpStrategy: make(map[string]strat, len(s.OpStrategy)),
 		}
@@ -94,10 +100,41 @@ func ReadJSON(r io.Reader) (Export, error) {
 	if ex.Workers < 1 {
 		return Export{}, fmt.Errorf("plan: invalid worker count %d", ex.Workers)
 	}
+	if ex.Pipeline != nil {
+		if err := validatePipeline(ex.Pipeline, ex.Workers); err != nil {
+			return Export{}, err
+		}
+	}
+	// Flat plans chain one multiplier product across all steps; stage-
+	// annotated plans restart the chain at 1 inside each stage (every
+	// stage's sub-machine divides only that stage's tensors), and the
+	// per-stage products must each reach the stage's worker count.
 	prod := int64(1)
+	curStage := 0
 	for si, s := range ex.Steps {
 		if s.Ways < 2 {
 			return Export{}, fmt.Errorf("plan: step %d: invalid ways %d", si, s.Ways)
+		}
+		if ex.Pipeline == nil {
+			if s.Stage != 0 {
+				return Export{}, fmt.Errorf("plan: step %d: stage %d without a pipeline descriptor", si, s.Stage)
+			}
+		} else {
+			if s.Stage < curStage || s.Stage >= len(ex.Pipeline.Stages) {
+				return Export{}, fmt.Errorf("plan: step %d: stage %d out of order (at stage %d of %d)",
+					si, s.Stage, curStage, len(ex.Pipeline.Stages))
+			}
+			if s.Stage > curStage {
+				if s.Stage != curStage+1 {
+					return Export{}, fmt.Errorf("plan: stage %d has no steps", curStage+1)
+				}
+				if prod != ex.Pipeline.Stages[curStage].Workers {
+					return Export{}, fmt.Errorf("plan: stage %d steps multiply to %d, want %d workers",
+						curStage, prod, ex.Pipeline.Stages[curStage].Workers)
+				}
+				curStage++
+				prod = 1
+			}
 		}
 		if s.Multiplier != prod {
 			return Export{}, fmt.Errorf("plan: step %d: multiplier %d, want %d (product of prior ways)",
@@ -139,10 +176,59 @@ func ReadJSON(r io.Reader) (Export, error) {
 		}
 		prod *= s.Ways
 	}
-	if prod != ex.Workers {
-		return Export{}, fmt.Errorf("plan: steps multiply to %d, want %d", prod, ex.Workers)
+	if ex.Pipeline == nil {
+		if prod != ex.Workers {
+			return Export{}, fmt.Errorf("plan: steps multiply to %d, want %d", prod, ex.Workers)
+		}
+	} else {
+		if curStage != len(ex.Pipeline.Stages)-1 {
+			return Export{}, fmt.Errorf("plan: stage %d has no steps", curStage+1)
+		}
+		if prod != ex.Pipeline.Stages[curStage].Workers {
+			return Export{}, fmt.Errorf("plan: stage %d steps multiply to %d, want %d workers",
+				curStage, prod, ex.Pipeline.Stages[curStage].Workers)
+		}
 	}
 	return ex, nil
+}
+
+// validatePipeline audits a hybrid plan's stage descriptor: at least two
+// stages of equal worker count multiplying to the plan's total, contiguous
+// ascending group ranges from 0, hand-off bytes finite and absent on the
+// last stage, and a stage level above the sub-machine's.
+func validatePipeline(pl *PipelineInfo, workers int64) error {
+	if pl.Level < 1 {
+		return fmt.Errorf("plan: pipeline level %d invalid (stages straddle a level >= 1)", pl.Level)
+	}
+	if len(pl.Stages) < 2 {
+		return fmt.Errorf("plan: pipeline with %d stage(s); need at least 2", len(pl.Stages))
+	}
+	kSub := pl.Stages[0].Workers
+	if kSub < 1 {
+		return fmt.Errorf("plan: pipeline stage 0: invalid worker count %d", kSub)
+	}
+	prevHi := 0
+	for si, st := range pl.Stages {
+		if st.Workers != kSub {
+			return fmt.Errorf("plan: pipeline stage %d: %d workers, want %d (stages are equal sub-machines)",
+				si, st.Workers, kSub)
+		}
+		if st.Groups[0] != prevHi || st.Groups[1] <= st.Groups[0] {
+			return fmt.Errorf("plan: pipeline stage %d: group range [%d,%d) not contiguous after %d",
+				si, st.Groups[0], st.Groups[1], prevHi)
+		}
+		prevHi = st.Groups[1]
+		if st.HandoffBytes < 0 || math.IsNaN(st.HandoffBytes) || math.IsInf(st.HandoffBytes, 0) {
+			return fmt.Errorf("plan: pipeline stage %d: invalid handoff bytes %g", si, st.HandoffBytes)
+		}
+		if si == len(pl.Stages)-1 && st.HandoffBytes != 0 {
+			return fmt.Errorf("plan: last pipeline stage hands off %g bytes; want 0", st.HandoffBytes)
+		}
+	}
+	if got := kSub * int64(len(pl.Stages)); got != workers {
+		return fmt.Errorf("plan: pipeline stages cover %d workers, want %d", got, workers)
+	}
+	return nil
 }
 
 // DigestPrefix prefixes every request content digest.

@@ -46,6 +46,11 @@ type Step struct {
 	Level int
 	// States/Configs record search effort (Table 1).
 	States, Configs int
+	// Stage is the pipeline stage this step belongs to. Flat (non-pipelined)
+	// plans leave it 0 and carry no Pipeline descriptor; stage-annotated
+	// plans restart the Multiplier chain at 1 inside each stage, because each
+	// stage's sub-machine divides only that stage's tensors.
+	Stage int
 }
 
 // Delta is δ_i, the total communication incurred by all worker groups at
@@ -63,6 +68,31 @@ type Plan struct {
 	// cache key. WriteJSON embeds it so a persisted plan names the request
 	// it answers; the search itself leaves it empty.
 	Digest string
+	// Pipeline, when non-nil, marks a hybrid-parallel plan: the steps are
+	// per-stage partition plans concatenated in stage order (see Step.Stage),
+	// and the descriptor records how the stages map onto the machine. Flat
+	// plans leave it nil and serialize byte-identically to before it existed.
+	Pipeline *PipelineInfo
+}
+
+// PipelineInfo describes the stage structure of a hybrid-parallel plan.
+type PipelineInfo struct {
+	// Level is the interconnect level the stage hand-offs cross (an index
+	// into the machine's levels, >= 1).
+	Level int `json:"level"`
+	// Stages lists the stages in execution order.
+	Stages []StageInfo `json:"stages"`
+}
+
+// StageInfo is one pipeline stage of a hybrid-parallel plan.
+type StageInfo struct {
+	// Groups is the [lo, hi) coarsened-group range the stage executes.
+	Groups [2]int `json:"groups"`
+	// Workers is the stage's GPU count; every stage has the same.
+	Workers int64 `json:"workers"`
+	// HandoffBytes is the activation/gradient traffic crossing into the next
+	// stage each iteration; 0 on the last stage.
+	HandoffBytes float64 `json:"handoff_bytes"`
 }
 
 // TotalComm returns Σ δ_i — the objective the recursive algorithm minimizes.
@@ -101,8 +131,24 @@ func (p *Plan) TensorCuts(tensorID int) []int {
 }
 
 // CutSummary renders a tensor's cut sequence like "dim0/2 · dim1/2 · dim1/2"
-// — the notation behind Figure 11's tile diagrams.
+// — the notation behind Figure 11's tile diagrams. On stage-annotated plans
+// a tensor is cut only by its own stage's steps, so the summary walks the
+// steps and keeps the cuts that exist instead of demanding one per step.
 func (p *Plan) CutSummary(tensorID int) string {
+	if p.Pipeline != nil {
+		var parts []string
+		for _, s := range p.Steps {
+			if tensorID >= 0 && tensorID < len(s.TensorCut) {
+				if d := s.TensorCut[tensorID]; d >= 0 {
+					parts = append(parts, fmt.Sprintf("dim%d/%d", d, s.K))
+				}
+			}
+		}
+		if len(parts) == 0 {
+			return "unpartitioned"
+		}
+		return strings.Join(parts, " · ")
+	}
 	cuts := p.TensorCuts(tensorID)
 	if len(cuts) == 0 {
 		return "unpartitioned"

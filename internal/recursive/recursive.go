@@ -302,6 +302,14 @@ func partitionTopoFlat(g *graph.Graph, c *coarsen.Coarse, k int64, tp topo.Topol
 	return best, nil
 }
 
+// CommTime is the topology objective of an annotated plan: per-step
+// communication divided by the bandwidth of the level it crosses — a time,
+// not a byte count. The hybrid pipeline search prices each stage's sub-plan
+// with it on the stage sub-machine.
+func CommTime(p *plan.Plan, tp topo.Topology) float64 {
+	return weightedComm(p, tp)
+}
+
 // weightedComm is the topology objective: per-step communication divided by
 // the bandwidth of the level it crosses — a time, not a byte count.
 func weightedComm(p *plan.Plan, topo topo.Topology) float64 {

@@ -21,6 +21,10 @@ func FuzzParseRequest(f *testing.F) {
 	f.Add([]byte(`{"workers":4}`))                                                                     // missing model
 	f.Add([]byte(`{"model":{},"hw":"?"}`))                                                             // unresolvable profile
 	f.Add([]byte(`{"model":{"family":"mlp","depth":4,"width":64,"batch":8}} {}`))                      // trailing document
+	f.Add([]byte(`{"model":{"family":"mlp","depth":4,"width":64,"batch":8},"hw":"cluster-4x2x8","pipeline":{"level":2}}`))
+	f.Add([]byte(`{"model":{"family":"mlp","depth":4,"width":64,"batch":8},"hw":"dgx1","pipeline":{}}`))          // auto level
+	f.Add([]byte(`{"model":{"family":"mlp","depth":4,"width":64,"batch":8},"pipeline":{"level":1}}`))             // pipeline on a flat machine
+	f.Add([]byte(`{"model":{"family":"mlp","depth":4,"width":64,"batch":8},"hw":"dgx1","pipeline":{"level":9}}`)) // level out of range
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := service.ParseRequest(data)
 		if err != nil {

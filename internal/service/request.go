@@ -52,6 +52,20 @@ type Request struct {
 	// TopologyNaive selects the blind cyclic-placement layout on
 	// hierarchical machines (the hier-naive baseline).
 	TopologyNaive bool `json:"topology_naive,omitempty"`
+	// Pipeline switches the request to the joint hybrid-parallelism search:
+	// pipeline stages across a slow interconnect level, the partition DP
+	// inside each stage. Requires a hierarchical machine.
+	Pipeline *PipelineRequest `json:"pipeline,omitempty"`
+}
+
+// PipelineRequest is the wire form of the hybrid-search knobs that change
+// the chosen plan. Simulation-side settings (micro-batch counts) and
+// effort-only settings (the exhaustive differential oracle) deliberately
+// have no wire form: they never change plan bytes, so they must not change
+// digests either.
+type PipelineRequest struct {
+	// Level is the interconnect level the stages straddle (0 = search all).
+	Level int `json:"level,omitempty"`
 }
 
 // ParseRequest strictly decodes and normalizes a wire request: unknown
@@ -132,6 +146,18 @@ func (r Request) Normalize() (Request, error) {
 	if r.TopologyNaive && r.Topology == nil {
 		return Request{}, fmt.Errorf("service: topology_naive requires a hierarchical machine")
 	}
+	if r.Pipeline != nil {
+		if r.Topology == nil {
+			return Request{}, fmt.Errorf("service: pipeline search requires a hierarchical machine")
+		}
+		if r.Factors != nil || r.TopologyNaive {
+			return Request{}, fmt.Errorf("service: pipeline search does not compose with explicit factors or naive ordering")
+		}
+		if lv := r.Pipeline.Level; lv < 0 || lv >= len(r.Topology.Levels) {
+			return Request{}, fmt.Errorf("service: pipeline level %d out of range for a %d-level machine",
+				lv, len(r.Topology.Levels))
+		}
+	}
 	return r, nil
 }
 
@@ -148,6 +174,10 @@ type digestForm struct {
 	MaxStates     int             `json:"max_states"`
 	Factors       []int64         `json:"factors"`
 	TopologyNaive bool            `json:"topology_naive"`
+	// Pipeline is the one omitempty exception: the field post-dates the
+	// digest format, so it folds into the hash only when present — every
+	// pre-pipeline request keeps its digest byte-for-byte.
+	Pipeline *PipelineRequest `json:"pipeline,omitempty"`
 }
 
 // Digest returns the stable content digest ("sha256:<64 hex>") of the
@@ -184,6 +214,7 @@ func (nr Request) digestNormalized() (string, error) {
 		MaxStates:     nr.MaxStates,
 		Factors:       nr.Factors,
 		TopologyNaive: nr.TopologyNaive,
+		Pipeline:      nr.Pipeline,
 	})
 	if err != nil {
 		return "", fmt.Errorf("service: %w", err)
@@ -202,6 +233,9 @@ func (r Request) PipelineOptions() core.Options {
 	opts.Search.Factors = r.Factors
 	opts.Search.TopologyNaive = r.TopologyNaive
 	opts.Topology = r.Topology
+	if r.Pipeline != nil {
+		opts.Pipeline = &core.PipelineSpec{Level: r.Pipeline.Level}
+	}
 	return opts
 }
 

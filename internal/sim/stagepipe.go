@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+
+	"tofu/internal/graphgen"
+	"tofu/internal/memplan"
+)
+
+// PipelineStage is one stage of a partitioned pipeline: a sharded
+// sub-execution on its own sub-machine, plus the hand-off it sends to the
+// next stage each iteration (zero on the last stage).
+type PipelineStage struct {
+	Sharded *graphgen.Sharded
+	Topo    Topology
+	// HandoffBytes is the full-batch activation/gradient traffic into the
+	// next stage; HandoffBandwidth is the per-GPU bandwidth of the link it
+	// crosses. Both are 0 on the last stage.
+	HandoffBytes     float64
+	HandoffBandwidth float64
+}
+
+// RunPipelineStages simulates micro-batched pipeline execution of
+// partitioned stages — the hybrid plan's runtime model, unlike RunPipeline's
+// layer-per-GPU placement. The batch splits into microBatches equal
+// micro-batches; each stage is an internally-partitioned sub-machine whose
+// full-batch iteration is simulated by Run, scaled to a micro-batch by
+// 1/microBatches (the kernels and transfers all scale with the batch
+// dimension). Steady state is bottleneck-paced: the pipeline period is the
+// slowest stage's micro-batch time plus its hand-off, and one iteration
+// drains microBatches + stages - 1 periods (the GPipe fill/drain makespan).
+// Memory is conservative: each stage's full-batch footprint, as if no
+// activation were released between micro-batches.
+func RunPipelineStages(stages []PipelineStage, batch int64, microBatches int, memOpts memplan.Options, ro RunOptions) (Result, error) {
+	var res Result
+	S := len(stages)
+	if S == 0 {
+		return res, fmt.Errorf("sim: pipeline has no stages")
+	}
+	if microBatches < 1 {
+		return res, fmt.Errorf("sim: micro-batch count %d invalid", microBatches)
+	}
+	if int64(microBatches) > batch {
+		return res, fmt.Errorf("sim: %d micro-batches exceed the batch of %d samples", microBatches, batch)
+	}
+	if batch%int64(microBatches) != 0 {
+		return res, fmt.Errorf("sim: batch %d does not divide into %d equal micro-batches", batch, microBatches)
+	}
+	m := float64(microBatches)
+	period := 0.0
+	var bottleneckRes Result
+	var bottleneckHandoff float64
+	for si, st := range stages {
+		if st.Sharded == nil {
+			return res, fmt.Errorf("sim: stage %d has no sharded execution", si)
+		}
+		r := Run(st.Sharded, st.Topo, batch, memOpts, ro)
+		handoff := 0.0
+		if si < S-1 && !ro.DisableComm {
+			if st.HandoffBytes > 0 && st.HandoffBandwidth <= 0 {
+				return res, fmt.Errorf("sim: stage %d hands off %g bytes over invalid bandwidth %g",
+					si, st.HandoffBytes, st.HandoffBandwidth)
+			}
+			if st.HandoffBytes > 0 {
+				handoff = (st.HandoffBytes / m) / st.HandoffBandwidth
+			}
+			handoff += st.Topo.HW.PipelineSyncOverhead
+		}
+		p := r.IterSeconds/m + handoff
+		if p > period {
+			period = p
+			bottleneckRes = r
+			bottleneckHandoff = handoff
+		}
+		if r.OOM {
+			res.OOM = true
+		}
+		if r.Mem.PeakBytes > res.Mem.PeakBytes {
+			res.Mem = r.Mem
+		}
+	}
+	res.IterSeconds = (m + float64(S-1)) * period
+	res.ComputeSeconds = bottleneckRes.ComputeSeconds
+	res.CommSeconds = bottleneckRes.CommSeconds + m*bottleneckHandoff
+	if res.IterSeconds > 0 {
+		res.Throughput = float64(batch) / res.IterSeconds
+	}
+	return res, nil
+}

@@ -38,6 +38,9 @@ func Cluster4x2x12Topology() Topology { return topo.Cluster4x2x12Topology() }
 // Cluster8x2x8Topology is the 128-GPU three-level cluster profile.
 func Cluster8x2x8Topology() Topology { return topo.Cluster8x2x8Topology() }
 
+// Cluster2x4x2x12Topology is the 192-GPU four-level fleet profile.
+func Cluster2x4x2x12Topology() Topology { return topo.Cluster2x4x2x12Topology() }
+
 // Profile returns a named topology from the library.
 func Profile(name string) (Topology, error) { return topo.Profile(name) }
 

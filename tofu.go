@@ -68,6 +68,9 @@ type (
 	TopologyLevel = sim.Level
 	// SimResult is one simulated training iteration.
 	SimResult = sim.Result
+	// PipelineSpec requests the joint hybrid-parallelism search via
+	// PipelineOptions.Pipeline.
+	PipelineSpec = core.PipelineSpec
 	// System names a baseline system for comparisons.
 	System = baselines.System
 	// Outcome is one (model, system) evaluation.
@@ -163,6 +166,11 @@ func PlanDigest(c ModelConfig, k int64, opts PipelineOptions) (string, error) {
 		Factors:       opts.Search.Factors,
 		TopologyNaive: opts.Search.TopologyNaive,
 	}
+	if opts.Pipeline != nil {
+		// Only the stage level reaches the digest: micro-batch counts and the
+		// exhaustive oracle change simulation or effort, never plan bytes.
+		req.Pipeline = &service.PipelineRequest{Level: opts.Pipeline.Level}
+	}
 	return req.Digest()
 }
 
@@ -199,6 +207,14 @@ func Simulate(s *Summary, batch int64) SimResult {
 // produced under, which plain Simulate ignores.
 func SimulateWith(s *Summary, batch int64, opts PipelineOptions) SimResult {
 	return core.Simulate(s, batch, opts, sim.RunOptions{})
+}
+
+// SimulatePipeline prices a hybrid summary's micro-batched pipeline
+// execution (Options.Pipeline.MicroBatches; 0 picks one micro-batch per
+// stage when the batch divides). Unlike SimulateWith it rejects summaries
+// without stages and infeasible batch splits.
+func SimulatePipeline(s *Summary, batch int64, opts PipelineOptions) (SimResult, error) {
+	return core.SimulatePipeline(s, batch, opts, sim.RunOptions{})
 }
 
 // DefaultHW is the simulated p2.8xlarge the evaluation uses, as a flat
