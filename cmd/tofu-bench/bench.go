@@ -26,6 +26,14 @@ type BenchRecord struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
 
+	// TotalAllocBytes is the runtime.MemStats.TotalAlloc delta across the
+	// whole measured run and HeapSysBytes the heap footprint the runtime
+	// held afterwards — footprint context for the per-op numbers above.
+	// Both depend on the iteration count the framework chose, so they are
+	// recorded, never gated.
+	TotalAllocBytes int64 `json:"total_alloc_bytes,omitempty"`
+	HeapSysBytes    int64 `json:"heap_sys_bytes,omitempty"`
+
 	// DPSteps/DPStepsFlat record the topology search's effort (search-topo/*
 	// benchmarks): DP step executions of the branch-and-bound prefix tree vs
 	// the flat enumeration's orderings × depth. FlatNsPerOp is one measured
@@ -85,6 +93,8 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 		if err != nil {
 			return fmt.Errorf("building %s: %w", cfg, err)
 		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -93,12 +103,15 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 				}
 			}
 		})
+		runtime.ReadMemStats(&ms1)
 		rec := BenchRecord{
-			Name:        "search/" + cfg.String(),
-			NsPerOp:     float64(r.NsPerOp()),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			Iterations:  r.N,
+			Name:            "search/" + cfg.String(),
+			NsPerOp:         float64(r.NsPerOp()),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			AllocsPerOp:     r.AllocsPerOp(),
+			Iterations:      r.N,
+			TotalAllocBytes: int64(ms1.TotalAlloc - ms0.TotalAlloc),
+			HeapSysBytes:    int64(ms1.HeapSys),
 		}
 		fmt.Printf("%-28s %14.0f ns/op %12d B/op %10d allocs/op (%d iters)\n",
 			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.Iterations)
@@ -138,6 +151,8 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 		// gated DPSteps counter — deterministic across machines (the plan is
 		// byte-identical at any setting; only the node counters can drift).
 		var st recursive.SearchStats
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -146,6 +161,7 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 				}
 			}
 		})
+		runtime.ReadMemStats(&ms1)
 		flatStart := time.Now()
 		if _, err := recursive.Partition(m.G, k, recursive.Options{Topology: &tp, Parallelism: 1, TopoExhaustive: true}); err != nil {
 			return fmt.Errorf("flat enumeration on %s: %w", tc.prof, err)
@@ -155,14 +171,16 @@ func runSearchBenchmarks(outPath string, short bool, baselinePath string) error 
 			// The model rides in the name (like search/*): short and full
 			// modes measure different workloads and must never share a
 			// baseline row.
-			Name:        fmt.Sprintf("search-topo/%s@%d/%s", tc.prof, k, tc.cfg),
-			NsPerOp:     float64(r.NsPerOp()),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			Iterations:  r.N,
-			DPSteps:     int64(st.DPSolves),
-			DPStepsFlat: int64(st.FlatDPSolves),
-			FlatNsPerOp: flatNs,
+			Name:            fmt.Sprintf("search-topo/%s@%d/%s", tc.prof, k, tc.cfg),
+			NsPerOp:         float64(r.NsPerOp()),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			AllocsPerOp:     r.AllocsPerOp(),
+			Iterations:      r.N,
+			TotalAllocBytes: int64(ms1.TotalAlloc - ms0.TotalAlloc),
+			HeapSysBytes:    int64(ms1.HeapSys),
+			DPSteps:         int64(st.DPSolves),
+			DPStepsFlat:     int64(st.FlatDPSolves),
+			FlatNsPerOp:     flatNs,
 		}
 		fmt.Printf("%-28s %14.0f ns/op %12d B/op %10d allocs/op (dp %d vs flat %d, flat search %.0f ns)\n",
 			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.DPSteps, rec.DPStepsFlat, rec.FlatNsPerOp)

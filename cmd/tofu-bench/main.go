@@ -5,7 +5,8 @@
 // Usage:
 //
 //	tofu-bench [-exp all|table1|table2|table3|fig8|fig9|fig10|fig11|ablations|crosstopo|orderings]
-//	           [-quick] [-flat-budget 20s] [-parallel N] [-cpuprofile cpu.out]
+//	           [-quick] [-flat-budget 20s] [-parallel N]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //	           [-hw <profile>|machine.json]
 //
 //	tofu-bench -exp serve [-serve-json BENCH_PR4.json] [-store DIR]
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sync"
 	"time"
@@ -62,6 +64,8 @@ func main() {
 		"plan store directory for -exp serve: adds the restart loadtest (replica A fills, dies; replica B serves warm) and the warm-start search rows")
 	cpuProfile := flag.String("cpuprofile", "",
 		"write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "",
+		"write a pprof heap profile (after a final GC) to this file at exit")
 	flag.Parse()
 
 	// stopProfile is idempotent and runs on every exit path: the fatal
@@ -87,11 +91,36 @@ func main() {
 		}
 		defer stopProfile()
 	}
+	// The heap profile follows the same idempotent every-exit-path pattern:
+	// a regressing run still leaves a profile to diagnose.
+	writeHeapProfile := func() {}
+	if *memProfile != "" {
+		var once sync.Once
+		writeHeapProfile = func() {
+			once.Do(func() {
+				f, err := os.Create(*memProfile)
+				if err != nil {
+					log.Print(err)
+					return
+				}
+				runtime.GC() // count only live heap, as `go test -memprofile` does
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					log.Print(err)
+				}
+				if err := f.Close(); err != nil {
+					log.Print(err)
+				}
+			})
+		}
+		defer writeHeapProfile()
+	}
 	fatal := func(v ...any) {
+		writeHeapProfile()
 		stopProfile()
 		log.Fatal(v...)
 	}
 	fatalf := func(format string, args ...any) {
+		writeHeapProfile()
 		stopProfile()
 		log.Fatalf(format, args...)
 	}

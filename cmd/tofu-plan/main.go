@@ -45,6 +45,10 @@ func main() {
 	microBatches := flag.Int("micro-batches", 0,
 		"micro-batch count for pipelined simulation (0 = one per stage when the batch divides); "+
 			"never changes the chosen plan")
+	traceOut := flag.String("trace", "",
+		"record the search span tree and simulated execution timeline: a file path gets Chrome "+
+			"trace_event JSON (load in chrome://tracing or Perfetto), '-' prints human-readable text; "+
+			"the chosen plan is byte-identical with tracing on or off")
 	flag.Parse()
 
 	cfg := tofu.ModelConfig{Family: *family, Depth: *depth, Width: *width, Batch: *batch}
@@ -71,6 +75,13 @@ func main() {
 	}
 	if *pipeline || *pipelineLevel > 0 {
 		popts.Pipeline = &tofu.PipelineSpec{Level: *pipelineLevel, MicroBatches: *microBatches}
+	}
+	var root *tofu.TraceSpan
+	var timeline *tofu.Timeline
+	if *traceOut != "" {
+		root = tofu.NewTraceSpan("tofu-plan")
+		timeline = tofu.NewTimeline()
+		popts.Trace = root
 	}
 	s, err := tofu.PartitionWithOptions(m.G, *workers, popts)
 	if err != nil {
@@ -136,9 +147,41 @@ func main() {
 		fmt.Printf("  %-16s %-18s %s\n", w.Name, w.Shape, s.Plan.CutSummary(w.ID))
 	}
 
-	res := tofu.SimulateWith(s, m.Batch, popts)
+	res := tofu.SimulateTraced(s, m.Batch, popts, timeline)
 	fmt.Printf("\nsimulated: %.3f s/iteration, %.1f samples/s, OOM=%v\n",
 		res.IterSeconds, res.Throughput, res.OOM)
+
+	if root != nil {
+		root.End()
+		if err := writeTrace(*traceOut, root, timeline); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeTrace exports the recorded trace: human-readable text on "-",
+// Chrome trace_event JSON to any other path.
+func writeTrace(dest string, root *tofu.TraceSpan, tl *tofu.Timeline) error {
+	if dest == "-" {
+		fmt.Println("\nsearch span tree:")
+		fmt.Print(tofu.SpanTree(root))
+		fmt.Println("\nsimulated execution timeline:")
+		fmt.Print(tofu.TimelineSummary(tl))
+		return nil
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := tofu.WriteChromeTrace(f, root, tl); err != nil {
+		f.Close() //tofu:allow-errdrop the write error is being returned; a secondary close failure adds nothing
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s\n", dest)
+	return nil
 }
 
 func f(b int64) float64 { return float64(b) / (1 << 30) }

@@ -19,8 +19,10 @@ import (
 	"log"
 	"time"
 
+	"tofu/internal/core"
 	"tofu/internal/experiments"
 	"tofu/internal/models"
+	"tofu/internal/obs"
 	"tofu/internal/sim"
 )
 
@@ -37,6 +39,9 @@ func main() {
 	pipeline := flag.Bool("pipeline", false,
 		"also run the joint hybrid-parallelism benchmark: pipeline stages x partition DP "+
 			"against tensor-only search on the hierarchical cluster profiles")
+	trace := flag.Bool("trace", false,
+		"first print the span tree of one representative traced search (the measured model, "+
+			"or a small MLP) — where the search's time goes, subsystem by subsystem")
 	flag.Parse()
 
 	topo, err := sim.ResolveTopology(*hwArg)
@@ -50,6 +55,11 @@ func main() {
 			log.Fatal(err)
 		}
 		opts.Models = []models.Config{cfg}
+	}
+	if *trace {
+		if err := printTracedSearch(opts, topo); err != nil {
+			log.Fatal(err)
+		}
 	}
 	out, err := experiments.Table1(opts, topo)
 	if err != nil {
@@ -75,4 +85,30 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+}
+
+// printTracedSearch runs one representative partition search with tracing
+// on and prints its span tree — a per-subsystem time breakdown to read
+// alongside Table 1's totals. Serial search keeps the tree's shape
+// deterministic run to run.
+func printTracedSearch(o experiments.Opts, topo sim.Topology) error {
+	cfg := models.Config{Family: "mlp", Depth: 4, Width: 1024, Batch: 16}
+	if len(o.Models) > 0 {
+		cfg = o.Models[0]
+	}
+	m, err := models.Build(cfg)
+	if err != nil {
+		return err
+	}
+	root := obs.NewSpan("tofu-search " + cfg.String())
+	popts := core.DefaultOptions()
+	popts.Search.Parallelism = 1
+	popts.Topology = &topo
+	popts.Trace = root
+	if _, err := core.Partition(m.G, int64(topo.NumGPUs()), popts); err != nil {
+		return err
+	}
+	root.End()
+	fmt.Printf("traced search (%s on %d GPUs):\n%s\n", cfg, topo.NumGPUs(), obs.SpanTree(root))
+	return nil
 }

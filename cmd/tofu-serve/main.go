@@ -9,6 +9,7 @@
 //	           [-queue-depth 64] [-sync-wait 2s] [-parallel N]
 //	           [-drain-timeout 30s] [-store DIR] [-store-fsync]
 //	           [-tenant-quota N] [-sweep manifest.json] [-sweep-interval 250ms]
+//	           [-log-format text|json] [-pprof]
 //
 // -store layers a persistent content-addressed plan store under the in-memory
 // LRU: plans computed by any replica sharing DIR are served from disk (after
@@ -16,6 +17,11 @@
 // -sweep precomputes a fleet manifest's plans in the background using idle
 // capacity only; user traffic always takes priority. -tenant-quota bounds the
 // concurrent searches any one Tofu-Tenant header may hold (429 beyond it).
+//
+// Every request and finished search is logged structurally via log/slog
+// (trace id, digest, cache outcome, tenant, duration); -log-format json
+// switches the records to JSON for log shippers. -pprof exposes
+// net/http/pprof under /debug/pprof/ — off by default.
 //
 // API:
 //
@@ -25,7 +31,7 @@
 //	                        -> 429 when the job queue is full
 //	GET  /v1/jobs/{id}      -> job status
 //	GET  /v1/plans/{digest} -> cached plan by content digest
-//	GET  /healthz, /metrics
+//	GET  /healthz, /metrics (JSON; ?format=prometheus for text exposition)
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and running
 // searches finish (bounded by -drain-timeout), then the process exits.
@@ -35,9 +41,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,14 +78,34 @@ func main() {
 		"fleet manifest JSON to precompute in the background on idle capacity")
 	sweepInterval := flag.Duration("sweep-interval", 250*time.Millisecond,
 		"idle-poll cadence of the manifest sweeper")
+	logFormat := flag.String("log-format", "text",
+		"structured log format: text (logfmt-style) or json")
+	pprofOn := flag.Bool("pprof", false,
+		"expose net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "tofu-serve: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
 		st, err = store.Open(*storeDir, store.Options{Fsync: *storeFsync})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -90,28 +118,43 @@ func main() {
 		Parallelism: *parallel,
 		Store:       st,
 		TenantQuota: *tenantQuota,
+		Logger:      logger,
 	})
 
 	var sweeper *service.Sweeper
 	if *sweepPath != "" {
 		data, err := os.ReadFile(*sweepPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		reqs, digests, err := service.ParseManifest(data)
 		if err != nil {
-			log.Fatalf("sweep manifest %s: %v", *sweepPath, err)
+			fatal(fmt.Errorf("sweep manifest %s: %w", *sweepPath, err))
 		}
 		sweeper = svc.StartSweeper(reqs, digests, *sweepInterval)
-		log.Printf("sweeping %d manifest entries on idle capacity (interval %v)", len(reqs), *sweepInterval)
+		logger.Info("sweeping manifest on idle capacity",
+			"entries", len(reqs), "interval", sweepInterval.String())
+	}
+
+	mux := svc.Handler()
+	if *pprofOn {
+		root := http.NewServeMux()
+		root.Handle("/", mux)
+		root.HandleFunc("GET /debug/pprof/", pprof.Index)
+		root.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux = root
+		logger.Info("pprof enabled at /debug/pprof/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	srv := &http.Server{
-		Handler: svc.Handler(),
+		Handler: mux,
 		// A public daemon must not let stalled clients pin goroutines
 		// (slowloris) or block the graceful drain. The write deadline
 		// leaves room for the longest legitimate response: a sync wait
@@ -125,8 +168,11 @@ func main() {
 	if st != nil {
 		storeNote = "store " + *storeDir
 	}
-	log.Printf("tofu-serve listening on %s (cache %d, queue %d, sync-wait %v, %s)",
-		ln.Addr(), *cacheSize, *queueDepth, *syncWait, storeNote)
+	// The announce line keeps its historical shape — "listening on <addr> "
+	// with the address followed by a space — because smoke scripts extract
+	// the bound address from it.
+	logger.Info(fmt.Sprintf("tofu-serve listening on %s (cache %d, queue %d, sync-wait %v, %s)",
+		ln.Addr(), *cacheSize, *queueDepth, *syncWait, storeNote))
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -135,10 +181,10 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %v, draining (timeout %v)", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "timeout", drainTimeout.String())
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
@@ -149,11 +195,11 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
 	}
 	if err := svc.Shutdown(ctx); err != nil {
-		log.Printf("drain: %v (abandoning in-flight searches)", err)
+		logger.Error("drain failed, abandoning in-flight searches", "err", err.Error())
 		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }

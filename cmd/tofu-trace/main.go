@@ -1,0 +1,108 @@
+// Command tofu-trace validates the observability artifacts the other
+// tools emit, so CI can gate on them:
+//
+//	tofu-trace -check trace.json [-require coarsen,dp.solve] [-sim-min 1]
+//	tofu-trace -prom metrics.txt
+//
+// -check parses a Chrome trace_event JSON file (tofu-plan -trace) with the
+// strict reader and prints a summary; -require asserts the named search
+// spans are present; -sim-min asserts at least that many simulated
+// timeline events. -prom validates a Prometheus text exposition
+// (tofu-serve /metrics?format=prometheus). "-" reads stdin. Any
+// violation exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"tofu/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tofu-trace: ")
+	check := flag.String("check", "", "Chrome trace_event JSON file to validate (- for stdin)")
+	require := flag.String("require", "",
+		"comma-separated span names that must appear in the -check trace")
+	simMin := flag.Int("sim-min", 0,
+		"minimum number of simulated-timeline events the -check trace must carry")
+	prom := flag.String("prom", "", "Prometheus text exposition to validate (- for stdin)")
+	flag.Parse()
+
+	if (*check == "") == (*prom == "") {
+		log.Fatal("exactly one of -check or -prom is required")
+	}
+	if *prom != "" {
+		checkProm(*prom)
+		return
+	}
+	checkTrace(*check, *require, *simMin)
+}
+
+func open(arg string) io.ReadCloser {
+	if arg == "-" {
+		return io.NopCloser(os.Stdin)
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+func checkTrace(path, require string, simMin int) {
+	r := open(path)
+	defer r.Close()
+	tr, err := obs.ReadChromeTrace(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := tr.SpanNames()
+	lanes := tr.SimLanes()
+	simEvents := tr.SimEventCount()
+	fmt.Printf("%s: %d events OK\n", path, len(tr.TraceEvents))
+	fmt.Printf("  search spans: %s\n", strings.Join(names, " "))
+	fmt.Printf("  sim lanes (%d events): %s\n", simEvents, strings.Join(lanes, " "))
+
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		if want = strings.TrimSpace(want); want != "" && !have[want] {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		log.Fatalf("%s: missing required spans: %s", path, strings.Join(missing, ", "))
+	}
+	if simEvents < simMin {
+		log.Fatalf("%s: %d simulated-timeline events, need at least %d", path, simEvents, simMin)
+	}
+}
+
+func checkProm(path string) {
+	r := open(path)
+	defer r.Close()
+	fams, err := obs.ParsePromText(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(fams) == 0 {
+		log.Fatalf("%s: exposition has no metric families", path)
+	}
+	n := 0
+	for _, f := range fams {
+		n += f.Samples
+	}
+	fmt.Printf("%s: %d metric families, %d samples OK\n", path, len(fams), n)
+	for _, f := range fams {
+		fmt.Printf("  %-40s %-9s %d samples\n", f.Name, f.Type, f.Samples)
+	}
+}

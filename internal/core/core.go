@@ -15,6 +15,7 @@ import (
 	"tofu/internal/graphgen"
 	"tofu/internal/hybrid"
 	"tofu/internal/memplan"
+	"tofu/internal/obs"
 	"tofu/internal/plan"
 	"tofu/internal/recursive"
 	"tofu/internal/sim"
@@ -36,6 +37,11 @@ type Options struct {
 	// level, the partition DP inside each stage. Requires a hierarchical
 	// Topology whose GPU count equals the worker count.
 	Pipeline *PipelineSpec
+	// Trace, if non-nil, records the whole pipeline's span tree under the
+	// given parent (coarsening, DP solves, ordering branch-and-bound,
+	// hybrid segments, pricing). nil — the default — records nothing and
+	// adds no allocations; plans are byte-identical either way.
+	Trace *obs.Span
 }
 
 // PipelineSpec requests hybrid (pipeline x partition) search.
@@ -118,6 +124,9 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 	if search.Stats == nil {
 		search.Stats = &recursive.SearchStats{}
 	}
+	if search.Trace == nil {
+		search.Trace = opts.Trace
+	}
 	start := time.Now()
 	p, err := recursive.Partition(g, k, search)
 	if err != nil {
@@ -170,6 +179,7 @@ func partitionHybrid(g *graph.Graph, k int64, co *coarsen.Coarse, opts Options) 
 		Cache:       opts.Search.Cache,
 		Exhaustive:  opts.Pipeline.Exhaustive,
 		Stats:       &st,
+		Trace:       opts.Trace,
 	})
 	if err != nil {
 		return nil, err

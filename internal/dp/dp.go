@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"tofu/internal/coarsen"
+	"tofu/internal/obs"
 	"tofu/internal/partition"
 	"tofu/internal/shape"
 )
@@ -78,6 +79,11 @@ type Problem struct {
 	// implies K divides ext). Callers must keep Coarse, DType and
 	// StrategyFilter fixed across the Solves sharing one Reuse.
 	Reuse *EvalReuse
+	// Trace, if non-nil, records a "dp.solve" span (with a nested
+	// "dp.pricing" span for slot-evaluator preparation) under the given
+	// parent. A nil Trace — the default — is a strict no-op: spans never
+	// influence the sweep, so plans stay byte-identical either way.
+	Trace *obs.Span
 }
 
 // EvalReuse is the cross-step evaluator carrier; see Problem.Reuse.
@@ -148,10 +154,28 @@ func Solve(p *Problem) (*Result, error) {
 	if p.K < 2 {
 		return nil, fmt.Errorf("dp: K must be >= 2, got %d", p.K)
 	}
+	sp := p.Trace.Child("dp.solve")
+	defer sp.End()
+	sp.SetInt("k", p.K)
+	sp.SetInt("groups", int64(len(c.Groups)))
 
 	// Per-variable alphabets, slot evaluators and their dense cost tables
-	// (fanned out across the worker pool — slots are independent).
+	// (fanned out across the worker pool — slots are independent). The
+	// pricing span measures that preparation and attributes the
+	// price-cache traffic it caused; under parallel sibling solves the
+	// shared-cache deltas are approximate, which is fine for display.
+	var hits0, misses0 int64
+	if sp.Enabled() {
+		hits0, misses0 = p.Cache.Stats()
+	}
+	pricing := sp.Child("dp.pricing")
 	sl, err := prepareSlotEvals(p)
+	if pricing.Enabled() {
+		hits1, misses1 := p.Cache.Stats()
+		pricing.SetInt("cache_hits", hits1-hits0)
+		pricing.SetInt("cache_misses", misses1-misses0)
+	}
+	pricing.End()
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +271,9 @@ func Solve(p *Problem) (*Result, error) {
 			}
 		}
 	}
+	sp.SetInt("states", int64(res.States))
+	sp.SetInt("configs", int64(res.Configs))
+	sp.SetFloat("comm_bytes", res.CommBytes)
 	return res, nil
 }
 

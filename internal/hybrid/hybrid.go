@@ -27,6 +27,7 @@ import (
 	"tofu/internal/dp"
 	"tofu/internal/graph"
 	"tofu/internal/graphgen"
+	"tofu/internal/obs"
 	"tofu/internal/plan"
 	"tofu/internal/shape"
 	"tofu/internal/topo"
@@ -61,6 +62,12 @@ type Options struct {
 	Exhaustive bool
 	// Stats, when non-nil, receives the search-effort counters.
 	Stats *Stats
+	// Trace, if non-nil, records the joint search's span tree: "coarsen",
+	// per-candidate-level "hybrid.level" spans, and under each a
+	// "hybrid.segment" span per memoized segment solve (wrapping that
+	// segment's full recursive search). nil records nothing and costs
+	// nothing; spans never influence the chosen plan.
+	Trace *obs.Span
 }
 
 // Stats reports the joint search's effort.
@@ -153,10 +160,13 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("hybrid: stage level %d out of range [1, %d] (0 = auto)",
 			opts.Level, len(tp.Levels)-1)
 	}
+	csp := opts.Trace.Child("coarsen")
 	c, err := coarsen.Coarsen(g)
 	if err != nil {
 		return nil, err
 	}
+	csp.SetInt("groups", int64(len(c.Groups)))
+	csp.End()
 	if len(c.Groups) < 2 {
 		return nil, fmt.Errorf("hybrid: graph coarsens to %d group(s); pipelining needs at least 2", len(c.Groups))
 	}
@@ -181,12 +191,20 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Result, error) {
 		bestSet []int
 	)
 	for _, level := range levels {
+		lsp := opts.Trace.Child("hybrid.level")
+		lsp.SetInt("level", int64(level))
 		ls, err := s.newLevelState(level)
 		if err != nil {
 			s.addErr(err)
+			lsp.End()
 			continue
 		}
+		ls.trace = lsp
 		set, ok := ls.run()
+		if ok {
+			lsp.SetFloat("best_cost", ls.bestCost)
+		}
+		lsp.End()
 		if !ok {
 			continue
 		}

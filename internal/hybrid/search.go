@@ -7,6 +7,7 @@ import (
 
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
+	"tofu/internal/obs"
 	"tofu/internal/plan"
 	"tofu/internal/recursive"
 	"tofu/internal/shape"
@@ -45,6 +46,10 @@ type levelState struct {
 	best     []int
 	bestCost float64
 	haveBest bool
+
+	// trace is this level's "hybrid.level" span (nil when tracing is off);
+	// segment solves hang their "hybrid.segment" spans under it.
+	trace *obs.Span
 }
 
 // segment is one memoized contiguous-segment solution.
@@ -185,6 +190,10 @@ func (ls *levelState) segment(lo, hi int) *segment {
 		sg.err = err
 		return sg
 	}
+	ssp := ls.trace.Child("hybrid.segment")
+	ssp.SetInt("lo", int64(lo))
+	ssp.SetInt("hi", int64(hi))
+	defer ssp.End()
 	var inner recursive.SearchStats
 	p, err := recursive.Partition(sub.G, ls.kSub, recursive.Options{
 		DType:       ls.s.opts.DType,
@@ -193,6 +202,7 @@ func (ls *levelState) segment(lo, hi int) *segment {
 		Cache:       ls.s.cache,
 		Topology:    &ls.subTopo,
 		Stats:       &inner,
+		Trace:       ssp,
 	})
 	if ls.subTopo.Hierarchical() {
 		ls.s.stats.DPSolves = satAdd(ls.s.stats.DPSolves, int64(inner.DPSolves))
@@ -207,6 +217,7 @@ func (ls *levelState) segment(lo, hi int) *segment {
 	}
 	sg.plan = p
 	sg.cost = recursive.CommTime(p, ls.subTopo)
+	ssp.SetFloat("cost", sg.cost)
 	return sg
 }
 

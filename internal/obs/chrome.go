@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event export. The format is the JSON object form consumed
+// by chrome://tracing and Perfetto: {"traceEvents":[...]} where each event
+// is a "complete" event (ph "X": name, ts/dur in microseconds, pid, tid)
+// or a metadata event (ph "M": process_name / thread_name).
+//
+// Two processes:
+//
+//	pid 1 "search"    — the span tree, wall-clock microseconds relative to
+//	                    the root span's start. Overlapping spans (parallel
+//	                    DP solves) are laid out on as few tids as proper
+//	                    nesting allows, flame-graph style.
+//	pid 2 "simulated" — the virtual-clock timeline, one tid per lane,
+//	                    virtual microseconds.
+
+const (
+	// TracePIDSearch is the trace_event process holding the span tree.
+	TracePIDSearch = 1
+	// TracePIDSim is the trace_event process holding the simulated
+	// execution timeline.
+	TracePIDSim = 2
+)
+
+// TraceEvent is one entry of the traceEvents array. The field set is the
+// subset of the trace_event spec this package emits; the strict reader
+// rejects anything else.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level document.
+type ChromeTrace struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+}
+
+// BuildChromeTrace assembles the trace document from a span tree and/or a
+// timeline; either may be nil.
+func BuildChromeTrace(root *Span, tl *Timeline) *ChromeTrace {
+	doc := &ChromeTrace{TraceEvents: []TraceEvent{}}
+	if root != nil {
+		doc.TraceEvents = append(doc.TraceEvents, metaEvent(TracePIDSearch, 0, "process_name", "search"))
+		doc.TraceEvents = append(doc.TraceEvents, spanEvents(root)...)
+	}
+	if tl.Enabled() {
+		doc.TraceEvents = append(doc.TraceEvents, metaEvent(TracePIDSim, 0, "process_name", "simulated execution"))
+		doc.TraceEvents = append(doc.TraceEvents, timelineEvents(tl)...)
+	}
+	return doc
+}
+
+// WriteChromeTrace writes the document as indented JSON.
+func WriteChromeTrace(w io.Writer, root *Span, tl *Timeline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildChromeTrace(root, tl))
+}
+
+func metaEvent(pid, tid int, kind, name string) TraceEvent {
+	return TraceEvent{
+		Name: kind,
+		Ph:   "M",
+		Pid:  pid,
+		Tid:  tid,
+		Args: map[string]string{"name": name},
+	}
+}
+
+// flatSpan is a span flattened to an interval for tid layout.
+type flatSpan struct {
+	s      *Span
+	parent string
+	ts     float64 // µs relative to root start
+	dur    float64 // µs
+}
+
+// spanEvents flattens the span tree to complete events. Tid layout: spans
+// are placed on the lowest tid where they properly nest — a span fits a
+// tid if every span still open there encloses it. Concurrent siblings
+// spill to higher tids, so parallel prefix solves render side by side.
+func spanEvents(root *Span) []TraceEvent {
+	var flat []flatSpan
+	var walk func(s *Span, parent string)
+	walk = func(s *Span, parent string) {
+		ts := s.start.Sub(root.start).Seconds() * 1e6
+		if ts < 0 {
+			ts = 0
+		}
+		flat = append(flat, flatSpan{s: s, parent: parent, ts: ts, dur: s.dur.Seconds() * 1e6})
+		for _, c := range s.Children() {
+			walk(c, s.name)
+		}
+	}
+	walk(root, "")
+
+	// Lowest-tid proper-nesting layout: per tid, a stack of open interval
+	// end times. The walk above emits parents before children, so a child
+	// probing its parent's tid sees the parent still open and nests there
+	// when the timestamps allow it.
+	type lane struct{ open []float64 }
+	var lanes []*lane
+	place := func(f flatSpan) int {
+		end := f.ts + f.dur
+		for i, ln := range lanes {
+			for len(ln.open) > 0 && ln.open[len(ln.open)-1] <= f.ts {
+				ln.open = ln.open[:len(ln.open)-1]
+			}
+			if len(ln.open) == 0 || end <= ln.open[len(ln.open)-1] {
+				ln.open = append(ln.open, end)
+				return i
+			}
+		}
+		lanes = append(lanes, &lane{open: []float64{end}})
+		return len(lanes) - 1
+	}
+
+	events := make([]TraceEvent, 0, len(flat))
+	for _, f := range flat {
+		ev := TraceEvent{
+			Name: f.s.name,
+			Cat:  "search",
+			Ph:   "X",
+			Ts:   f.ts,
+			Dur:  f.dur,
+			Pid:  TracePIDSearch,
+			Tid:  place(f),
+		}
+		attrs := f.s.Attrs()
+		if len(attrs) > 0 || f.parent != "" {
+			ev.Args = make(map[string]string, len(attrs)+1)
+			if f.parent != "" {
+				ev.Args["parent"] = f.parent
+			}
+			for _, a := range attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// timelineEvents emits one tid per lane (named via thread_name metadata),
+// events in virtual microseconds. Lane order is first-appearance order,
+// so identical simulations export identical bytes.
+func timelineEvents(tl *Timeline) []TraceEvent {
+	lanes := tl.Lanes()
+	tid := make(map[string]int, len(lanes))
+	var events []TraceEvent
+	for i, l := range lanes {
+		tid[l] = i
+		events = append(events, metaEvent(TracePIDSim, i, "thread_name", l))
+	}
+	for _, ev := range tl.Events() {
+		te := TraceEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind,
+			Ph:   "X",
+			Ts:   ev.Start * 1e6,
+			Dur:  ev.Dur * 1e6,
+			Pid:  TracePIDSim,
+			Tid:  tid[ev.Lane],
+		}
+		if ev.Bytes > 0 || ev.Level >= 0 {
+			te.Args = make(map[string]string, 2)
+			if ev.Bytes > 0 {
+				te.Args["bytes"] = formatInt(ev.Bytes)
+			}
+			if ev.Level >= 0 {
+				te.Args["level"] = formatInt(int64(ev.Level))
+			}
+		}
+		events = append(events, te)
+	}
+	return events
+}

@@ -1,0 +1,202 @@
+// Package obs is the observability layer: a hierarchical span tracer for
+// the partition-search pipeline (coarsening, per-prefix DP solves, ordering
+// branch-and-bound, hybrid segment solves, pricing-cache traffic) and a
+// virtual-clock execution timeline for the simulator (see timeline.go).
+// Both export as Chrome trace_event JSON (chrome.go) and as human-readable
+// text (text.go).
+//
+// Tracing is strictly opt-in and zero-cost when disabled: every method is
+// safe — and a no-op — on a nil receiver, so call sites thread a possibly
+// nil *Span / *Timeline through without branching. The disabled path
+// performs no allocation: attribute setters take scalar arguments (never
+// variadics, whose slice construction would allocate at the call site even
+// for a nil receiver), and event payloads are plain structs passed by
+// value.
+//
+// The package sits on the search path — dp.Solve and recursive.Partition
+// call into it when a trace is attached — so nodeterm enforcement applies.
+// The wall-clock reads below are confined to span timestamps, which are
+// display-only: they are exported to traces but never reach plan bytes, so
+// each carries a //tofu:allow-nondet suppression.
+//
+//tofu:searchpath span timestamps are display-only and never reach plan bytes
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are pre-formatted to
+// strings so the exporter has a single scalar representation to emit.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one timed region of the search pipeline. A nil *Span is the
+// disabled tracer: every method below no-ops on it, so the enabled check
+// is exactly one pointer comparison.
+//
+// Spans form a tree. Child is safe to call concurrently on one parent —
+// the ordering branch-and-bound expands nodes from a worker pool — but the
+// child order then follows the scheduler; structure-determinism guarantees
+// hold only for serial searches (Parallelism 1), the same contract the
+// SearchStats node counters document.
+type Span struct {
+	name  string
+	start time.Time
+	dur   time.Duration
+	ended bool
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+}
+
+// NewSpan starts a root span. This is the only constructor that turns
+// tracing on: pass the result (or a Child of it) into the search options.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()} //tofu:allow-nondet span timestamps are display-only and never reach plan bytes
+}
+
+// Enabled reports whether the span records anything. It is the gate call
+// sites use before doing enabled-only work (e.g. reading cache stats for a
+// delta attribute).
+func (s *Span) Enabled() bool { return s != nil }
+
+// Child starts a nested span. On a nil receiver it returns nil, keeping
+// the whole subtree disabled with no allocation.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()} //tofu:allow-nondet span timestamps are display-only and never reach plan bytes
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stamps the span's duration. Idempotent; later calls keep the first
+// duration so a deferred End after an explicit one is harmless.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start) //tofu:allow-nondet span timestamps are display-only and never reach plan bytes
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetFloat attaches a float attribute (shortest round-trip formatting, so
+// identical inputs yield identical trace bytes).
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, v)
+}
+
+func (s *Span) setAttr(key, val string) {
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.mu.Unlock()
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the stamped duration (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Attrs returns a copy of the attributes in the order they were set.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Children returns a copy of the child slice.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Structure renders the span tree shape — names and parent edges only, no
+// timestamps or attributes — as a canonical string. Two serial runs of the
+// same search must produce equal Structure strings; the trace-determinism
+// tests compare exactly this.
+func (s *Span) Structure() string {
+	if s == nil {
+		return ""
+	}
+	var b []byte
+	b = s.appendStructure(b)
+	return string(b)
+}
+
+func (s *Span) appendStructure(b []byte) []byte {
+	b = append(b, s.name...)
+	kids := s.Children()
+	if len(kids) == 0 {
+		return b
+	}
+	b = append(b, '(')
+	for i, c := range kids {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = c.appendStructure(b)
+	}
+	return append(b, ')')
+}
+
+// SpanCount returns the number of spans in the tree rooted at s.
+func (s *Span) SpanCount() int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range s.Children() {
+		n += c.SpanCount()
+	}
+	return n
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The disabled path is the one every production search takes: a nil span
+// and a nil timeline must be complete no-ops with zero allocations, or
+// tracing would tax the allocation-free hot path it instruments.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var s *Span
+	var tl *Timeline
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := s.Child("dp.solve")
+		c.SetInt("states", 42)
+		c.SetFloat("cost", 1.5)
+		c.SetStr("key", "v")
+		c.End()
+		if c.Enabled() || s.Enabled() {
+			t.Fatal("nil span reported enabled")
+		}
+		v := tl.WithPrefix("stage0/")
+		v.Add(Event{Lane: "w0/compute", Name: "op", Start: 1, Dur: 2, Level: -1})
+		if v.Enabled() {
+			t.Fatal("nil timeline reported enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilAccessors(t *testing.T) {
+	var s *Span
+	if s.Name() != "" || s.Duration() != 0 || s.Attrs() != nil || s.Children() != nil {
+		t.Fatal("nil span accessors not zero-valued")
+	}
+	if s.Structure() != "" || s.SpanCount() != 0 {
+		t.Fatal("nil span structure not empty")
+	}
+	var tl *Timeline
+	if tl.Events() != nil || tl.Lanes() != nil {
+		t.Fatal("nil timeline accessors not nil")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	root := NewSpan("root")
+	a := root.Child("a")
+	a.Child("a1").End()
+	a.Child("a2").End()
+	a.End()
+	root.Child("b").End()
+	root.End()
+
+	want := "root(a(a1 a2) b)"
+	if got := root.Structure(); got != want {
+		t.Fatalf("Structure() = %q, want %q", got, want)
+	}
+	if n := root.SpanCount(); n != 5 {
+		t.Fatalf("SpanCount() = %d, want 5", n)
+	}
+	if root.Duration() <= 0 {
+		t.Fatal("ended root has zero duration")
+	}
+	d := root.Duration()
+	root.End() // idempotent
+	if root.Duration() != d {
+		t.Fatal("second End changed duration")
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("worker")
+			c.SetInt("i", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children()) != 32 {
+		t.Fatalf("got %d children, want 32", len(root.Children()))
+	}
+}
+
+func TestTimelinePrefixSharesSink(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(Event{Lane: "w0/compute", Name: "op0", Kind: "compute", Dur: 1, Level: -1})
+	st := tl.WithPrefix("stage1/")
+	st.Add(Event{Lane: "w0/compute", Name: "op1", Kind: "compute", Start: 1, Dur: 1, Level: -1})
+
+	events := tl.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[1].Lane != "stage1/w0/compute" {
+		t.Fatalf("prefixed lane = %q", events[1].Lane)
+	}
+	lanes := tl.Lanes()
+	if len(lanes) != 2 || lanes[0] != "w0/compute" || lanes[1] != "stage1/w0/compute" {
+		t.Fatalf("lanes = %v", lanes)
+	}
+}
+
+func buildSampleTrace() (*Span, *Timeline) {
+	root := NewSpan("tofu-plan")
+	c := root.Child("coarsen")
+	c.SetInt("groups", 12)
+	c.End()
+	s := root.Child("dp.solve")
+	s.SetInt("states", 99)
+	s.End()
+	root.End()
+
+	tl := NewTimeline()
+	tl.Add(Event{Lane: "w0/compute", Name: "matmult", Kind: "compute", Start: 0, Dur: 2e-3, Level: -1})
+	tl.Add(Event{Lane: "w0/xfer-L0", Name: "fetch matmult", Kind: "xfer", Start: 0, Dur: 1e-3, Bytes: 4096, Level: 0})
+	return root, tl
+}
+
+// The exported document must survive its own strict reader with all
+// structure intact — the round-trip the CI trace step relies on.
+func TestChromeRoundTrip(t *testing.T) {
+	root, tl := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root, tl); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+	}
+	names := doc.SpanNames()
+	if len(names) != 3 || names[0] != "coarsen" || names[1] != "dp.solve" || names[2] != "tofu-plan" {
+		t.Fatalf("span names = %v", names)
+	}
+	lanes := doc.SimLanes()
+	if len(lanes) != 2 || lanes[0] != "w0/compute" || lanes[1] != "w0/xfer-L0" {
+		t.Fatalf("sim lanes = %v", lanes)
+	}
+	if doc.SimEventCount() != 2 {
+		t.Fatalf("sim events = %d, want 2", doc.SimEventCount())
+	}
+}
+
+// Identical timelines must export byte-identical documents (timeline-only
+// export has no wall-clock content).
+func TestTimelineExportDeterministic(t *testing.T) {
+	render := func() []byte {
+		tl := NewTimeline()
+		tl.Add(Event{Lane: "w0/compute", Name: "a", Kind: "compute", Start: 0, Dur: 1, Level: -1})
+		tl.Add(Event{Lane: "w0/xfer-L1", Name: "b", Kind: "xfer", Start: 1, Dur: 2, Bytes: 7, Level: 1})
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, nil, tl); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("timeline export is not byte-deterministic")
+	}
+}
+
+func TestReaderRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{`,
+		"missing array": `{}`,
+		"unknown field": `{"traceEvents":[],"bogus":1}`,
+		"unknown phase": `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":1,"tid":0}]}`,
+		"negative ts":   `{"traceEvents":[{"name":"x","ph":"X","ts":-1,"pid":1,"tid":0}]}`,
+		"missing name":  `{"traceEvents":[{"name":"","ph":"X","ts":0,"pid":1,"tid":0}]}`,
+		"bad pid":       `{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":0,"tid":0}]}`,
+		"unnamed meta":  `{"traceEvents":[{"name":"thread_name","ph":"M","ts":0,"pid":2,"tid":0}]}`,
+		"unknown meta":  `{"traceEvents":[{"name":"weird","ph":"M","ts":0,"pid":2,"tid":0,"args":{"name":"x"}}]}`,
+		"trailing data": `{"traceEvents":[]} {"traceEvents":[]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadChromeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: reader accepted malformed input %q", name, in)
+		}
+	}
+	if _, err := ReadChromeTrace(strings.NewReader(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("reader rejected minimal valid trace: %v", err)
+	}
+}
+
+func TestSpanLayoutNests(t *testing.T) {
+	root, tl := buildSampleTrace()
+	doc := BuildChromeTrace(root, tl)
+	// Sequential children (coarsen ended before dp.solve started) must
+	// share the root's process without colliding: every event validates
+	// and the root span sits at tid 0.
+	for _, ev := range doc.TraceEvents {
+		if err := validateEvent(ev); err != nil {
+			t.Fatalf("built event invalid: %v", err)
+		}
+		if ev.Ph == "X" && ev.Pid == TracePIDSearch && ev.Name == "tofu-plan" && ev.Tid != 0 {
+			t.Fatalf("root span on tid %d, want 0", ev.Tid)
+		}
+	}
+}
+
+func TestTextRenderers(t *testing.T) {
+	root, tl := buildSampleTrace()
+	out := SpanTree(root)
+	for _, want := range []string{"tofu-plan", "coarsen", "groups=12", "dp.solve", "states=99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span tree missing %q:\n%s", want, out)
+		}
+	}
+
+	out = TimelineSummary(tl)
+	for _, want := range []string{"2 events", "w0/compute", "w0/xfer-L0", "util"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanTreeCollapsesRuns(t *testing.T) {
+	root := NewSpan("root")
+	for i := 0; i < collapseAfter+5; i++ {
+		root.Child("order.expand").End()
+	}
+	root.End()
+	out := SpanTree(root)
+	if got := strings.Count(out, "order.expand"); got != collapseAfter+1 {
+		t.Fatalf("collapsed tree mentions order.expand %d times, want %d:\n%s",
+			got, collapseAfter+1, out)
+	}
+	if !strings.Contains(out, "… 5 more order.expand") {
+		t.Fatalf("missing collapse summary line:\n%s", out)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Strict trace_event reader: validates that an exported trace is
+// well-formed before anything downstream (chrome://tracing, CI) consumes
+// it. It accepts exactly the subset this package writes — object form,
+// "X" complete events and "M" metadata events — and rejects unknown
+// fields, unknown phases, negative or non-finite times, and metadata
+// without a name.
+
+// ReadChromeTrace parses and validates a trace document.
+func ReadChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc ChromeTrace
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	// Trailing garbage after the document is a malformed trace too.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing data after traceEvents document")
+	}
+	if doc.TraceEvents == nil {
+		return nil, fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		if err := validateEvent(ev); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	return &doc, nil
+}
+
+func validateEvent(ev TraceEvent) error {
+	if ev.Name == "" {
+		return fmt.Errorf("missing name")
+	}
+	switch ev.Ph {
+	case "X":
+		if math.IsNaN(ev.Ts) || math.IsInf(ev.Ts, 0) || ev.Ts < 0 {
+			return fmt.Errorf("%s: bad ts %v", ev.Name, ev.Ts)
+		}
+		if math.IsNaN(ev.Dur) || math.IsInf(ev.Dur, 0) || ev.Dur < 0 {
+			return fmt.Errorf("%s: bad dur %v", ev.Name, ev.Dur)
+		}
+		if ev.Pid <= 0 {
+			return fmt.Errorf("%s: bad pid %d", ev.Name, ev.Pid)
+		}
+		if ev.Tid < 0 {
+			return fmt.Errorf("%s: bad tid %d", ev.Name, ev.Tid)
+		}
+	case "M":
+		if ev.Name != "process_name" && ev.Name != "thread_name" {
+			return fmt.Errorf("unknown metadata event %q", ev.Name)
+		}
+		if ev.Args["name"] == "" {
+			return fmt.Errorf("%s: metadata without args.name", ev.Name)
+		}
+	default:
+		return fmt.Errorf("%s: unknown phase %q", ev.Name, ev.Ph)
+	}
+	return nil
+}
+
+// SpanNames returns the sorted, distinct names of search-process spans.
+func (t *ChromeTrace) SpanNames() []string {
+	return t.distinctNames(TracePIDSearch, "X", func(ev TraceEvent) string { return ev.Name })
+}
+
+// SimLanes returns the sorted, distinct simulated-timeline lane names
+// (from thread_name metadata in the sim process).
+func (t *ChromeTrace) SimLanes() []string {
+	return t.distinctNames(TracePIDSim, "M", func(ev TraceEvent) string {
+		if ev.Name != "thread_name" {
+			return ""
+		}
+		return ev.Args["name"]
+	})
+}
+
+// SimEventCount returns the number of complete events on the simulated
+// timeline.
+func (t *ChromeTrace) SimEventCount() int {
+	n := 0
+	for _, ev := range t.TraceEvents {
+		if ev.Pid == TracePIDSim && ev.Ph == "X" {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *ChromeTrace) distinctNames(pid int, ph string, key func(TraceEvent) string) []string {
+	seen := make(map[string]bool, 16)
+	var names []string
+	for _, ev := range t.TraceEvents {
+		if ev.Pid != pid || ev.Ph != ph {
+			continue
+		}
+		if k := key(ev); k != "" && !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Human-readable rendering: an indented span tree for terminals (the
+// `-trace -` form) and a per-lane utilization summary for timelines.
+
+// collapseAfter bounds how many same-named consecutive siblings the tree
+// prints before folding the rest into one summary line, so a search with
+// hundreds of expansion spans stays readable.
+const collapseAfter = 8
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// SpanTree renders the tree with durations and attributes.
+func SpanTree(root *Span) string {
+	if root == nil {
+		return ""
+	}
+	var w strings.Builder
+	writeSpanLine(&w, root, 0)
+	writeChildren(&w, root, 1)
+	return w.String()
+}
+
+func writeChildren(w *strings.Builder, s *Span, depth int) {
+	kids := s.Children()
+	for i := 0; i < len(kids); {
+		// Length of the run of consecutive same-named siblings at i.
+		j := i + 1
+		for j < len(kids) && kids[j].name == kids[i].name {
+			j++
+		}
+		run := kids[i:j]
+		shown := len(run)
+		if shown > collapseAfter {
+			shown = collapseAfter
+		}
+		for _, c := range run[:shown] {
+			writeSpanLine(w, c, depth)
+			writeChildren(w, c, depth+1)
+		}
+		if len(run) > shown {
+			var rest time.Duration
+			for _, c := range run[shown:] {
+				rest += c.dur
+			}
+			fmt.Fprintf(w, "%*s… %d more %s (%s)\n",
+				2*depth, "", len(run)-shown, run[0].name, fmtDur(rest))
+		}
+		i = j
+	}
+}
+
+func writeSpanLine(w *strings.Builder, s *Span, depth int) {
+	fmt.Fprintf(w, "%*s%-*s %9s", 2*depth, "", 32-2*depth, s.name, fmtDur(s.dur))
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(w, "  %s=%s", a.Key, a.Val)
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// TimelineSummary renders per-lane busy time and utilization against the
+// timeline's overall makespan.
+func TimelineSummary(tl *Timeline) string {
+	if !tl.Enabled() {
+		return ""
+	}
+	var w strings.Builder
+	events := tl.Events()
+	if len(events) == 0 {
+		return "timeline: no events\n"
+	}
+	makespan := 0.0
+	busy := make(map[string]float64, 8)
+	count := make(map[string]int, 8)
+	for _, ev := range events {
+		if end := ev.Start + ev.Dur; end > makespan {
+			makespan = end
+		}
+		busy[ev.Lane] += ev.Dur
+		count[ev.Lane]++
+	}
+	fmt.Fprintf(&w, "simulated timeline: %d events, makespan %.6fs\n", len(events), makespan)
+	for _, lane := range tl.Lanes() {
+		util := 0.0
+		if makespan > 0 {
+			util = 100 * busy[lane] / makespan
+		}
+		fmt.Fprintf(&w, "  %-28s %4d events  busy %.6fs  util %5.1f%%\n",
+			lane, count[lane], busy[lane], util)
+	}
+	return w.String()
+}

@@ -1,0 +1,94 @@
+package obs
+
+import "sync"
+
+// Event is one interval on the simulated-execution timeline. Times are
+// virtual seconds on the simulator's clock (never wall time), so the event
+// stream is exactly as deterministic as the simulation itself and two runs
+// of the same plan export byte-identical timelines.
+//
+// This is deliberately the data model a future event-driven executor emits
+// too (ROADMAP item 1): one lane per engine, closed intervals, byte and
+// interconnect-level annotations.
+type Event struct {
+	Lane  string  // engine lane, e.g. "w0/compute", "stage1/w0/xfer-L2"
+	Name  string  // op or phase name
+	Kind  string  // "compute", "xfer", "reduce", "handoff", "fill", "drain"
+	Start float64 // virtual seconds from iteration start
+	Dur   float64 // virtual seconds
+	Bytes int64   // payload for transfer-like events, 0 otherwise
+	Level int     // interconnect level for transfer events, -1 otherwise
+}
+
+// Timeline collects Events. A nil *Timeline is the disabled collector:
+// Add no-ops, WithPrefix returns nil, so the simulator threads it through
+// unconditionally. Non-nil timelines share one sink across WithPrefix
+// views; the prefix namespaces lanes (pipeline stages prepend "stageN/").
+type Timeline struct {
+	sink   *eventSink
+	prefix string
+}
+
+type eventSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTimeline returns an enabled, empty timeline.
+func NewTimeline() *Timeline { return &Timeline{sink: &eventSink{}} }
+
+// Enabled reports whether events are recorded.
+func (t *Timeline) Enabled() bool { return t != nil }
+
+// WithPrefix returns a view whose events get their lanes prefixed with p.
+// Views share the parent's sink, so Events on any view sees everything.
+func (t *Timeline) WithPrefix(p string) *Timeline {
+	if t == nil {
+		return nil
+	}
+	return &Timeline{sink: t.sink, prefix: t.prefix + p}
+}
+
+// Add records one event, applying the view's lane prefix.
+func (t *Timeline) Add(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.prefix != "" {
+		ev.Lane = t.prefix + ev.Lane
+	}
+	t.sink.mu.Lock()
+	t.sink.events = append(t.sink.events, ev)
+	t.sink.mu.Unlock()
+}
+
+// Events returns a copy of every recorded event in insertion order.
+func (t *Timeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.sink.mu.Lock()
+	defer t.sink.mu.Unlock()
+	out := make([]Event, len(t.sink.events))
+	copy(out, t.sink.events)
+	return out
+}
+
+// Lanes returns the distinct lane names in order of first appearance —
+// insertion order, not map order, so the export is deterministic.
+func (t *Timeline) Lanes() []string {
+	if t == nil {
+		return nil
+	}
+	t.sink.mu.Lock()
+	defer t.sink.mu.Unlock()
+	seen := make(map[string]bool, 8)
+	var lanes []string
+	for _, ev := range t.sink.events {
+		if !seen[ev.Lane] {
+			seen[ev.Lane] = true
+			lanes = append(lanes, ev.Lane)
+		}
+	}
+	return lanes
+}

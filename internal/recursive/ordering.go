@@ -43,6 +43,7 @@ import (
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
 	"tofu/internal/graph"
+	"tofu/internal/obs"
 	"tofu/internal/plan"
 	"tofu/internal/shape"
 	"tofu/internal/topo"
@@ -151,6 +152,12 @@ type orderSearch struct {
 	pool   []factorLevel
 	rootPS *prefixState
 
+	// trace is the "order.search" span (nil when tracing is off). Expand,
+	// prune, seed and per-prefix solve spans attach flat under it; at
+	// Parallelism > 1 their order follows the expansion schedule, like the
+	// SearchStats node counters.
+	trace *obs.Span
+
 	mu        sync.Mutex
 	prefixes  map[string]*prefixState
 	bestSet   bool
@@ -238,7 +245,10 @@ func (s *orderSearch) prefixFor(parent *prefixState, key string, f int64) *prefi
 	}
 	s.mu.Unlock()
 	ps.once.Do(func() {
-		s.computeStep(ps)
+		st := s.trace.Child("order.prefix")
+		st.SetStr("prefix", key)
+		s.computeStep(ps, st)
+		st.End()
 		ps.done.Store(true)
 	})
 	return ps
@@ -265,7 +275,7 @@ func (s *orderSearch) memoDelta(key string, f int64) (float64, bool) {
 // computeStep runs one prefix's DP step: lower-bound first (it prepares the
 // slot evaluators the Solve then reuses, and detects infeasibility before
 // any frontier sweep), then the sweep, then the shape division.
-func (s *orderSearch) computeStep(ps *prefixState) {
+func (s *orderSearch) computeStep(ps *prefixState, st *obs.Span) {
 	par := ps.parent
 	if par.err != nil {
 		ps.err = par.err
@@ -286,6 +296,7 @@ func (s *orderSearch) computeStep(ps *prefixState) {
 		Parallelism:    s.opts.Parallelism,
 		Cache:          s.cache,
 		Reuse:          reuse,
+		Trace:          st,
 	})
 	if err != nil {
 		ps.err = err
@@ -492,10 +503,17 @@ func (s *orderSearch) process(n *obNode) []*obNode {
 	if s.shouldPrune(bound) {
 		s.stats.Pruned++
 		s.mu.Unlock()
+		s.pruneSpan(n.key, bound)
 		return nil
 	}
 	s.stats.Expanded++
 	s.mu.Unlock()
+	if s.trace.Enabled() {
+		ex := s.trace.Child("order.expand")
+		ex.SetStr("prefix", n.key)
+		ex.SetFloat("bound", bound)
+		ex.End()
+	}
 	children := make([]*obNode, 0, len(s.uniq))
 	for i, fl := range s.uniq {
 		if rem[i] == 0 {
@@ -524,6 +542,17 @@ func (s *orderSearch) dive() {
 		}
 	}
 	s.seedOrdering(s.pool, ranks)
+}
+
+// pruneSpan records one branch-and-bound prune as an instant span.
+func (s *orderSearch) pruneSpan(key string, bound float64) {
+	if !s.trace.Enabled() {
+		return
+	}
+	pr := s.trace.Child("order.prune")
+	pr.SetStr("prefix", key)
+	pr.SetFloat("bound", bound)
+	pr.End()
 }
 
 // seedOrdering walks one complete ordering through the (memoized) prefix
@@ -584,6 +613,8 @@ func (s *orderSearch) warmOrder() ([]factorLevel, []uint8, bool) {
 
 // run drains the branch-and-bound tree and assembles the winning plan.
 func (s *orderSearch) run() (*plan.Plan, error) {
+	s.trace = s.opts.Trace.Child("order.search")
+	defer s.trace.End()
 	s.stats.Orderings = multinomial(s.counts)
 	s.stats.FlatDPSolves = s.stats.Orderings * len(s.pool)
 
@@ -593,14 +624,21 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 	// incumbent keeps whichever is better, so a poor seed can only waste its
 	// own chain's DP steps, never add any elsewhere.
 	if order, ranks, ok := s.warmOrder(); ok {
+		warm := s.trace.Child("order.seed")
+		warm.SetStr("kind", "warm")
 		if cost, feasible := s.seedOrdering(order, ranks); feasible {
 			s.mu.Lock()
 			s.stats.WarmStart = true
 			s.stats.WarmCost = cost
 			s.mu.Unlock()
+			warm.SetFloat("cost", cost)
 		}
+		warm.End()
 	}
+	dive := s.trace.Child("order.seed")
+	dive.SetStr("kind", "dive")
 	s.dive()
+	dive.End()
 
 	par := s.opts.Parallelism
 	if par <= 0 {
@@ -637,6 +675,7 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 				s.mu.Lock()
 				s.stats.Pruned++
 				s.mu.Unlock()
+				s.pruneSpan(n.key, n.bound)
 				continue
 			}
 			batch = append(batch, n)
@@ -672,6 +711,14 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 		s.diagnose()
 	}
 	s.stats.BestCost = s.bestCost
+	if s.trace.Enabled() {
+		s.trace.SetInt("orderings", int64(s.stats.Orderings))
+		s.trace.SetInt("expanded", int64(s.stats.Expanded))
+		s.trace.SetInt("pruned", int64(s.stats.Pruned))
+		s.trace.SetInt("dp_solves", int64(s.stats.DPSolves))
+		s.trace.SetInt("leaves", int64(s.stats.Leaves))
+		s.trace.SetFloat("best_cost", s.bestCost)
+	}
 	if s.opts.Stats != nil {
 		*s.opts.Stats = s.stats
 	}

@@ -16,6 +16,7 @@ import (
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
 	"tofu/internal/graph"
+	"tofu/internal/obs"
 	"tofu/internal/partition"
 	"tofu/internal/plan"
 	"tofu/internal/shape"
@@ -81,6 +82,12 @@ type Options struct {
 	// Stats, when non-nil, receives the ordering-search effort counters of
 	// a topology-aware Partition call (untouched in flat mode).
 	Stats *SearchStats
+	// Trace, if non-nil, records the search's span tree under the given
+	// parent: "coarsen", per-factor "recursive.step" spans (each wrapping
+	// its dp.Solve), and in topology-aware mode the "order.search" tree
+	// with per-prefix expansion and prune spans. nil (the default) records
+	// nothing and costs nothing; spans never influence the chosen plan.
+	Trace *obs.Span
 }
 
 // Partition searches for the best partition plan of a training graph across
@@ -115,10 +122,13 @@ func Partition(g *graph.Graph, k int64, opts Options) (*plan.Plan, error) {
 		return nil, fmt.Errorf("recursive: factors %v do not multiply to %d", factors, k)
 	}
 
+	csp := opts.Trace.Child("coarsen")
 	c, err := coarsen.Coarsen(g)
 	if err != nil {
 		return nil, err
 	}
+	csp.SetInt("groups", int64(len(c.Groups)))
+	csp.End()
 	cache := opts.Cache
 	if cache == nil {
 		cache = dp.NewPriceCache()
@@ -162,6 +172,12 @@ func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, level
 	// Coarse, DType and filter throughout — see dp.Problem.Reuse).
 	reuse := &dp.EvalReuse{}
 	for i, ki := range factors {
+		st := opts.Trace.Child("recursive.step")
+		st.SetInt("step", int64(i+1))
+		st.SetInt("factor", ki)
+		if levels != nil {
+			st.SetInt("level", int64(levels[i]))
+		}
 		res, err := dp.Solve(&dp.Problem{
 			Coarse:         c,
 			K:              ki,
@@ -172,7 +188,9 @@ func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, level
 			Parallelism:    opts.Parallelism,
 			Cache:          cache,
 			Reuse:          reuse,
+			Trace:          st,
 		})
+		st.End()
 		if err != nil {
 			return nil, fmt.Errorf("recursive: step %d (x%d): %w", len(p.Steps)+1, ki, err)
 		}
@@ -229,10 +247,13 @@ type factorLevel struct {
 // both of which choose byte-identical plans to the tree wherever they
 // apply.
 func partitionTopo(g *graph.Graph, k int64, tp topo.Topology, opts Options) (*plan.Plan, error) {
+	csp := opts.Trace.Child("coarsen")
 	c, err := coarsen.Coarsen(g)
 	if err != nil {
 		return nil, err
 	}
+	csp.SetInt("groups", int64(len(c.Groups)))
+	csp.End()
 	cache := opts.Cache
 	if cache == nil {
 		cache = dp.NewPriceCache()

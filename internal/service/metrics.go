@@ -47,9 +47,10 @@ type Metrics struct {
 	sweepDone      atomic.Int64
 	sweepFailed    atomic.Int64
 
-	mu  sync.Mutex
-	lat [latWindow]time.Duration
-	n   int // total observations (ring index = n % latWindow)
+	mu     sync.Mutex
+	lat    [latWindow]time.Duration
+	n      int           // total observations (ring index = n % latWindow)
+	latSum time.Duration // lifetime sum (Prometheus summary _sum)
 }
 
 func (m *Metrics) observeOrderingSearch(st recursive.SearchStats) {
@@ -70,7 +71,17 @@ func (m *Metrics) observeSearch(d time.Duration) {
 	m.mu.Lock()
 	m.lat[m.n%latWindow] = d
 	m.n++
+	m.latSum += d
 	m.mu.Unlock()
+}
+
+// latencySummary returns the lifetime observation count and sum — the
+// _count/_sum legs of the Prometheus search-duration summary (the window
+// percentiles are its quantile legs).
+func (m *Metrics) latencySummary() (count int64, sum time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(m.n), m.latSum
 }
 
 // percentiles returns (p50, p99) over the window, zero when empty.

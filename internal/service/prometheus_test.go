@@ -1,0 +1,126 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tofu/internal/obs"
+	"tofu/internal/service"
+)
+
+// TestPrometheusExposition checks /metrics?format=prometheus is a
+// well-formed text exposition that agrees with the JSON snapshot, and
+// that the plain JSON document is unchanged by the format switch.
+func TestPrometheusExposition(t *testing.T) {
+	_, cl, srv := startServer(t, service.Config{SyncWait: 30 * time.Second})
+	if _, _, err := cl.Partition(context.Background(), service.Request{Model: smallModel}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q is not text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePromText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, body)
+	}
+	byName := map[string]obs.PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"tofu_jobs_done_total", "tofu_requests_cache_misses_total",
+		"tofu_search_duration_seconds", "tofu_cache_entries",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("exposition missing family %s", want)
+		}
+	}
+	if f := byName["tofu_search_duration_seconds"]; f.Type != "summary" || f.Samples != 4 {
+		t.Fatalf("latency summary family = %+v, want summary with 4 samples", f)
+	}
+
+	// The JSON document must be unaffected by the second format existing.
+	jresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var snap service.Snapshot
+	if err := json.NewDecoder(jresp.Body).Decode(&snap); err != nil {
+		t.Fatalf("JSON /metrics no longer decodes as a Snapshot: %v", err)
+	}
+	if snap.JobsDone != 1 {
+		t.Fatalf("snapshot jobs_done = %d, want 1", snap.JobsDone)
+	}
+}
+
+// TestStructuredRequestLog checks the slog access log carries the trace
+// id, digest and cache outcome, and that the trace id is echoed to the
+// client.
+func TestStructuredRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, _, srv := startServer(t, service.Config{SyncWait: 30 * time.Second, Logger: logger})
+
+	body := strings.NewReader(`{"model":{"family":"mlp","depth":4,"width":256,"batch":64}}`)
+	req, err := http.NewRequest("POST", srv.URL+"/v1/partition", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Tofu-Tenant", "team-a")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint — drain
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("Tofu-Trace-Id")
+	if traceID == "" {
+		t.Fatal("no Tofu-Trace-Id response header")
+	}
+
+	var reqRec map[string]any
+	dec := json.NewDecoder(&buf)
+	for {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			break
+		}
+		if rec["msg"] == "request" {
+			reqRec = rec
+		}
+	}
+	if reqRec == nil {
+		t.Fatalf("no request record in log:\n%s", buf.String())
+	}
+	if reqRec["id"] != traceID {
+		t.Fatalf("log trace id %v != header %q", reqRec["id"], traceID)
+	}
+	if reqRec["tenant"] != "team-a" || reqRec["source"] != "search" {
+		t.Fatalf("log record missing tenant/source: %v", reqRec)
+	}
+	digest, _ := reqRec["digest"].(string)
+	if !strings.HasPrefix(digest, "sha256:") {
+		t.Fatalf("log record digest %q is not a content digest", digest)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"time"
 
 	"tofu/internal/plan"
 )
@@ -32,7 +33,11 @@ type apiError struct {
 //	GET  /v1/jobs/{id}      -> 200 Status | 404
 //	GET  /v1/plans/{digest} -> 200 plan | 202 Accepted | 400 | 404
 //	GET  /healthz           -> 200 | 503 (draining)
-//	GET  /metrics           -> 200 Snapshot
+//	GET  /metrics           -> 200 Snapshot (JSON) | Prometheus text with ?format=prometheus
+//
+// When Config.Logger is set, every request is logged structurally (trace
+// id, digest, cache outcome, tenant, status, duration) and the trace id is
+// echoed back in the Tofu-Trace-Id response header.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/partition", s.handlePartition)
@@ -40,7 +45,46 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/plans/{digest}", s.handlePlan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.logRequests(mux)
+}
+
+// statusRecorder captures the status code a handler commits so the access
+// log can report it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests is the structured access log: one record per request with a
+// per-request trace id correlated to the plan content digest the handler
+// served (the Tofu-Digest response header). A nil logger short-circuits to
+// the bare mux — no wrapper, no per-request cost.
+func (s *Service) logRequests(next http.Handler) http.Handler {
+	if s.cfg.Logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := "r" + itoa6(s.reqSeq.Add(1))
+		w.Header().Set("Tofu-Trace-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.cfg.Logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"digest", rec.Header().Get("Tofu-Digest"),
+			"source", rec.Header().Get("Tofu-Source"),
+			"tenant", r.Header.Get("Tofu-Tenant"),
+			"dur_ms", float64(time.Since(start).Microseconds())/1e3,
+		)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -172,5 +216,10 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w) //tofu:allow-errdrop the response is already committed; a write error means the client is gone
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
 }

@@ -5,8 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tofu/internal/plan"
@@ -165,6 +168,9 @@ type Config struct {
 	// Compute overrides the search itself — the test seam. nil means
 	// ComputePlan.
 	Compute func(Request) ([]byte, error)
+	// Logger, when set, receives structured request and job-lifecycle
+	// records (log/slog). nil — the default — logs nothing.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -199,6 +205,7 @@ type Service struct {
 	pricing *PricingCaches
 	metrics *Metrics
 	started time.Time
+	reqSeq  atomic.Int64 // access-log trace-id counter
 
 	mu       sync.Mutex
 	closed   bool
@@ -378,6 +385,15 @@ func shortDigest(d string) string {
 	return d
 }
 
+// itoa6 zero-pads a sequence number to six digits (trace and job ids).
+func itoa6(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	for len(s) < 6 {
+		s = "0" + s
+	}
+	return s
+}
+
 // RecoverPlan returns a finished-but-evicted plan from the retained job
 // index, re-inserting it into the cache. It is the async API's backstop: a
 // plan computed for a 202'd client must survive cache churn at least until
@@ -461,8 +477,18 @@ func (s *Service) run(j *Job) {
 		}
 	}
 	val, err := compute(j.req)
-	s.metrics.observeSearch(time.Since(start))
+	elapsed := time.Since(start)
+	s.metrics.observeSearch(elapsed)
 	s.metrics.inFlight.Add(-1)
+	if lg := s.cfg.Logger; lg != nil {
+		if err != nil {
+			lg.Warn("search failed", "job", j.id, "digest", j.digest, "sweep", j.sweep,
+				"dur_ms", float64(elapsed.Microseconds())/1e3, "err", err.Error())
+		} else {
+			lg.Info("search done", "job", j.id, "digest", j.digest, "sweep", j.sweep,
+				"dur_ms", float64(elapsed.Microseconds())/1e3, "plan_bytes", len(val))
+		}
+	}
 
 	if err == nil {
 		s.persist(j, val)

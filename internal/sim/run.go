@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"strconv"
+
 	"tofu/internal/graphgen"
 	"tofu/internal/memplan"
+	"tofu/internal/obs"
 )
 
 // Result is one simulated training iteration.
@@ -33,22 +36,56 @@ type RunOptions struct {
 	// scales single-GPU throughput without modeling communication, as the
 	// paper's upper-bound baselines do).
 	Replicas int
+	// Timeline, if non-nil, receives the run's virtual-clock execution
+	// events for the representative worker: one compute lane plus one
+	// transfer lane per interconnect level crossed, in virtual seconds.
+	// nil (the default) records nothing; the priced times are identical
+	// either way.
+	Timeline *obs.Timeline
 }
 
-// transferTime prices a per-level byte breakdown: each bucket crosses its
-// own interconnect tier, so each is priced at that tier's bandwidth. On a
-// single-level topology this is exactly bytes/P2PBandwidth.
-func transferTime(topo Topology, byLevel []float64, total float64) float64 {
+// eachTransferLevel walks a per-level byte breakdown: each bucket crosses
+// its own interconnect tier, so each is priced at that tier's bandwidth. On
+// a single-level topology the whole payload goes to level 0. Both the
+// pricing (transferTime) and the timeline emission share this walk, so the
+// exported lanes decompose exactly the seconds the simulator charges.
+func eachTransferLevel(topo Topology, byLevel []float64, total float64, fn func(level int, seconds, bytes float64)) {
 	if len(byLevel) == 0 {
-		return total / topo.LevelBandwidth(0)
+		fn(0, total/topo.LevelBandwidth(0), total)
+		return
 	}
-	t := 0.0
 	for l, b := range byLevel {
 		if b > 0 {
-			t += b / topo.LevelBandwidth(l)
+			fn(l, b/topo.LevelBandwidth(l), b)
 		}
 	}
+}
+
+// transferTime prices a per-level byte breakdown.
+func transferTime(topo Topology, byLevel []float64, total float64) float64 {
+	t := 0.0
+	eachTransferLevel(topo, byLevel, total, func(_ int, seconds, _ float64) { t += seconds })
 	return t
+}
+
+// emitTransfer records one comm-engine transfer as per-level events on the
+// representative worker's "w0/xfer-L<level>" lanes, back to back from
+// start — the comm engine serializes the level crossings the same way
+// transferTime sums them.
+func emitTransfer(tl *obs.Timeline, kind, op string, start float64, topo Topology, byLevel []float64, total float64) {
+	cursor := start
+	eachTransferLevel(topo, byLevel, total, func(level int, seconds, bytes float64) {
+		tl.Add(obs.Event{
+			Lane:  "w0/xfer-L" + strconv.Itoa(level),
+			Name:  kind + " " + op,
+			Kind:  kind,
+			Start: cursor,
+			Dur:   seconds,
+			Bytes: int64(bytes),
+			Level: level,
+		})
+		cursor += seconds
+	})
 }
 
 // Run simulates one training iteration of a sharded execution on one
@@ -78,6 +115,9 @@ func Run(sh *graphgen.Sharded, topo Topology, batch int64, memOpts memplan.Optio
 		if !ro.DisableComm && os.FetchBytes > 0 {
 			fs := maxf(commFree, depReady)
 			fe := fs + transferTime(topo, os.FetchByLevel, os.FetchBytes)
+			if ro.Timeline.Enabled() {
+				emitTransfer(ro.Timeline, "fetch", os.Node.Op, fs, topo, os.FetchByLevel, os.FetchBytes)
+			}
 			commFree = fe
 			res.CommSeconds += fe - fs
 			startReady = fe
@@ -85,6 +125,12 @@ func Run(sh *graphgen.Sharded, topo Topology, batch int64, memOpts memplan.Optio
 		kt := KernelTime(hw, os)
 		cs := maxf(computeFree, startReady)
 		ce := cs + kt
+		if ro.Timeline.Enabled() {
+			ro.Timeline.Add(obs.Event{
+				Lane: "w0/compute", Name: os.Node.Op, Kind: "compute",
+				Start: cs, Dur: kt, Level: -1,
+			})
+		}
 		computeFree = ce
 		res.ComputeSeconds += kt
 
@@ -92,6 +138,9 @@ func Run(sh *graphgen.Sharded, topo Topology, batch int64, memOpts memplan.Optio
 		if !ro.DisableComm && os.OutCommBytes > 0 {
 			rs := maxf(commFree, ce)
 			re := rs + transferTime(topo, os.OutByLevel, os.OutCommBytes)
+			if ro.Timeline.Enabled() {
+				emitTransfer(ro.Timeline, "reduce", os.Node.Op, rs, topo, os.OutByLevel, os.OutCommBytes)
+			}
 			commFree = re
 			res.CommSeconds += re - rs
 			avail = re

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 
 	"tofu/internal/graphgen"
 	"tofu/internal/memplan"
+	"tofu/internal/obs"
 )
 
 // PipelineStage is one stage of a partitioned pipeline: a sharded
@@ -50,11 +52,17 @@ func RunPipelineStages(stages []PipelineStage, batch int64, microBatches int, me
 	period := 0.0
 	var bottleneckRes Result
 	var bottleneckHandoff float64
+	micros := make([]float64, S)
+	handoffs := make([]float64, S)
 	for si, st := range stages {
 		if st.Sharded == nil {
 			return res, fmt.Errorf("sim: stage %d has no sharded execution", si)
 		}
-		r := Run(st.Sharded, st.Topo, batch, memOpts, ro)
+		// Each stage's full-batch profile lands on its own prefixed lanes
+		// ("stage<si>/w0/..."), alongside the micro-batch schedule below.
+		ro2 := ro
+		ro2.Timeline = ro.Timeline.WithPrefix("stage" + strconv.Itoa(si) + "/")
+		r := Run(st.Sharded, st.Topo, batch, memOpts, ro2)
 		handoff := 0.0
 		if si < S-1 && !ro.DisableComm {
 			if st.HandoffBytes > 0 && st.HandoffBandwidth <= 0 {
@@ -67,6 +75,8 @@ func RunPipelineStages(stages []PipelineStage, batch int64, microBatches int, me
 			handoff += st.Topo.HW.PipelineSyncOverhead
 		}
 		p := r.IterSeconds/m + handoff
+		micros[si] = r.IterSeconds / m
+		handoffs[si] = handoff
 		if p > period {
 			period = p
 			bottleneckRes = r
@@ -80,10 +90,49 @@ func RunPipelineStages(stages []PipelineStage, batch int64, microBatches int, me
 		}
 	}
 	res.IterSeconds = (m + float64(S-1)) * period
+	if ro.Timeline.Enabled() {
+		emitPipelineSchedule(ro.Timeline, micros, handoffs, microBatches, period)
+	}
 	res.ComputeSeconds = bottleneckRes.ComputeSeconds
 	res.CommSeconds = bottleneckRes.CommSeconds + m*bottleneckHandoff
 	if res.IterSeconds > 0 {
 		res.Throughput = float64(batch) / res.IterSeconds
 	}
 	return res, nil
+}
+
+// emitPipelineSchedule records the GPipe-style bottleneck-paced schedule:
+// stage s processes micro-batch b in period slot s+b ("pipeline/stage<s>"
+// lanes), hands it downstream for the tail of the slot, and the whole
+// iteration splits into fill / steady / drain phases on the "pipeline"
+// marker lane. Stages idle inside a slot when they are faster than the
+// bottleneck — visible as lane gaps.
+func emitPipelineSchedule(tl *obs.Timeline, micros, handoffs []float64, microBatches int, period float64) {
+	S := len(micros)
+	m := float64(microBatches)
+	fill := float64(S-1) * period
+	if fill > 0 {
+		tl.Add(obs.Event{Lane: "pipeline", Name: "fill", Kind: "fill",
+			Start: 0, Dur: fill, Level: -1})
+	}
+	if steady := m*period - fill; steady > 0 {
+		tl.Add(obs.Event{Lane: "pipeline", Name: "steady", Kind: "steady",
+			Start: fill, Dur: steady, Level: -1})
+	}
+	if fill > 0 {
+		tl.Add(obs.Event{Lane: "pipeline", Name: "drain", Kind: "drain",
+			Start: m * period, Dur: fill, Level: -1})
+	}
+	for s := 0; s < S; s++ {
+		lane := "pipeline/stage" + strconv.Itoa(s)
+		for b := 0; b < microBatches; b++ {
+			slot := float64(s+b) * period
+			tl.Add(obs.Event{Lane: lane, Name: "micro" + strconv.Itoa(b),
+				Kind: "compute", Start: slot, Dur: micros[s], Level: -1})
+			if handoffs[s] > 0 {
+				tl.Add(obs.Event{Lane: lane, Name: "handoff" + strconv.Itoa(b),
+					Kind: "handoff", Start: slot + micros[s], Dur: handoffs[s], Level: -1})
+			}
+		}
+	}
 }

@@ -24,11 +24,13 @@ package tofu
 
 import (
 	"fmt"
+	"io"
 
 	"tofu/internal/baselines"
 	"tofu/internal/core"
 	"tofu/internal/graph"
 	"tofu/internal/models"
+	"tofu/internal/obs"
 	"tofu/internal/partition"
 	"tofu/internal/plan"
 	"tofu/internal/service"
@@ -75,6 +77,15 @@ type (
 	System = baselines.System
 	// Outcome is one (model, system) evaluation.
 	Outcome = baselines.Outcome
+	// TraceSpan is one node of a search trace: a named, timed span with
+	// attributes and children. A nil *TraceSpan is a valid, allocation-free
+	// no-op everywhere one is accepted — set PipelineOptions.Trace to a
+	// NewTraceSpan root to record the search, leave it nil to record nothing.
+	TraceSpan = obs.Span
+	// Timeline collects a simulated run's virtual-clock execution events
+	// (compute and per-level transfer lanes, pipeline stage slots). As with
+	// TraceSpan, nil disables recording at zero cost.
+	Timeline = obs.Timeline
 	// OpDesc is a TDL operator description.
 	OpDesc = tdl.OpDesc
 	// OpBuilder assembles TDL descriptions fluently.
@@ -216,6 +227,43 @@ func SimulateWith(s *Summary, batch int64, opts PipelineOptions) SimResult {
 func SimulatePipeline(s *Summary, batch int64, opts PipelineOptions) (SimResult, error) {
 	return core.SimulatePipeline(s, batch, opts, sim.RunOptions{})
 }
+
+// NewTraceSpan starts a root trace span. Hand it to PipelineOptions.Trace
+// before Partition, call End after, and export with WriteChromeTrace or
+// render with SpanTree. Span timestamps are display-only: the chosen plan
+// is byte-identical with or without tracing.
+func NewTraceSpan(name string) *TraceSpan { return obs.NewSpan(name) }
+
+// NewTimeline starts an empty execution timeline for SimulateTraced /
+// SimulatePipelineTraced. Its events carry virtual-clock (simulated)
+// times, so exports are byte-deterministic.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// SimulateTraced is SimulateWith recording the run's virtual-clock
+// execution events into tl (nil tl = plain SimulateWith). The priced
+// result is identical either way.
+func SimulateTraced(s *Summary, batch int64, opts PipelineOptions, tl *Timeline) SimResult {
+	return core.Simulate(s, batch, opts, sim.RunOptions{Timeline: tl})
+}
+
+// SimulatePipelineTraced is SimulatePipeline with a timeline.
+func SimulatePipelineTraced(s *Summary, batch int64, opts PipelineOptions, tl *Timeline) (SimResult, error) {
+	return core.SimulatePipeline(s, batch, opts, sim.RunOptions{Timeline: tl})
+}
+
+// WriteChromeTrace exports a search span tree and/or execution timeline
+// (either may be nil) as Chrome trace_event JSON — loadable in
+// chrome://tracing and Perfetto. Search spans render as process 1,
+// simulated per-worker lanes as process 2.
+func WriteChromeTrace(w io.Writer, root *TraceSpan, tl *Timeline) error {
+	return obs.WriteChromeTrace(w, root, tl)
+}
+
+// SpanTree renders a span tree as indented human-readable text.
+func SpanTree(root *TraceSpan) string { return obs.SpanTree(root) }
+
+// TimelineSummary renders a timeline's lanes as human-readable text.
+func TimelineSummary(tl *Timeline) string { return obs.TimelineSummary(tl) }
 
 // DefaultHW is the simulated p2.8xlarge the evaluation uses, as a flat
 // machine.
