@@ -5,7 +5,7 @@
 //
 //	tofu-plan [-family wresnet|rnn|mlp] [-depth 152] [-width 10]
 //	          [-batch 8] [-workers 8] [-parallel N]
-//	          [-model-json config.json|-]
+//	          [-search-deadline D] [-model-json config.json|-]
 //	          [-hw <profile>|machine.json]   (profiles: p2.8xlarge, dgx1, dgx2,
 //	           cluster-2x8, cluster-4x2x8, cluster-4x2x12, cluster-8x2x8)
 //
@@ -45,6 +45,9 @@ func main() {
 	microBatches := flag.Int("micro-batches", 0,
 		"micro-batch count for pipelined simulation (0 = one per stage when the batch divides); "+
 			"never changes the chosen plan")
+	searchDeadline := flag.Duration("search-deadline", 0,
+		"wall-clock budget for the search; on expiry the best incumbent found so far is "+
+			"printed marked DEGRADED (0 = unbounded, the proven optimum)")
 	traceOut := flag.String("trace", "",
 		"record the search span tree and simulated execution timeline: a file path gets Chrome "+
 			"trace_event JSON (load in chrome://tracing or Perfetto), '-' prints human-readable text; "+
@@ -83,6 +86,11 @@ func main() {
 		timeline = tofu.NewTimeline()
 		popts.Trace = root
 	}
+	if *searchDeadline > 0 {
+		token, stop := tofu.SearchDeadline(*searchDeadline)
+		defer stop()
+		popts.Cancel = token
+	}
 	s, err := tofu.PartitionWithOptions(m.G, *workers, popts)
 	if err != nil {
 		log.Fatal(err)
@@ -111,6 +119,10 @@ func main() {
 	fmt.Printf("coarsened: %d groups, %d variables, frontier width %d\n",
 		s.Groups, s.Vars, s.Frontier)
 	fmt.Printf("search time: %v\n", s.SearchTime)
+	if s.Degraded {
+		fmt.Printf("DEGRADED: the %v budget expired; this is the best incumbent found, not the proven optimum\n",
+			*searchDeadline)
+	}
 	if st := s.Search; st.Orderings > 0 {
 		fmt.Printf("ordering search: %d orderings (%d costed, %d tree nodes expanded, %d pruned)\n",
 			st.Orderings, st.Leaves, st.Expanded, st.Pruned)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	tofu-search [-flat-budget 20s] [-quick] [-parallel N]
-//	            [-model-json config.json|-]
+//	            [-search-deadline D] [-model-json config.json|-]
 //	            [-hw <profile>|machine.json]
 //
 // -model-json replaces the paper's model pair with the config from a JSON
@@ -39,6 +39,9 @@ func main() {
 	pipeline := flag.Bool("pipeline", false,
 		"also run the joint hybrid-parallelism benchmark: pipeline stages x partition DP "+
 			"against tensor-only search on the hierarchical cluster profiles")
+	searchDeadline := flag.Duration("search-deadline", 0,
+		"wall-clock budget per recursive search; deadline-stopped searches report their "+
+			"incumbent and their timing cell is starred (0 = unbounded)")
 	trace := flag.Bool("trace", false,
 		"first print the span tree of one representative traced search (the measured model, "+
 			"or a small MLP) — where the search's time goes, subsystem by subsystem")
@@ -48,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel}
+	opts := experiments.Opts{Quick: *quick, FlatBudget: *budget, Parallelism: *parallel, SearchDeadline: *searchDeadline}
 	if *modelJSON != "" {
 		cfg, err := models.ReadConfig(*modelJSON)
 		if err != nil {

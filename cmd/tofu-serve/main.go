@@ -9,7 +9,18 @@
 //	           [-queue-depth 64] [-sync-wait 2s] [-parallel N]
 //	           [-drain-timeout 30s] [-store DIR] [-store-fsync]
 //	           [-tenant-quota N] [-sweep manifest.json] [-sweep-interval 250ms]
-//	           [-log-format text|json] [-pprof]
+//	           [-search-deadline D] [-search-watchdog D] [-degraded-policy serve|fail]
+//	           [-faultfs SPEC] [-log-format text|json] [-pprof]
+//
+// -search-deadline bounds each search's wall clock: a search that exhausts
+// its budget returns its best incumbent, served with a `Tofu-Degraded: true`
+// header (or turned into a 503 under -degraded-policy fail). Requests can
+// carry their own "deadline_ms", which also folds into the content digest.
+// -search-watchdog caps any single search regardless of deadline, so a
+// wedged job degrades instead of pinning a worker. Deadline-bounded
+// requests the queue demonstrably cannot serve in budget are refused up
+// front with 503 + Retry-After. -faultfs injects store faults for chaos
+// testing (see internal/faultfs.ParseSpec).
 //
 // -store layers a persistent content-addressed plan store under the in-memory
 // LRU: plans computed by any replica sharing DIR are served from disk (after
@@ -34,7 +45,9 @@
 //	GET  /healthz, /metrics (JSON; ?format=prometheus for text exposition)
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and running
-// searches finish (bounded by -drain-timeout), then the process exits.
+// searches finish (bounded by -drain-timeout; searches still running at the
+// bound are cancelled through the anytime path, so a wedged search cannot
+// stall shutdown), then the process exits.
 package main
 
 import (
@@ -51,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"tofu/internal/faultfs"
 	"tofu/internal/service"
 	"tofu/internal/store"
 )
@@ -74,6 +88,14 @@ func main() {
 		"fsync store writes (survive power loss, not just process death)")
 	tenantQuota := flag.Int("tenant-quota", 0,
 		"max concurrent searches per Tofu-Tenant header (0 = unlimited)")
+	searchDeadline := flag.Duration("search-deadline", 0,
+		"default wall-clock budget per search; on expiry the best incumbent is served marked degraded (0 = unbounded; requests with deadline_ms keep theirs)")
+	searchWatchdog := flag.Duration("search-watchdog", 0,
+		"hard cap on any single search's run time, regardless of deadline (0 = none)")
+	degradedPolicy := flag.String("degraded-policy", service.DegradedServe,
+		"what to do with deadline-stopped incumbents: serve (with a Tofu-Degraded header) or fail (503)")
+	faultSpec := flag.String("faultfs", "",
+		"store fault-injection spec for chaos testing, e.g. 'read:*.plan:corrupt:3' (empty = off)")
 	sweepPath := flag.String("sweep", "",
 		"fleet manifest JSON to precompute in the background on idle capacity")
 	sweepInterval := flag.Duration("sweep-interval", 250*time.Millisecond,
@@ -100,25 +122,43 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *degradedPolicy != service.DegradedServe && *degradedPolicy != service.DegradedFail {
+		fmt.Fprintf(os.Stderr, "tofu-serve: unknown -degraded-policy %q (want serve or fail)\n", *degradedPolicy)
+		os.Exit(2)
+	}
+
 	var st *store.Store
 	if *storeDir != "" {
-		var err error
-		st, err = store.Open(*storeDir, store.Options{Fsync: *storeFsync})
+		inj, err := faultfs.ParseSpec(*faultSpec)
 		if err != nil {
 			fatal(err)
 		}
+		var fsys faultfs.FS
+		if inj != nil {
+			fsys = inj
+			logger.Warn("store fault injection active", "spec", *faultSpec)
+		}
+		st, err = store.Open(*storeDir, store.Options{Fsync: *storeFsync, FS: fsys})
+		if err != nil {
+			fatal(err)
+		}
+	} else if *faultSpec != "" {
+		fatal(fmt.Errorf("-faultfs requires -store"))
 	}
 
 	svc := service.New(service.Config{
-		CacheSize:   *cacheSize,
-		CacheBytes:  *cacheBytes,
-		Workers:     *pool,
-		QueueDepth:  *queueDepth,
-		SyncWait:    *syncWait,
-		Parallelism: *parallel,
-		Store:       st,
-		TenantQuota: *tenantQuota,
-		Logger:      logger,
+		CacheSize:       *cacheSize,
+		CacheBytes:      *cacheBytes,
+		Workers:         *pool,
+		QueueDepth:      *queueDepth,
+		SyncWait:        *syncWait,
+		Parallelism:     *parallel,
+		Store:           st,
+		TenantQuota:     *tenantQuota,
+		DefaultDeadline: *searchDeadline,
+		Watchdog:        *searchWatchdog,
+		DegradedPolicy:  *degradedPolicy,
+		Logger:          logger,
 	})
 
 	var sweeper *service.Sweeper

@@ -4,6 +4,7 @@
 //	mapiter   map iteration must not feed ordered output unsorted
 //	hotalloc  //tofu:hotpath functions must not allocate
 //	nodeterm  //tofu:searchpath packages must be deterministic
+//	ctxpoll   unbounded //tofu:searchpath loops must poll cancellation
 //	errdrop   error returns must not be discarded outside tests
 //
 // Standalone:
@@ -30,6 +31,7 @@ import (
 	"strings"
 
 	"tofu/internal/analysis"
+	"tofu/internal/analysis/ctxpoll"
 	"tofu/internal/analysis/errdrop"
 	"tofu/internal/analysis/hotalloc"
 	"tofu/internal/analysis/mapiter"
@@ -38,10 +40,11 @@ import (
 
 // version participates in go vet's action cache key (-V=full); bump it when
 // analyzer behavior changes so cached clean verdicts are invalidated.
-const version = "tofu-vet-1"
+const version = "tofu-vet-2"
 
 func analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxpoll.Analyzer,
 		errdrop.Analyzer,
 		hotalloc.Analyzer,
 		mapiter.Analyzer,

@@ -1,0 +1,104 @@
+// Package ctxpoll enforces the anytime-search contract in the search code
+// paths: every loop that can run an unbounded number of iterations must
+// poll its cancellation token, or a deadline-bounded request can wedge a
+// worker until the watchdog fires instead of returning its incumbent.
+//
+// Scope is annotation-driven, like nodeterm: the analyzer only fires in
+// packages whose package doc carries //tofu:searchpath. Inside those
+// packages it flags while-style `for` loops — no init, no post, and a
+// condition that is absent (`for {`) or itself calls a function (`for
+// pq.Len() > 0 {`) — whose body never calls a method or function named
+// Cancelled. Those are exactly the work loops whose trip count depends on
+// data, not on a counter the compiler can see; bounded three-clause loops
+// (`for i := 0; i < n; i++`) and `range` loops walk a value of known
+// extent and are exempt.
+//
+// A loop that is provably short or whose cancellation is polled by its
+// callee is suppressed with `//tofu:allow-ctxpoll <reason>`.
+package ctxpoll
+
+import (
+	"go/ast"
+
+	"tofu/internal/analysis"
+)
+
+// Analyzer is the ctxpoll pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "ctxpoll",
+	Doc:   "unbounded loops in //tofu:searchpath packages must poll cancellation (call Cancelled)",
+	Allow: "ctxpoll",
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMarked(pass.Files, "searchpath") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || !unbounded(loop) {
+				return true
+			}
+			if !pollsCancellation(loop.Body) {
+				pass.Reportf(loop.Pos(), "unbounded loop in search path never polls cancellation: call token.Cancelled() (or //tofu:allow-ctxpoll with why it is bounded)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unbounded reports whether loop is a while-style `for` whose trip count
+// the source does not bound: no init/post clause, and a condition that is
+// either absent or depends on a call (`pq.Len() > 0`, `ok()`, ...). A
+// condition built only from variables (`for done {`) still terminates only
+// when the body says so, but flagging it would also catch trivial
+// flag-polling wrappers; the call-bearing shape is where the search's real
+// work loops live.
+func unbounded(loop *ast.ForStmt) bool {
+	if loop.Init != nil || loop.Post != nil {
+		return false
+	}
+	if loop.Cond == nil {
+		return true
+	}
+	calls := false
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			calls = true
+			return false
+		}
+		return true
+	})
+	return calls
+}
+
+// pollsCancellation reports whether body contains a call to a function or
+// method named Cancelled — the cancel.Token poll (a nil-token call is one
+// pointer comparison, so polling is always affordable). Matching by name
+// rather than full type keeps the check useful in fixtures and across
+// wrapper types; a false negative here costs a missed warning, never a
+// false alarm.
+func pollsCancellation(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fn.Sel.Name == "Cancelled" {
+				found = true
+			}
+		case *ast.Ident:
+			if fn.Name == "Cancelled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"tofu/internal/analysis/analysistest"
+	"tofu/internal/analysis/ctxpoll"
+)
+
+func TestCtxpoll(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxpoll.Analyzer, "a", "b")
+}

@@ -1,0 +1,76 @@
+// Package a stands in for a search-path package: the marker below opts it
+// into ctxpoll scope, as internal/dp and friends do in the real tree.
+//
+//tofu:searchpath fixture
+package a
+
+type token struct{}
+
+func (token) Cancelled() error { return nil }
+
+type queue struct{ items []int }
+
+func (q *queue) Len() int   { return len(q.items) }
+func (q *queue) Pop() int   { v := q.items[0]; q.items = q.items[1:]; return v }
+func (q *queue) work(v int) {}
+
+// drain is the canonical offender: trip count depends on data pushed by
+// the body, and nothing ever polls cancellation.
+func drain(q *queue) {
+	for q.Len() > 0 { // want `unbounded loop in search path never polls cancellation`
+		q.work(q.Pop())
+	}
+}
+
+// spin has no condition at all: unbounded until a break nobody can force.
+func spin(q *queue) {
+	for { // want `unbounded loop in search path never polls cancellation`
+		if q.Len() == 0 {
+			return
+		}
+		q.work(q.Pop())
+	}
+}
+
+// drainPolled is the required shape: the loop checks its token, so a
+// deadline turns into an incumbent return instead of a wedged worker.
+func drainPolled(q *queue, tok token) {
+	for q.Len() > 0 {
+		if tok.Cancelled() != nil {
+			return
+		}
+		q.work(q.Pop())
+	}
+}
+
+// counted three-clause loops walk a bound the source states; exempt.
+func counted(q *queue, n int) {
+	for i := 0; i < n; i++ {
+		q.work(i)
+	}
+}
+
+// ranged loops walk a value of known extent; exempt.
+func ranged(q *queue, xs []int) {
+	for _, x := range xs {
+		q.work(x)
+	}
+}
+
+// flagged polls a plain variable, not a call: terminates only when the
+// body flips it, but the call-free shape is out of scope by design.
+func flagged(q *queue, done bool) {
+	for !done {
+		done = q.Len() == 0
+	}
+}
+
+// bounded is the documented escape hatch for loops whose trip count is
+// provably small or whose callee polls.
+//
+//tofu:allow-ctxpoll fixture: drains a queue the caller bounded to 4 entries
+func bounded(q *queue) {
+	for q.Len() > 0 {
+		q.work(q.Pop())
+	}
+}

@@ -1,0 +1,13 @@
+// Package b carries no searchpath marker: ctxpoll stays silent however
+// unbounded the loops are.
+package b
+
+type queue struct{ items []int }
+
+func (q *queue) Len() int { return len(q.items) }
+
+func drain(q *queue) {
+	for q.Len() > 0 {
+		q.items = q.items[1:]
+	}
+}

@@ -1,0 +1,166 @@
+// Package cancel provides the cooperative cancellation token the search
+// layers poll at their sweep and expansion boundaries.
+//
+// The design mirrors internal/obs's nil-receiver tracing: a nil *Token is a
+// valid, allocation-free no-op, so the hot path pays exactly one pointer
+// comparison when no deadline is set and the byte-identical-plan invariant
+// is untouched. A non-nil token is an atomic flag the owner (service job,
+// CLI deadline, watchdog) flips from outside; search code only ever reads
+// it — timers, signals and contexts live here, never in //tofu:searchpath
+// packages, which keeps the nodeterm analyzer's clock ban intact.
+//
+// Cancellation is cooperative and layered: each search layer checks
+// Cancelled() between units of work and, when set, returns its best
+// incumbent marked Degraded (or the token's reason as an error when it has
+// produced nothing yet). The poll points are coarse — once per DP group
+// sweep, per branch-and-bound expansion, per pipeline-boundary DFS node —
+// so a set token stops a search within one unit, not one instruction.
+package cancel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDeadline is the reason recorded when a time budget expires.
+var ErrDeadline = errors.New("search deadline exceeded")
+
+// ErrCancelled is the generic reason for an explicit Cancel() with no
+// reason of its own.
+var ErrCancelled = errors.New("search cancelled")
+
+// Token is a cooperative cancellation flag. The zero value is ready to use;
+// a nil *Token never cancels and costs one nil check to poll.
+type Token struct {
+	done   atomic.Bool
+	reason atomic.Pointer[error]
+
+	// budget is the deadline this token was armed with (WithTimeout), in
+	// effect the content-addressable part of the token: two searches with
+	// the same budget are the same request even though their wall-clock
+	// expiry differs. Zero for tokens without a time budget.
+	budget time.Duration
+
+	// pollLimit > 0 switches the token to deterministic test mode: every
+	// Cancelled() call counts, and the token trips at exactly pollLimit
+	// polls — the same tick on every run at a fixed parallelism.
+	pollLimit int64
+	polls     atomic.Int64
+}
+
+// New returns an unarmed token. Cancel it explicitly, or arm a timer with
+// CancelAfter / use WithTimeout.
+func New() *Token { return &Token{} }
+
+// WithTimeout returns a token that cancels itself with ErrDeadline after d,
+// and the stop function disarming the timer (call it when the search
+// returns, like context.CancelFunc). d <= 0 returns a nil token — no
+// deadline, no cost.
+func WithTimeout(d time.Duration) (*Token, func()) {
+	if d <= 0 {
+		return nil, func() {}
+	}
+	t := &Token{budget: d}
+	stop := t.CancelAfter(d, ErrDeadline)
+	return t, stop
+}
+
+// AfterPolls returns a token that cancels itself with ErrDeadline at
+// exactly the n-th Cancelled() poll. No wall clock is involved, so a search
+// run under it degrades at the same point on every run — the deterministic
+// stand-in for a timer in tests.
+func AfterPolls(n int64) *Token {
+	if n <= 0 {
+		n = 1
+	}
+	return &Token{pollLimit: n}
+}
+
+// CancelAfter arms a timer that cancels the token with reason after d. The
+// returned stop function disarms it; calling stop after the timer fired is
+// a no-op. Several timers may be armed on one token (deadline + watchdog);
+// the first to fire wins.
+func (t *Token) CancelAfter(d time.Duration, reason error) (stop func()) {
+	tm := time.AfterFunc(d, func() { t.Cancel(reason) })
+	return func() { tm.Stop() }
+}
+
+// Cancel trips the token with reason (nil records ErrCancelled). Only the
+// first call's reason is kept; later calls are no-ops. Safe for concurrent
+// use from any goroutine.
+func (t *Token) Cancel(reason error) {
+	if t == nil {
+		return
+	}
+	if reason == nil {
+		reason = ErrCancelled
+	}
+	// CompareAndSwap makes the first canceller the one whose reason sticks:
+	// the pointer is published before done flips, so any reader that
+	// observes done==true also observes the reason.
+	if t.reason.CompareAndSwap(nil, &reason) {
+		t.done.Store(true)
+	}
+}
+
+// Cancelled reports whether the token has tripped. Nil receiver: false at
+// the cost of one comparison. This is the only call search code makes.
+func (t *Token) Cancelled() bool {
+	if t == nil {
+		return false
+	}
+	if t.pollLimit > 0 && t.polls.Add(1) >= t.pollLimit {
+		t.Cancel(ErrDeadline)
+	}
+	return t.done.Load()
+}
+
+// Err returns the cancellation reason, or nil while the token is live.
+func (t *Token) Err() error {
+	if t == nil {
+		return nil
+	}
+	if p := t.reason.Load(); p != nil {
+		return *p
+	}
+	if t.done.Load() {
+		return ErrCancelled
+	}
+	return nil
+}
+
+// Budget returns the time budget this token was armed with via WithTimeout
+// (zero for unarmed or poll-limited tokens). It is what a digest folds in:
+// the request-level deadline, not the nondeterministic expiry instant.
+func (t *Token) Budget() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.budget
+}
+
+// Reason wraps err so IsCancellation recognizes it — for layers that want
+// to surface "cancelled while doing X" without losing the marker.
+func Reason(err error, format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, err)...)
+}
+
+// IsCancellation reports whether err is (or wraps) a cancellation reason —
+// a deadline, an explicit cancel, or anything recorded via Cancel. Layers
+// use it to keep cancellation errors out of infeasibility diagnostics: a
+// search that was stopped is not a search that proved "no plan exists".
+func IsCancellation(err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrCancelled) || errors.Is(err, errMarker)
+}
+
+// errMarker lets owners mint their own reasons (watchdog, shutdown) that
+// IsCancellation still recognizes: wrap it with NewReason.
+var errMarker = errors.New("cancellation")
+
+// NewReason creates a distinct cancellation reason (e.g. "watchdog fired",
+// "server shutting down") that IsCancellation recognizes.
+func NewReason(msg string) error {
+	return fmt.Errorf("%s: %w", msg, errMarker)
+}

@@ -1,0 +1,132 @@
+package cancel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilToken(t *testing.T) {
+	var tok *Token
+	if tok.Cancelled() {
+		t.Fatal("nil token reports cancelled")
+	}
+	if tok.Err() != nil {
+		t.Fatalf("nil token has reason %v", tok.Err())
+	}
+	if tok.Budget() != 0 {
+		t.Fatalf("nil token has budget %v", tok.Budget())
+	}
+	tok.Cancel(ErrDeadline) // must not panic
+}
+
+func TestCancelReasonFirstWins(t *testing.T) {
+	tok := New()
+	if tok.Cancelled() {
+		t.Fatal("fresh token cancelled")
+	}
+	first := errors.New("first")
+	tok.Cancel(first)
+	tok.Cancel(errors.New("second"))
+	if !tok.Cancelled() {
+		t.Fatal("cancelled token reports live")
+	}
+	if !errors.Is(tok.Err(), first) {
+		t.Fatalf("reason = %v, want first", tok.Err())
+	}
+}
+
+func TestCancelNilReason(t *testing.T) {
+	tok := New()
+	tok.Cancel(nil)
+	if !errors.Is(tok.Err(), ErrCancelled) {
+		t.Fatalf("reason = %v, want ErrCancelled", tok.Err())
+	}
+}
+
+func TestAfterPollsDeterministic(t *testing.T) {
+	const n = 5
+	trip := func() int {
+		tok := AfterPolls(n)
+		for i := 1; ; i++ {
+			if tok.Cancelled() {
+				return i
+			}
+		}
+	}
+	a, b := trip(), trip()
+	if a != b || a != n {
+		t.Fatalf("tripped at polls %d and %d, want both %d", a, b, n)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	tok, stop := WithTimeout(time.Millisecond)
+	defer stop()
+	if tok.Budget() != time.Millisecond {
+		t.Fatalf("budget = %v", tok.Budget())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !tok.Cancelled() {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout token never tripped")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if !errors.Is(tok.Err(), ErrDeadline) {
+		t.Fatalf("reason = %v, want ErrDeadline", tok.Err())
+	}
+}
+
+func TestWithTimeoutZeroIsNil(t *testing.T) {
+	tok, stop := WithTimeout(0)
+	stop()
+	if tok != nil {
+		t.Fatal("zero budget should return the free nil token")
+	}
+}
+
+func TestCancelAfterStop(t *testing.T) {
+	tok := New()
+	stop := tok.CancelAfter(time.Hour, ErrDeadline)
+	stop()
+	if tok.Cancelled() {
+		t.Fatal("disarmed timer cancelled the token")
+	}
+}
+
+func TestIsCancellation(t *testing.T) {
+	watchdog := NewReason("watchdog fired")
+	for _, err := range []error{ErrDeadline, ErrCancelled, watchdog,
+		Reason(ErrDeadline, "while expanding group %d", 3)} {
+		if !IsCancellation(err) {
+			t.Errorf("IsCancellation(%v) = false", err)
+		}
+	}
+	if IsCancellation(errors.New("disk on fire")) {
+		t.Error("unrelated error classified as cancellation")
+	}
+	if IsCancellation(nil) {
+		t.Error("nil classified as cancellation")
+	}
+}
+
+func TestConcurrentCancelRace(t *testing.T) {
+	tok := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tok.Cancelled()
+			}
+		}()
+	}
+	tok.Cancel(ErrDeadline)
+	wg.Wait()
+	if !tok.Cancelled() || tok.Err() == nil {
+		t.Fatal("token lost its cancellation under concurrent polls")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"tofu/internal/cancel"
 	"tofu/internal/coarsen"
 	"tofu/internal/graph"
 	"tofu/internal/graphgen"
@@ -42,6 +43,14 @@ type Options struct {
 	// hybrid segments, pricing). nil — the default — records nothing and
 	// adds no allocations; plans are byte-identical either way.
 	Trace *obs.Span
+	// Cancel, if non-nil, bounds the search: every layer polls the token at
+	// its sweep/expansion boundaries and, when it trips, returns its best
+	// incumbent marked Degraded (see Summary.Degraded) or the token's
+	// reason when nothing completed in the budget. Arm one with
+	// cancel.WithTimeout for a wall-clock deadline. nil — the default —
+	// costs one pointer comparison per poll and leaves plans
+	// byte-identical at any parallelism.
+	Cancel *cancel.Token
 }
 
 // PipelineSpec requests hybrid (pipeline x partition) search.
@@ -99,6 +108,10 @@ type Summary struct {
 	Frontier int
 	// Groups and Vars describe the coarsened search space.
 	Groups, Vars int
+	// Degraded reports that Options.Cancel tripped mid-search and Plan is
+	// the best incumbent found within the budget rather than the proven
+	// optimum (mirrors Plan.Degraded). Deadline-free runs never set it.
+	Degraded bool
 }
 
 // Partition runs the full Tofu pipeline on a training graph for k workers.
@@ -127,6 +140,9 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 	if search.Trace == nil {
 		search.Trace = opts.Trace
 	}
+	if search.Cancel == nil {
+		search.Cancel = opts.Cancel
+	}
 	start := time.Now()
 	p, err := recursive.Partition(g, k, search)
 	if err != nil {
@@ -154,6 +170,7 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Summary, error) {
 		Frontier:   co.MaxFrontier(),
 		Groups:     len(co.Groups),
 		Vars:       len(co.Vars),
+		Degraded:   p.Degraded,
 	}, nil
 }
 
@@ -180,6 +197,7 @@ func partitionHybrid(g *graph.Graph, k int64, co *coarsen.Coarse, opts Options) 
 		Exhaustive:  opts.Pipeline.Exhaustive,
 		Stats:       &st,
 		Trace:       opts.Trace,
+		Cancel:      opts.Cancel,
 	})
 	if err != nil {
 		return nil, err
@@ -192,6 +210,7 @@ func partitionHybrid(g *graph.Graph, k int64, co *coarsen.Coarse, opts Options) 
 		Frontier:   co.MaxFrontier(),
 		Groups:     len(co.Groups),
 		Vars:       len(co.Vars),
+		Degraded:   res.Plan.Degraded,
 	}
 	// Memory is per-GPU: the worst stage's footprint bounds the machine.
 	for _, stg := range res.Stages {

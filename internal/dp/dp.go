@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"tofu/internal/cancel"
 	"tofu/internal/coarsen"
 	"tofu/internal/obs"
 	"tofu/internal/partition"
@@ -84,6 +85,12 @@ type Problem struct {
 	// parent. A nil Trace — the default — is a strict no-op: spans never
 	// influence the sweep, so plans stay byte-identical either way.
 	Trace *obs.Span
+	// Cancel, if non-nil, is polled once per group sweep; a tripped token
+	// aborts Solve with its reason. The DP has no incumbent to degrade to —
+	// a partial frontier is not a plan — so cancellation here is an error
+	// the recursive layer above turns into its own best incumbent. A nil
+	// token (the default) costs one pointer comparison per group.
+	Cancel *cancel.Token
 }
 
 // EvalReuse is the cross-step evaluator carrier; see Problem.Reuse.
@@ -189,6 +196,9 @@ func Solve(p *Problem) (*Result, error) {
 	comboLays := make([]layout, len(c.Groups))
 	prev := initialFrontier()
 	for gi, g := range c.Groups {
+		if p.Cancel.Cancelled() {
+			return nil, cancel.Reason(p.Cancel.Err(), "dp: cancelled before group %d/%d", gi, len(c.Groups))
+		}
 		comboLays[gi] = makeLayout(g.NewVars, sl.alphas)
 		// Guard the flattened index arithmetic: combination and state
 		// indices must fit int32 (they are stored as compact trace

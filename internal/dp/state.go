@@ -248,10 +248,10 @@ func selectCheapest(idxs []int32, cost []float64, k int) {
 		}
 		i, j := lo, hi-1
 		for i <= j {
-			for cheaper(idxs[i], pivot, cost) {
+			for cheaper(idxs[i], pivot, cost) { //tofu:allow-ctxpoll quickselect scan: the pivot sentinel stops i inside the slice
 				i++
 			}
-			for cheaper(pivot, idxs[j], cost) {
+			for cheaper(pivot, idxs[j], cost) { //tofu:allow-ctxpoll quickselect scan: the pivot sentinel stops j inside the slice
 				j--
 			}
 			if i <= j {

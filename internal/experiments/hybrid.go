@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"tofu/internal/cancel"
 	"tofu/internal/core"
 	"tofu/internal/models"
 	"tofu/internal/sim"
@@ -64,9 +65,12 @@ func Hybrid(o Opts, tp sim.Topology) (string, error) {
 		hopts.Topology = &topo
 		hopts.Search.Parallelism = o.Parallelism
 		hopts.Pipeline = &core.PipelineSpec{}
+		tok, stopTok := cancel.WithTimeout(o.SearchDeadline)
+		hopts.Cancel = tok
 		start := time.Now()
 		hs, err := core.Partition(m.G, k, hopts)
 		searchTime := time.Since(start)
+		stopTok()
 		if err != nil {
 			tab.add(topo.Name, fmt.Sprint(k), r.cfg.String(), "infeasible",
 				"", "", "", "", "", fmt.Sprintf("%.3f", tensorRes.IterSeconds), "",
@@ -92,11 +96,20 @@ func Hybrid(o Opts, tp sim.Topology) (string, error) {
 			fmt.Sprintf("%.3f", hybridRes.IterSeconds),
 			gb(float64(ts.Memory.PeakBytes)),
 			gb(float64(hs.Memory.PeakBytes)),
-			fmt.Sprint(searchTime.Round(time.Millisecond)),
+			searchCell(searchTime, hs.Degraded),
 		)
 	}
 	var sb strings.Builder
 	sb.WriteString("Hybrid parallelism: joint pipeline+partition search vs tensor-only (plans byte-identical to the exhaustive boundary oracle)\n")
 	sb.WriteString(tab.String())
 	return sb.String(), nil
+}
+
+// searchCell renders a search-time cell, starring deadline-degraded runs.
+func searchCell(d time.Duration, degraded bool) string {
+	cell := d.Round(time.Millisecond).String()
+	if degraded {
+		cell += "*"
+	}
+	return cell
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tofu/internal/baselines"
+	"tofu/internal/cancel"
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
 	"tofu/internal/models"
@@ -30,6 +31,10 @@ type Opts struct {
 	// flag); nil keeps the paper's WResNet-152 / RNN-10 pair. Takes
 	// precedence over Quick's trimmed pair.
 	Models []models.Config
+	// SearchDeadline bounds each recursive search's wall clock (0 = none).
+	// A deadline-stopped search reports its incumbent; its timing cell is
+	// suffixed "*" to mark a degraded, not proven-optimal, result.
+	SearchDeadline time.Duration
 }
 
 // DefaultOpts is the full-fidelity configuration.
@@ -74,10 +79,16 @@ func Table1(o Opts, topo sim.Topology) (string, error) {
 		// machines, where the ordering search multiplies the DP runs).
 		k := int64(topo.NumGPUs())
 		start := time.Now()
-		if _, err := recursive.Partition(m.G, k, recursive.Options{Parallelism: o.Parallelism, Topology: &topo}); err != nil {
+		tok, stopTok := cancel.WithTimeout(o.SearchDeadline)
+		p, err := recursive.Partition(m.G, k, recursive.Options{Parallelism: o.Parallelism, Topology: &topo, Cancel: tok})
+		stopTok()
+		if err != nil {
 			return "", err
 		}
 		recCells[i] = time.Since(start).Round(time.Millisecond).String()
+		if p.Degraded {
+			recCells[i] += "*"
+		}
 
 		// Flat multi-dimensional DP under budget.
 		c, err := coarsen.Coarsen(m.G)

@@ -60,6 +60,9 @@ func (s *search) assemble(ls *levelState, set []int) (*Result, error) {
 			Workers:      ls.kSub,
 			HandoffBytes: hb,
 		})
+		// A stage whose own search ran out of budget taints the whole
+		// assembly: the combined plan is only as proven as its weakest stage.
+		combined.Degraded = combined.Degraded || sg.plan.Degraded
 		for _, st := range sg.plan.Steps {
 			combined.Steps = append(combined.Steps,
 				remapStep(st, sub, len(s.g.Tensors), len(s.g.Nodes), si))
@@ -77,6 +80,9 @@ func (s *search) assemble(ls *levelState, set []int) (*Result, error) {
 		}
 	}
 	combined.Pipeline = info
+	// A boundary walk the deadline stopped early ships its incumbent under
+	// the same marker: feasible, priced, but not a proven optimum.
+	combined.Degraded = combined.Degraded || s.cancelled
 	res.Plan = combined
 	return res, nil
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 
+	"tofu/internal/cancel"
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
 	"tofu/internal/graph"
@@ -68,6 +69,12 @@ type Options struct {
 	// segment's full recursive search). nil records nothing and costs
 	// nothing; spans never influence the chosen plan.
 	Trace *obs.Span
+	// Cancel, if non-nil, is polled at every boundary-tree node and plumbed
+	// into each segment's recursive search. On a tripped token the search
+	// returns its best incumbent (the balanced seed counts) marked
+	// plan.Degraded, or the token's reason when nothing completed. nil (the
+	// default) costs a pointer comparison per poll.
+	Cancel *cancel.Token
 }
 
 // Stats reports the joint search's effort.
@@ -191,6 +198,10 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Result, error) {
 		bestSet []int
 	)
 	for _, level := range levels {
+		if opts.Cancel.Cancelled() {
+			s.cancelled = true
+			break
+		}
 		lsp := opts.Trace.Child("hybrid.level")
 		lsp.SetInt("level", int64(level))
 		ls, err := s.newLevelState(level)
@@ -214,6 +225,9 @@ func Partition(g *graph.Graph, k int64, opts Options) (*Result, error) {
 		}
 	}
 	if bestLS == nil {
+		if s.cancelled {
+			return nil, cancel.Reason(opts.Cancel.Err(), "hybrid: cancelled before any stage assignment completed")
+		}
 		return nil, s.infeasibleErr()
 	}
 	s.stats.Level = bestLS.level
@@ -250,6 +264,10 @@ type search struct {
 	stats   Stats
 	errs    []error
 	errSeen map[string]bool
+	// cancelled flips when the token trips (polled here or surfaced by a
+	// cancelled segment search); the walk winds down and the incumbent — if
+	// any — ships as a degraded plan.
+	cancelled bool
 }
 
 type segKey struct{ lo, hi int }
@@ -323,6 +341,12 @@ func (s *search) extract(lo, hi int) (*graph.Subgraphed, error) {
 
 func (s *search) addErr(err error) {
 	if err == nil {
+		return
+	}
+	if cancel.IsCancellation(err) {
+		// A cancelled segment proves nothing about feasibility; keep the
+		// reason out of the diagnostics and wind the walk down.
+		s.cancelled = true
 		return
 	}
 	if s.errSeen == nil {

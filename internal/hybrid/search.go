@@ -203,6 +203,7 @@ func (ls *levelState) segment(lo, hi int) *segment {
 		Topology:    &ls.subTopo,
 		Stats:       &inner,
 		Trace:       ssp,
+		Cancel:      ls.s.opts.Cancel,
 	})
 	if ls.subTopo.Hierarchical() {
 		ls.s.stats.DPSolves = satAdd(ls.s.stats.DPSolves, int64(inner.DPSolves))
@@ -337,6 +338,12 @@ func (ls *levelState) leafCost(set []int) (float64, bool) {
 // solve (prefix floor + suffix floor — this is where dp.Solve calls are
 // saved) and after it (exact prefix + suffix floor).
 func (ls *levelState) dfs(j, prev int, g float64, chosen []int) {
+	if ls.s.opts.Cancel.Cancelled() {
+		// Wind the walk down; the incumbent (balanced seed or an earlier
+		// leaf) ships as the degraded answer.
+		ls.s.cancelled = true
+		return
+	}
 	ls.s.stats.Expanded++
 	L := len(ls.s.c.Groups)
 	bound := !ls.s.opts.Exhaustive

@@ -114,7 +114,7 @@ func spanEvents(root *Span) []TraceEvent {
 	place := func(f flatSpan) int {
 		end := f.ts + f.dur
 		for i, ln := range lanes {
-			for len(ln.open) > 0 && ln.open[len(ln.open)-1] <= f.ts {
+			for len(ln.open) > 0 && ln.open[len(ln.open)-1] <= f.ts { //tofu:allow-ctxpoll pops one open interval per iteration; bounded by the lane's stack depth
 				ln.open = ln.open[:len(ln.open)-1]
 			}
 			if len(ln.open) == 0 || end <= ln.open[len(ln.open)-1] {

@@ -36,7 +36,7 @@ func ParsePromText(r io.Reader) ([]PromFamily, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
-	for sc.Scan() {
+	for sc.Scan() { //tofu:allow-ctxpoll one line of finite scrape input per iteration
 		lineNo++
 		line := sc.Text()
 		if line == "" {
@@ -176,7 +176,7 @@ func validPromLabels(s string) error {
 	if s == "" {
 		return nil
 	}
-	for len(s) > 0 {
+	for len(s) > 0 { //tofu:allow-ctxpoll consumes at least one byte of s per iteration
 		eq := strings.Index(s, "=")
 		if eq <= 0 {
 			return fmt.Errorf("bad label pair in %q", s)

@@ -33,7 +33,7 @@ func writeChildren(w *strings.Builder, s *Span, depth int) {
 	for i := 0; i < len(kids); {
 		// Length of the run of consecutive same-named siblings at i.
 		j := i + 1
-		for j < len(kids) && kids[j].name == kids[i].name {
+		for j < len(kids) && kids[j].name == kids[i].name { //tofu:allow-ctxpoll advances j toward len(kids) every iteration
 			j++
 		}
 		run := kids[i:j]

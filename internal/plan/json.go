@@ -21,6 +21,10 @@ type Export struct {
 	// Pipeline describes the stage structure of a hybrid-parallel plan;
 	// omitted for flat plans, so their JSON is unchanged.
 	Pipeline *PipelineInfo `json:"pipeline,omitempty"`
+	// Degraded marks an anytime result a deadline stopped early (see
+	// Plan.Degraded); omitted for complete plans, so their JSON is
+	// unchanged.
+	Degraded bool `json:"degraded,omitempty"`
 	// TotalCommBytes is Σ δ_i.
 	TotalCommBytes float64 `json:"total_comm_bytes"`
 }
@@ -48,7 +52,7 @@ type strat struct {
 
 // ToExport converts a plan into its serializable form.
 func (p *Plan) ToExport() Export {
-	ex := Export{Digest: p.Digest, Workers: p.K, Pipeline: p.Pipeline, TotalCommBytes: p.TotalComm()}
+	ex := Export{Digest: p.Digest, Workers: p.K, Pipeline: p.Pipeline, Degraded: p.Degraded, TotalCommBytes: p.TotalComm()}
 	for _, s := range p.Steps {
 		se := StepExport{
 			Ways: s.K, Multiplier: s.Multiplier, CommBytes: s.CommBytes, Level: s.Level, Stage: s.Stage,

@@ -73,6 +73,12 @@ type Plan struct {
 	// and the descriptor records how the stages map onto the machine. Flat
 	// plans leave it nil and serialize byte-identically to before it existed.
 	Pipeline *PipelineInfo
+	// Degraded marks an anytime result: a deadline or cancellation stopped
+	// the search before it proved optimality, so this is the best incumbent
+	// found in the budget — still a valid, feasible plan, just not
+	// necessarily the optimum. Deadline-free searches never set it, and the
+	// JSON form omits it when false, so their plans stay byte-identical.
+	Degraded bool
 }
 
 // PipelineInfo describes the stage structure of a hybrid-parallel plan.

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tofu/internal/cancel"
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
 	"tofu/internal/graph"
@@ -166,6 +167,10 @@ type orderSearch struct {
 	bestRanks []uint8
 	errs      errCollector
 	stats     SearchStats
+	// cancelled flips when any layer reports a cancellation (the token
+	// polled here, or a dp.Solve that stopped mid-prefix). The walk then
+	// winds down and the incumbent ships as a degraded plan.
+	cancelled bool
 }
 
 // errCollector deduplicates infeasibility reasons by message; both search
@@ -297,6 +302,7 @@ func (s *orderSearch) computeStep(ps *prefixState, st *obs.Span) {
 		Cache:          s.cache,
 		Reuse:          reuse,
 		Trace:          st,
+		Cancel:         s.opts.Cancel,
 	})
 	if err != nil {
 		ps.err = err
@@ -399,6 +405,13 @@ func (s *orderSearch) offerLocked(steps []factorLevel, ranks []uint8, cost float
 func (s *orderSearch) addErr(err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if cancel.IsCancellation(err) {
+		// A cancelled prefix is not an infeasible one: a search that was
+		// stopped proved nothing about the topology. Keep the reason out of
+		// the diagnostics and flag the walk to wind down.
+		s.cancelled = true
+		return
+	}
 	s.errs.add(err)
 }
 
@@ -647,6 +660,14 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 	pq := &nodeHeap{{key: "", par: s.rootPS}}
 	heap.Init(pq)
 	for pq.Len() > 0 {
+		// Deadline poll, once per expansion round: a tripped token stops
+		// the walk here and ships the incumbent as a degraded plan.
+		if s.opts.Cancel.Cancelled() {
+			s.mu.Lock()
+			s.cancelled = true
+			s.mu.Unlock()
+			break
+		}
 		// Pop up to par surviving nodes and evaluate them concurrently;
 		// their shared prefix work dedupes through the once-guarded memos.
 		// A node whose provisional bound already exceeds the incumbent dies
@@ -654,6 +675,9 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 		// fires from the very first expansion round.
 		var batch []*obNode
 		for len(batch) < par && pq.Len() > 0 {
+			if s.opts.Cancel.Cancelled() {
+				break
+			}
 			n := heap.Pop(pq).(*obNode)
 			s.mu.Lock()
 			prune := s.shouldPrune(n.bound)
@@ -701,13 +725,15 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 		}
 	}
 
-	if !s.bestSet {
+	if !s.bestSet && !s.cancelled {
 		// Total infeasibility: the lazy walk may have died at the very
 		// first bound query, leaving a single reason where the user needs
 		// every distinct one (which factor fails at which shapes). Sweep
 		// the memoized factor-prefix tree collecting the rest — this runs
 		// only when no ordering can host the topology, and each distinct
-		// factor prefix costs at most one memoized DP.
+		// factor prefix costs at most one memoized DP. A cancelled search
+		// skips the sweep: it proved nothing, and the sweep runs DP steps
+		// the deadline just declined to pay for.
 		s.diagnose()
 	}
 	s.stats.BestCost = s.bestCost
@@ -723,6 +749,9 @@ func (s *orderSearch) run() (*plan.Plan, error) {
 		*s.opts.Stats = s.stats
 	}
 	if !s.bestSet {
+		if s.cancelled {
+			return nil, cancel.Reason(s.opts.Cancel.Err(), "recursive: cancelled before any ordering completed")
+		}
 		return nil, infeasibleTopoErr(s.tp, s.errs.errs)
 	}
 	return s.buildPlan()
@@ -800,6 +829,9 @@ func (s *orderSearch) buildPlan() (*plan.Plan, error) {
 		mult *= fl.f
 	}
 	p.FinalShapes = ps.shapes
+	// A walk the deadline stopped ships its incumbent — a real, feasible
+	// plan, just not a proven optimum — under the Degraded marker.
+	p.Degraded = s.cancelled
 	return p, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tofu/internal/cancel"
 	"tofu/internal/coarsen"
 	"tofu/internal/dp"
 	"tofu/internal/graph"
@@ -88,6 +89,14 @@ type Options struct {
 	// with per-prefix expansion and prune spans. nil (the default) records
 	// nothing and costs nothing; spans never influence the chosen plan.
 	Trace *obs.Span
+	// Cancel, if non-nil, is polled at every factor step and
+	// branch-and-bound expansion. When it trips, the topology-aware
+	// engines return their best incumbent marked plan.Degraded (the
+	// anytime contract); a search with no incumbent yet — including every
+	// flat single-chain search, which has nothing partial to return —
+	// fails with the token's reason instead. nil (the default) is a
+	// pointer comparison per poll and leaves plans byte-identical.
+	Cancel *cancel.Token
 }
 
 // Partition searches for the best partition plan of a training graph across
@@ -172,6 +181,12 @@ func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, level
 	// Coarse, DType and filter throughout — see dp.Problem.Reuse).
 	reuse := &dp.EvalReuse{}
 	for i, ki := range factors {
+		if opts.Cancel.Cancelled() {
+			// A partial factor chain multiplies to less than k — not a plan.
+			// The callers with incumbents (ordering/hybrid searches) degrade;
+			// this single chain can only report why it stopped.
+			return nil, cancel.Reason(opts.Cancel.Err(), "recursive: cancelled at step %d/%d", i+1, len(factors))
+		}
 		st := opts.Trace.Child("recursive.step")
 		st.SetInt("step", int64(i+1))
 		st.SetInt("factor", ki)
@@ -189,6 +204,7 @@ func runSteps(g *graph.Graph, c *coarsen.Coarse, k int64, factors []int64, level
 			Cache:          cache,
 			Reuse:          reuse,
 			Trace:          st,
+			Cancel:         opts.Cancel,
 		})
 		st.End()
 		if err != nil {
@@ -293,7 +309,14 @@ func partitionTopoFlat(g *graph.Graph, c *coarsen.Coarse, k int64, tp topo.Topol
 		errs     errCollector
 	)
 	stats.Orderings = len(orderings)
+	degraded := false
 	for _, ord := range orderings {
+		if opts.Cancel.Cancelled() {
+			// Anytime contract: keep the best ordering costed so far and
+			// mark the plan degraded rather than discarding finished work.
+			degraded = true
+			break
+		}
 		factors := make([]int64, len(ord))
 		levels := make([]int, len(ord))
 		for i, fl := range ord {
@@ -303,6 +326,12 @@ func partitionTopoFlat(g *graph.Graph, c *coarsen.Coarse, k int64, tp topo.Topol
 		stats.FlatDPSolves += len(ord)
 		p, err := runSteps(g, c, k, factors, levels, opts, cache, &stats.DPSolves)
 		if err != nil {
+			if cancel.IsCancellation(err) {
+				// A cancelled chain is not an infeasible one: keep it out of
+				// the diagnostics and stop the enumeration.
+				degraded = true
+				break
+			}
 			errs.add(err)
 			continue
 		}
@@ -318,8 +347,12 @@ func partitionTopoFlat(g *graph.Graph, c *coarsen.Coarse, k int64, tp topo.Topol
 		*opts.Stats = stats
 	}
 	if best == nil {
+		if degraded {
+			return nil, cancel.Reason(opts.Cancel.Err(), "recursive: cancelled before any ordering completed")
+		}
 		return nil, infeasibleTopoErr(tp, errs.errs)
 	}
+	best.Degraded = degraded
 	return best, nil
 }
 

@@ -29,6 +29,9 @@ type Client struct {
 	hc   *http.Client
 	// PollInterval paces job polling after an async flip (default 50ms).
 	PollInterval time.Duration
+	// Retry makes Partition retry 429/503 pushback with backoff and jitter,
+	// honoring the server's Retry-After hint. Zero value: no retries.
+	Retry RetryPolicy
 }
 
 // New returns a client for a base URL like "http://127.0.0.1:8080".
@@ -96,36 +99,55 @@ func (c *Client) Partition(ctx context.Context, r service.Request) (plan.Export,
 	if err != nil {
 		return plan.Export{}, nil, err
 	}
+	for attempt := 0; ; attempt++ {
+		ex, raw, retryAfter, retryable, err := c.partitionOnce(ctx, digest, body)
+		if err == nil || !retryable || attempt >= c.Retry.MaxRetries {
+			return ex, raw, err
+		}
+		if serr := c.Retry.sleep(ctx, c.Retry.delay(attempt, retryAfter)); serr != nil {
+			return plan.Export{}, nil, serr
+		}
+	}
+}
+
+// partitionOnce is one POST /v1/partition round trip. retryable marks the
+// transient-pushback statuses (429, 503) the RetryPolicy may re-send after
+// the server's retryAfter hint.
+func (c *Client) partitionOnce(ctx context.Context, digest string, body []byte) (plan.Export, []byte, time.Duration, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/partition", bytes.NewReader(body))
 	if err != nil {
-		return plan.Export{}, nil, err
+		return plan.Export{}, nil, 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return plan.Export{}, nil, err
+		return plan.Export{}, nil, 0, false, err
 	}
 	raw, err := io.ReadAll(resp.Body)
 	resp.Body.Close() //tofu:allow-errdrop the body was already read to EOF; close failure cannot lose data
 	if err != nil {
-		return plan.Export{}, nil, err
+		return plan.Export{}, nil, 0, false, err
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return c.verify(digest, raw)
+		ex, raw, err := c.verify(digest, raw)
+		return ex, raw, 0, false, err
 	case http.StatusAccepted:
 		var acc service.Accepted
 		if err := json.Unmarshal(raw, &acc); err != nil {
-			return plan.Export{}, nil, fmt.Errorf("client: parsing 202: %w", err)
+			return plan.Export{}, nil, 0, false, fmt.Errorf("client: parsing 202: %w", err)
 		}
 		if err := c.pollJob(ctx, acc.Job); err != nil {
-			return plan.Export{}, nil, err
+			return plan.Export{}, nil, 0, false, err
 		}
-		return c.Plan(ctx, digest)
+		ex, raw, err := c.Plan(ctx, digest)
+		return ex, raw, 0, false, err
 	case http.StatusTooManyRequests:
-		return plan.Export{}, nil, ErrBusy
+		return plan.Export{}, nil, retryAfterHint(resp.Header), true, ErrBusy
+	case http.StatusServiceUnavailable:
+		return plan.Export{}, nil, retryAfterHint(resp.Header), true, apiErr("partition", resp.StatusCode, raw)
 	default:
-		return plan.Export{}, nil, apiErr("partition", resp.StatusCode, raw)
+		return plan.Export{}, nil, 0, false, apiErr("partition", resp.StatusCode, raw)
 	}
 }
 

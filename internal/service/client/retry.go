@@ -1,0 +1,95 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryPolicy makes Partition retry transient server pushback — 429 (queue
+// or tenant backpressure) and 503 (deadline admission, cancelled searches,
+// degraded-policy failures) — with capped exponential backoff, jitter, and
+// the server's Retry-After hint as a floor. The zero value never retries,
+// preserving the one-shot ErrBusy behavior existing callers expect.
+type RetryPolicy struct {
+	// MaxRetries is how many times to re-send after the first attempt
+	// (0 = never retry).
+	MaxRetries int
+	// BaseDelay seeds the exponential schedule (default 100ms); attempt n
+	// waits up to BaseDelay<<n.
+	BaseDelay time.Duration
+	// MaxDelay caps the schedule (default 5s).
+	MaxDelay time.Duration
+	// Sleep replaces the wait between attempts — the fake-clock seam for
+	// tests. nil sleeps on a real timer, honoring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Jitter replaces the randomness source with a deterministic one for
+	// tests: it must return a fraction in [0,1). nil uses math/rand.
+	Jitter func() float64
+}
+
+// delay computes the wait before retry number attempt (0-based): equal
+// jitter over the capped exponential — half the window guaranteed, half
+// random — so a thundering herd of identical clients spreads out, never
+// below the server's Retry-After hint.
+func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= max || d <= 0 {
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	frac := rand.Float64() //nolint:gosec // backoff jitter needs no crypto strength
+	if p.Jitter != nil {
+		frac = p.Jitter()
+	}
+	d = d/2 + time.Duration(frac*float64(d/2))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// sleep waits d via the seam (or a real timer), aborting early on ctx.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterHint parses a Retry-After response header's delta-seconds form
+// (the only form the server emits); absent or unparsable hints are zero.
+func retryAfterHint(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

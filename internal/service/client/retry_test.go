@@ -1,0 +1,235 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tofu/internal/models"
+	"tofu/internal/plan"
+	"tofu/internal/service"
+)
+
+var testModel = models.Config{Family: "mlp", Depth: 4, Width: 256, Batch: 64}
+
+// jitterConst returns a fixed fraction, pinning the randomized half of the
+// equal-jitter window for exact schedule assertions.
+func jitterConst(f float64) func() float64 { return func() float64 { return f } }
+
+func TestDelaySchedule(t *testing.T) {
+	p := RetryPolicy{Jitter: jitterConst(0)} // delay = window/2 exactly
+	// Defaults: base 100ms doubling, capped at 5s.
+	want := []time.Duration{50, 100, 200, 400, 800, 1600, 2500, 2500}
+	for attempt, w := range want {
+		if got := p.delay(attempt, 0); got != w*time.Millisecond {
+			t.Errorf("attempt %d: delay %v, want %v", attempt, got, w*time.Millisecond)
+		}
+	}
+	// Full jitter fraction sits at the top of the window.
+	p = RetryPolicy{Jitter: jitterConst(0.999999)}
+	if got := p.delay(0, 0); got < 99*time.Millisecond || got > 100*time.Millisecond {
+		t.Errorf("max-jitter delay %v, want ~100ms", got)
+	}
+	// Custom base and cap.
+	p = RetryPolicy{BaseDelay: time.Second, MaxDelay: 2 * time.Second, Jitter: jitterConst(0)}
+	if got := p.delay(5, 0); got != time.Second {
+		t.Errorf("capped delay %v, want 1s (cap 2s halved)", got)
+	}
+}
+
+func TestDelayRetryAfterFloor(t *testing.T) {
+	p := RetryPolicy{Jitter: jitterConst(0)}
+	// The server's hint dominates a shorter backoff...
+	if got := p.delay(0, 2*time.Second); got != 2*time.Second {
+		t.Errorf("delay %v, want the 2s Retry-After floor", got)
+	}
+	// ...but never shortens a longer one.
+	if got := p.delay(7, time.Millisecond); got != 2500*time.Millisecond {
+		t.Errorf("delay %v, want the 2.5s backoff", got)
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	for v, want := range map[string]time.Duration{
+		"3":   3 * time.Second,
+		"0":   0,
+		"":    0,
+		"abc": 0,
+		"-2":  0,
+	} {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		if got := retryAfterHint(h); got != want {
+			t.Errorf("Retry-After %q: %v, want %v", v, got, want)
+		}
+	}
+}
+
+// minimalPlan returns a valid plan serialization embedding digest, so the
+// client's ReadJSONExpect verification passes.
+func minimalPlan(t *testing.T, digest string) []byte {
+	t.Helper()
+	raw, err := json.Marshal(plan.Export{
+		Digest:  digest,
+		Workers: 8,
+		Steps:   []plan.StepExport{{Ways: 8, Multiplier: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// pushbackServer answers the first reject requests with status (and a
+// Retry-After hint), then serves a valid plan.
+func pushbackServer(t *testing.T, reject int, status int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= reject {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"pushback"}`)) //tofu:allow-errdrop test handler
+			return
+		}
+		var req service.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decoding request: %v", err)
+		}
+		norm, err := req.Normalize()
+		if err != nil {
+			t.Errorf("normalizing: %v", err)
+		}
+		digest, err := norm.Digest()
+		if err != nil {
+			t.Errorf("digest: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(minimalPlan(t, digest)) //tofu:allow-errdrop test handler
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestPartitionRetries429ThenSuccess(t *testing.T) {
+	srv, calls := pushbackServer(t, 2, http.StatusTooManyRequests, "")
+	var slept []time.Duration
+	c := New(srv.URL)
+	c.Retry = RetryPolicy{
+		MaxRetries: 3,
+		Jitter:     jitterConst(0),
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	req := service.Request{Model: testModel}
+	ex, _, err := c.Partition(t.Context(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Workers != 8 {
+		t.Fatalf("plan workers %d", ex.Workers)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	}
+}
+
+func TestPartitionRetries503HonorsRetryAfter(t *testing.T) {
+	srv, calls := pushbackServer(t, 1, http.StatusServiceUnavailable, "2")
+	var slept []time.Duration
+	c := New(srv.URL)
+	c.Retry = RetryPolicy{
+		MaxRetries: 2,
+		Jitter:     jitterConst(0),
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	if _, _, err := c.Partition(t.Context(), service.Request{Model: testModel}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want the server's 2s Retry-After", slept)
+	}
+}
+
+// TestZeroValueNeverRetries preserves the historical one-shot contract:
+// without an opt-in policy, 429 surfaces immediately as ErrBusy.
+func TestZeroValueNeverRetries(t *testing.T) {
+	srv, calls := pushbackServer(t, 1000, http.StatusTooManyRequests, "1")
+	c := New(srv.URL)
+	if _, _, err := c.Partition(t.Context(), service.Request{Model: testModel}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1", calls.Load())
+	}
+}
+
+// TestRetriesExhaustedReturnsLastError: the policy gives up after
+// MaxRetries and hands back the final pushback error.
+func TestRetriesExhaustedReturnsLastError(t *testing.T) {
+	srv, calls := pushbackServer(t, 1000, http.StatusTooManyRequests, "")
+	c := New(srv.URL)
+	c.Retry = RetryPolicy{
+		MaxRetries: 2,
+		Jitter:     jitterConst(0),
+		Sleep:      func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	if _, _, err := c.Partition(t.Context(), service.Request{Model: testModel}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+// TestSleepAbortsOnContext: a context cancelled mid-backoff stops the
+// retry loop with the context's error, not another request.
+func TestSleepAbortsOnContext(t *testing.T) {
+	srv, calls := pushbackServer(t, 1000, http.StatusTooManyRequests, "")
+	c := New(srv.URL)
+	c.Retry = RetryPolicy{MaxRetries: 5, BaseDelay: time.Hour, Jitter: jitterConst(0)}
+	ctx, cancel := context.WithCancel(t.Context())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Partition(ctx, service.Request{Model: testModel})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Partition did not abort on context cancellation")
+	}
+}

@@ -37,6 +37,14 @@ type Metrics struct {
 	searchDPStepsFlat atomic.Int64
 	searchWarm        atomic.Int64
 
+	// Anytime-search outcomes: searches whose deadline stopped them with an
+	// incumbent (degraded), searches cancelled before any incumbent existed,
+	// and deadline-bounded submissions rejected at admission because the
+	// queue's estimated wait already exceeded their whole budget.
+	searchDegraded     atomic.Int64
+	searchCancelled    atomic.Int64
+	deadlineInfeasible atomic.Int64
+
 	// Persistent-store serving path: requests answered from the store, and
 	// checksum-valid entries rejected by plan verification.
 	storeServed  atomic.Int64
@@ -127,14 +135,18 @@ type Snapshot struct {
 	// itself, plus the service-level split — requests answered from store
 	// bytes, checksum-valid entries rejected by plan verification, and
 	// write-through failures.
-	StoreEnabled   bool  `json:"store_enabled"`
-	StorePuts      int64 `json:"store_puts"`
-	StoreHits      int64 `json:"store_hits"`
-	StoreMisses    int64 `json:"store_misses"`
-	StoreCorrupt   int64 `json:"store_corrupt"`
-	StoreServed    int64 `json:"store_served"`
-	StoreBadPlan   int64 `json:"store_bad_plan"`
-	StorePutErrors int64 `json:"store_put_errors"`
+	StoreEnabled bool  `json:"store_enabled"`
+	StorePuts    int64 `json:"store_puts"`
+	StoreHits    int64 `json:"store_hits"`
+	StoreMisses  int64 `json:"store_misses"`
+	StoreCorrupt int64 `json:"store_corrupt"`
+	// StoreQuarantined counts corrupt entries preserved as .corrupt.<n>
+	// forensic files (the per-digest cap drops the overflow; those still
+	// count in StoreCorrupt).
+	StoreQuarantined int64 `json:"store_quarantined"`
+	StoreServed      int64 `json:"store_served"`
+	StoreBadPlan     int64 `json:"store_bad_plan"`
+	StorePutErrors   int64 `json:"store_put_errors"`
 	// TenantRejected counts per-tenant quota 429s (before global
 	// backpressure); Sweep* count speculative-precompute completions.
 	TenantRejected int64 `json:"tenant_rejected"`
@@ -154,13 +166,20 @@ type Snapshot struct {
 	// steps) and pruned, DP steps actually run, what a flat enumeration
 	// would have cost, and how many searches were warm-started from a
 	// neighboring cached plan.
-	SearchOrderings   int64   `json:"search_orderings"`
-	SearchSteps       int64   `json:"search_steps"`
-	SearchPruned      int64   `json:"search_pruned"`
-	SearchDPSteps     int64   `json:"search_dp_steps"`
-	SearchDPStepsFlat int64   `json:"search_dp_steps_flat"`
-	SearchWarmStarted int64   `json:"search_warm_started"`
-	SearchP50Ms       float64 `json:"search_p50_ms"`
-	SearchP99Ms       float64 `json:"search_p99_ms"`
-	UptimeSec         float64 `json:"uptime_sec"`
+	SearchOrderings   int64 `json:"search_orderings"`
+	SearchSteps       int64 `json:"search_steps"`
+	SearchPruned      int64 `json:"search_pruned"`
+	SearchDPSteps     int64 `json:"search_dp_steps"`
+	SearchDPStepsFlat int64 `json:"search_dp_steps_flat"`
+	SearchWarmStarted int64 `json:"search_warm_started"`
+	// SearchDegraded counts searches the deadline stopped with a served
+	// incumbent; SearchCancelled counts searches cancelled before any
+	// incumbent existed; DeadlineRejected counts deadline-bounded requests
+	// refused at admission because the queue could not meet their budget.
+	SearchDegraded   int64   `json:"search_degraded"`
+	SearchCancelled  int64   `json:"search_cancelled"`
+	DeadlineRejected int64   `json:"deadline_rejected"`
+	SearchP50Ms      float64 `json:"search_p50_ms"`
+	SearchP99Ms      float64 `json:"search_p99_ms"`
+	UptimeSec        float64 `json:"uptime_sec"`
 }

@@ -49,6 +49,7 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 	counter("tofu_store_hits_total", "Persistent-store entry reads served.", snap.StoreHits)
 	counter("tofu_store_misses_total", "Persistent-store entry reads missed.", snap.StoreMisses)
 	counter("tofu_store_corrupt_total", "Persistent-store entries quarantined by checksum.", snap.StoreCorrupt)
+	counter("tofu_store_quarantined_total", "Corrupt store entries preserved as forensic .corrupt files.", snap.StoreQuarantined)
 	counter("tofu_store_served_total", "Requests answered from persistent-store bytes.", snap.StoreServed)
 	counter("tofu_store_bad_plan_total", "Checksum-valid store entries rejected by plan verification.", snap.StoreBadPlan)
 	counter("tofu_store_put_errors_total", "Persistent-store write-through failures.", snap.StorePutErrors)
@@ -65,6 +66,9 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 	counter("tofu_search_dp_steps_total", "DP steps actually run.", snap.SearchDPSteps)
 	counter("tofu_search_dp_steps_flat_total", "DP steps a flat enumeration would have run.", snap.SearchDPStepsFlat)
 	counter("tofu_search_warm_started_total", "Searches seeded from a neighboring cached plan.", snap.SearchWarmStarted)
+	counter("tofu_search_degraded_total", "Searches stopped by their deadline with a served incumbent.", snap.SearchDegraded)
+	counter("tofu_search_cancelled_total", "Searches cancelled before any incumbent existed.", snap.SearchCancelled)
+	counter("tofu_requests_deadline_rejected_total", "Deadline-bounded requests refused at admission.", snap.DeadlineRejected)
 
 	// The latency summary: window percentiles as quantile legs, lifetime
 	// count and sum — the Prometheus idiom for a client-side histogram.

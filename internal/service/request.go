@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"tofu/internal/cancel"
 	"tofu/internal/core"
 	"tofu/internal/dp"
 	"tofu/internal/models"
@@ -56,6 +57,12 @@ type Request struct {
 	// pipeline stages across a slow interconnect level, the partition DP
 	// inside each stage. Requires a hierarchical machine.
 	Pipeline *PipelineRequest `json:"pipeline,omitempty"`
+	// DeadlineMs bounds the search's wall-clock budget in milliseconds
+	// (0 = unbounded, or the server's -search-deadline default). A search
+	// that exhausts its budget returns its best incumbent marked degraded,
+	// so the deadline is part of the request's content: two requests with
+	// different budgets may legitimately produce different plans.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // PipelineRequest is the wire form of the hybrid-search knobs that change
@@ -143,6 +150,9 @@ func (r Request) Normalize() (Request, error) {
 			return Request{}, fmt.Errorf("service: factors %v do not multiply to %d", r.Factors, r.Workers)
 		}
 	}
+	if r.DeadlineMs < 0 {
+		return Request{}, fmt.Errorf("service: invalid deadline_ms %d", r.DeadlineMs)
+	}
 	if r.TopologyNaive && r.Topology == nil {
 		return Request{}, fmt.Errorf("service: topology_naive requires a hierarchical machine")
 	}
@@ -174,10 +184,13 @@ type digestForm struct {
 	MaxStates     int             `json:"max_states"`
 	Factors       []int64         `json:"factors"`
 	TopologyNaive bool            `json:"topology_naive"`
-	// Pipeline is the one omitempty exception: the field post-dates the
-	// digest format, so it folds into the hash only when present — every
-	// pre-pipeline request keeps its digest byte-for-byte.
-	Pipeline *PipelineRequest `json:"pipeline,omitempty"`
+	// Pipeline and DeadlineMs are the omitempty exceptions: both post-date
+	// the digest format, so they fold into the hash only when present —
+	// every pre-existing request keeps its digest byte-for-byte. A deadline
+	// belongs in the digest because a degraded incumbent is a different
+	// answer than the proven optimum.
+	Pipeline   *PipelineRequest `json:"pipeline,omitempty"`
+	DeadlineMs int64            `json:"deadline_ms,omitempty"`
 }
 
 // Digest returns the stable content digest ("sha256:<64 hex>") of the
@@ -215,6 +228,7 @@ func (nr Request) digestNormalized() (string, error) {
 		Factors:       nr.Factors,
 		TopologyNaive: nr.TopologyNaive,
 		Pipeline:      nr.Pipeline,
+		DeadlineMs:    nr.DeadlineMs,
 	})
 	if err != nil {
 		return "", fmt.Errorf("service: %w", err)
@@ -251,7 +265,7 @@ func ComputePlan(r Request, parallelism int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return computeWarm(nr, digest, parallelism, nil, nil, nil)
+	return computeWarm(nr, digest, parallelism, nil, nil, nil, nil)
 }
 
 // computeWarm is ComputePlan for a request the caller has already
@@ -260,9 +274,11 @@ func ComputePlan(r Request, parallelism int) ([]byte, error) {
 // seeds the branch-and-bound incumbent with a neighboring plan's ordering.
 // Chosen plans are byte-identical with or without either (seeds and caches
 // change search effort, never content); stats, when non-nil, receives the
-// ordering-search effort.
+// ordering-search effort. tok, when non-nil, bounds the search — a tripped
+// token yields a degraded incumbent (or a cancellation error).
 func computeWarm(nr Request, digest string, parallelism int,
-	pricing *dp.PriceCache, stats *recursive.SearchStats, warm []recursive.WarmStep) ([]byte, error) {
+	pricing *dp.PriceCache, stats *recursive.SearchStats, warm []recursive.WarmStep,
+	tok *cancel.Token) ([]byte, error) {
 
 	m, err := models.Build(nr.Model)
 	if err != nil {
@@ -273,6 +289,7 @@ func computeWarm(nr Request, digest string, parallelism int,
 	opts.Search.Cache = pricing
 	opts.Search.Stats = stats
 	opts.Search.WarmStart = warm
+	opts.Cancel = tok
 	sum, err := core.Partition(m.G, nr.Workers, opts)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)

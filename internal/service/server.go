@@ -5,8 +5,10 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
+	"tofu/internal/cancel"
 	"tofu/internal/plan"
 )
 
@@ -129,6 +131,14 @@ func (s *Service) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writePlan(w, digest, val, "cache")
 		return
 	}
+	// Deadline admission: refuse work the queue demonstrably cannot finish
+	// in budget, with a Retry-After sized to the backlog, instead of
+	// accepting a job whose whole budget would burn in the queue.
+	if wait, derr := s.CheckDeadline(req); derr != nil {
+		w.Header().Set("Retry-After", retryAfterSeconds(wait))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{derr.Error()})
+		return
+	}
 	// The tenant header scopes quota accounting only — it never reaches the
 	// digest, so tenants share cache entries for identical requests.
 	job, kind, err := s.SubmitTenant(req, digest, r.Header.Get("Tofu-Tenant"))
@@ -159,7 +169,18 @@ func (s *Service) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if jerr != nil {
+		// A cancelled search (deadline with no incumbent, watchdog, drain)
+		// is transient load, not a malformed request: 503 + Retry-After so
+		// well-behaved clients back off and re-submit.
+		if cancel.IsCancellation(jerr) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{jerr.Error()})
+			return
+		}
 		writeJSON(w, http.StatusUnprocessableEntity, apiError{jerr.Error()})
+		return
+	}
+	if !s.serveDegraded(w, job.Degraded()) {
 		return
 	}
 	source := "search"
@@ -170,6 +191,34 @@ func (s *Service) handlePartition(w http.ResponseWriter, r *http.Request) {
 		source = "cache"
 	}
 	writePlan(w, digest, val, source)
+}
+
+// serveDegraded applies Config.DegradedPolicy to a finished job: under
+// DegradedServe it stamps the Tofu-Degraded response header and reports
+// true (serve the incumbent); under DegradedFail it writes the 503 and
+// reports false. Non-degraded results always pass untouched.
+func (s *Service) serveDegraded(w http.ResponseWriter, degraded bool) bool {
+	if !degraded {
+		return true
+	}
+	if s.cfg.DegradedPolicy == DegradedFail {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			apiError{"search degraded: deadline exhausted before the proven optimum (degraded-policy=fail)"})
+		return false
+	}
+	w.Header().Set("Tofu-Degraded", "true")
+	return true
+}
+
+// retryAfterSeconds renders a backlog estimate as a Retry-After value:
+// whole seconds, rounded up, at least 1.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -199,8 +248,13 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Evicted from the LRU but the finished job is still indexed: an async
-	// client must not lose the search it was 202'd for.
-	if val, ok := s.RecoverPlan(digest); ok {
+	// client must not lose the search it was 202'd for. Degraded incumbents
+	// live only here (never in the cache), so this is also where a 202'd
+	// deadline-bounded client collects its plan.
+	if val, degraded, ok := s.RecoverPlan(digest); ok {
+		if !s.serveDegraded(w, degraded) {
+			return
+		}
 		writePlan(w, digest, val, "cache")
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tofu/internal/cancel"
 	"tofu/internal/plan"
 	"tofu/internal/recursive"
 	"tofu/internal/store"
@@ -30,6 +31,29 @@ var (
 	ErrTenantQuota = errors.New("service: tenant over job quota")
 	// ErrShuttingDown rejects new work while in-flight jobs drain.
 	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrDeadlineInfeasible rejects a deadline-bounded request whose budget
+	// the queue demonstrably cannot meet; the HTTP layer maps it to 503 with
+	// a Retry-After estimate.
+	ErrDeadlineInfeasible = errors.New("service: queue cannot meet the request deadline")
+)
+
+// Cancellation reasons the service injects into a job's token; both are
+// recognized by cancel.IsCancellation, so the layers below return their best
+// incumbent (or a clean cancellation error) instead of wedging.
+var (
+	watchdogReason = cancel.NewReason("service: watchdog fired: search exceeded the per-job budget")
+	shutdownReason = cancel.NewReason("service: shutting down: search cancelled by the drain deadline")
+)
+
+// DegradedPolicy values: what the HTTP layer does with a plan the deadline
+// stopped early.
+const (
+	// DegradedServe returns the incumbent with a `Tofu-Degraded: true`
+	// response header — the anytime contract, and the default.
+	DegradedServe = "serve"
+	// DegradedFail turns degraded results into 503s; callers that must have
+	// the proven optimum retry with a larger budget.
+	DegradedFail = "fail"
 )
 
 // JobState is the lifecycle of an async search job.
@@ -54,11 +78,18 @@ type Job struct {
 	tenant string
 	sweep  bool
 
-	// done closes when the search finishes (either way); val/err are only
-	// read after done.
-	done chan struct{}
-	val  []byte
-	err  error
+	// done closes when the search finishes (either way); val/err/degraded
+	// are only read after done.
+	done     chan struct{}
+	val      []byte
+	err      error
+	degraded bool
+
+	// token cancels the job's search: the deadline and watchdog arm it when
+	// the job starts running, and Shutdown trips it on every queued or
+	// running job when the drain deadline expires. nil only on the synthetic
+	// cache-hit jobs, which never run.
+	token *cancel.Token
 
 	mu       sync.Mutex
 	state    JobState
@@ -80,6 +111,10 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // called after Done is closed.
 func (j *Job) Result() ([]byte, error) { return j.val, j.err }
 
+// Degraded reports that the plan is a deadline-stopped incumbent rather
+// than the proven optimum; like Result, it must only be called after Done.
+func (j *Job) Degraded() bool { return j.degraded }
+
 // Status is the JSON view of a job for GET /v1/jobs/{id}.
 type Status struct {
 	ID      string   `json:"id"`
@@ -90,6 +125,8 @@ type Status struct {
 	// QueuedMs and RunMs break down where the job's wall-clock went.
 	QueuedMs float64 `json:"queued_ms"`
 	RunMs    float64 `json:"run_ms,omitempty"`
+	// Degraded marks a done job whose plan is a deadline-stopped incumbent.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Status snapshots the job.
@@ -109,6 +146,7 @@ func (j *Job) Status() Status {
 	}
 	if j.state == JobDone {
 		st.PlanURL = "/v1/plans/" + j.digest
+		st.Degraded = j.degraded
 	}
 	if j.state == JobFailed && j.err != nil {
 		st.Error = j.err.Error()
@@ -168,6 +206,24 @@ type Config struct {
 	// Compute overrides the search itself — the test seam. nil means
 	// ComputePlan.
 	Compute func(Request) ([]byte, error)
+	// ComputeCancel is Compute with the job's cancellation token — the seam
+	// for tests that exercise deadlines, the watchdog and the drain path.
+	// Takes precedence over Compute when both are set.
+	ComputeCancel func(Request, *cancel.Token) ([]byte, error)
+	// DefaultDeadline bounds every search that does not carry its own
+	// deadline_ms (0 = unbounded). Requests with deadline_ms keep theirs.
+	DefaultDeadline time.Duration
+	// Watchdog caps any single search's run time regardless of its deadline
+	// (0 = none). A fired watchdog cancels the search through the same
+	// anytime path as a deadline, so a wedged job degrades instead of
+	// pinning a worker forever.
+	Watchdog time.Duration
+	// DegradedPolicy is what the HTTP layer does with deadline-stopped
+	// incumbents: DegradedServe (default) or DegradedFail.
+	DegradedPolicy string
+	// ShutdownGrace is how long Shutdown waits after cancelling still-running
+	// searches before giving up on the drain (default 2s).
+	ShutdownGrace time.Duration
 	// Logger, when set, receives structured request and job-lifecycle
 	// records (log/slog). nil — the default — logs nothing.
 	Logger *slog.Logger
@@ -191,6 +247,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PricingCacheSize <= 0 {
 		c.PricingCacheSize = 32
+	}
+	if c.DegradedPolicy == "" {
+		c.DegradedPolicy = DegradedServe
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 2 * time.Second
 	}
 	return c
 }
@@ -342,6 +404,7 @@ func (s *Service) submit(req Request, digest, tenant string, sweep bool) (job *J
 		tenant:  tenant,
 		sweep:   sweep,
 		done:    make(chan struct{}),
+		token:   cancel.New(),
 		state:   JobQueued,
 		created: time.Now(),
 	}
@@ -398,18 +461,22 @@ func itoa6(n int64) string {
 // index, re-inserting it into the cache. It is the async API's backstop: a
 // plan computed for a 202'd client must survive cache churn at least until
 // its job is evicted from the (larger, time-ordered) job index — otherwise
-// the client's completed search would be lost and re-run.
-func (s *Service) RecoverPlan(digest string) ([]byte, bool) {
+// the client's completed search would be lost and re-run. Degraded plans
+// are recoverable too (their 202'd clients still deserve the incumbent)
+// but stay out of the cache, so fresh requests re-search.
+func (s *Service) RecoverPlan(digest string) (val []byte, degraded, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := len(s.doneIDs) - 1; i >= 0; i-- {
 		if j := s.jobs[s.doneIDs[i]]; j != nil && j.digest == digest && j.err == nil {
-			s.cache.Put(digest, j.val)
+			if !j.degraded {
+				s.cache.Put(digest, j.val)
+			}
 			s.metrics.hits.Add(1)
-			return j.val, true
+			return j.val, j.degraded, true
 		}
 	}
-	return nil, false
+	return nil, false, false
 }
 
 // Job finds a job by ID (running or retained-finished).
@@ -452,11 +519,65 @@ func (s *Service) worker() {
 	}
 }
 
+// DeadlineFor resolves a request's effective search budget: its own
+// deadline_ms when set, else the server's default (0 = unbounded).
+func (s *Service) DeadlineFor(req Request) time.Duration {
+	if req.DeadlineMs > 0 {
+		return time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	return s.cfg.DefaultDeadline
+}
+
+// EstimatedWait predicts how long a newly queued job sits before a worker
+// picks it up: the queued backlog paced by the p50 search latency across the
+// pool. Zero when the latency window is empty — no evidence, no rejection.
+func (s *Service) EstimatedWait() time.Duration {
+	p50, _ := s.metrics.percentiles()
+	if p50 == 0 {
+		return 0
+	}
+	return time.Duration(len(s.queue)) * p50 / time.Duration(s.cfg.Workers)
+}
+
+// CheckDeadline is the admission control for deadline-bounded requests: when
+// the queue's estimated wait already exceeds the request's whole budget, the
+// search would start degraded-or-worse, so the submission is rejected with
+// ErrDeadlineInfeasible (503 + Retry-After at the HTTP layer) instead of
+// burning a worker on it. Unbounded requests always pass.
+func (s *Service) CheckDeadline(req Request) (wait time.Duration, err error) {
+	d := s.DeadlineFor(req)
+	if d <= 0 {
+		return 0, nil
+	}
+	wait = s.EstimatedWait()
+	if wait > d {
+		s.metrics.deadlineInfeasible.Add(1)
+		return wait, fmt.Errorf("%w (estimated wait %v > budget %v)", ErrDeadlineInfeasible, wait, d)
+	}
+	return wait, nil
+}
+
 func (s *Service) run(j *Job) {
 	j.setState(JobRunning)
 	s.metrics.inFlight.Add(1)
 	start := time.Now()
+
+	// Arm the anytime machinery: the request's (or server-default) deadline
+	// and the watchdog both trip the same token the search polls. Stopping
+	// the timers on exit keeps finished jobs from firing stale cancels.
+	if d := s.DeadlineFor(j.req); d > 0 {
+		stop := j.token.CancelAfter(d, cancel.ErrDeadline)
+		defer stop()
+	}
+	if s.cfg.Watchdog > 0 {
+		stop := j.token.CancelAfter(s.cfg.Watchdog, watchdogReason)
+		defer stop()
+	}
+
 	compute := s.cfg.Compute
+	if s.cfg.ComputeCancel != nil {
+		compute = func(r Request) ([]byte, error) { return s.cfg.ComputeCancel(r, j.token) }
+	}
 	if compute == nil {
 		// The submission path already normalized the request and computed
 		// its digest; skip both on the worker. The search shares the
@@ -471,7 +592,7 @@ func (s *Service) run(j *Job) {
 				warm = s.neighbors.seedFor(md, j.digest, r.Workers, *r.Topology)
 			}
 			var st recursive.SearchStats
-			val, err := computeWarm(r, j.digest, s.cfg.Parallelism, s.pricing.For(r.Model), &st, warm)
+			val, err := computeWarm(r, j.digest, s.cfg.Parallelism, s.pricing.For(r.Model), &st, warm, j.token)
 			s.metrics.observeOrderingSearch(st)
 			return val, err
 		}
@@ -480,24 +601,43 @@ func (s *Service) run(j *Job) {
 	elapsed := time.Since(start)
 	s.metrics.observeSearch(elapsed)
 	s.metrics.inFlight.Add(-1)
+
+	// A degraded plan is a real, valid answer — but not the proven optimum,
+	// so it is served to its callers and never written into the cache or the
+	// store: the next identical request re-runs the search for a chance at
+	// the full result instead of pinning the incumbent forever.
+	degraded := false
+	if err == nil {
+		if ex, perr := plan.ReadJSON(bytes.NewReader(val)); perr == nil {
+			degraded = ex.Degraded
+			if !degraded {
+				s.persist(j, val)
+			}
+		}
+	}
+	if err == nil && degraded {
+		s.metrics.searchDegraded.Add(1)
+	}
+	if err != nil && cancel.IsCancellation(err) {
+		s.metrics.searchCancelled.Add(1)
+	}
+
 	if lg := s.cfg.Logger; lg != nil {
 		if err != nil {
 			lg.Warn("search failed", "job", j.id, "digest", j.digest, "sweep", j.sweep,
 				"dur_ms", float64(elapsed.Microseconds())/1e3, "err", err.Error())
 		} else {
 			lg.Info("search done", "job", j.id, "digest", j.digest, "sweep", j.sweep,
-				"dur_ms", float64(elapsed.Microseconds())/1e3, "plan_bytes", len(val))
+				"dur_ms", float64(elapsed.Microseconds())/1e3, "plan_bytes", len(val), "degraded", degraded)
 		}
 	}
 
-	if err == nil {
-		s.persist(j, val)
-	}
-
 	s.mu.Lock()
-	j.val, j.err = val, err
+	j.val, j.err, j.degraded = val, err, degraded
 	if err == nil {
-		s.cache.Put(j.digest, val)
+		if !degraded {
+			s.cache.Put(j.digest, val)
+		}
 		s.metrics.jobsDone.Add(1)
 		if j.sweep {
 			s.metrics.sweepDone.Add(1)
@@ -560,8 +700,13 @@ func (s *Service) retainFinishedLocked(j *Job) {
 }
 
 // Shutdown drains: new submissions are rejected, every queued and running
-// job finishes, then the worker pool exits. It returns ctx.Err() if the
-// deadline expires first (workers keep draining in the background).
+// job finishes, then the worker pool exits. If the context expires before a
+// polite drain completes, every queued and running search is cancelled
+// through its token — the anytime path hands back degraded incumbents, a
+// genuinely wedged Compute seam is simply abandoned — and the pool gets
+// Config.ShutdownGrace to unwind. Only a job that ignores its token past
+// the grace makes Shutdown return ctx.Err(); a bounded drain can no longer
+// be stalled by one stuck search.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
@@ -578,6 +723,18 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	case <-drained:
 		return nil
 	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, j := range s.inflight {
+		j.token.Cancel(shutdownReason)
+	}
+	s.mu.Unlock()
+	grace := time.NewTimer(s.cfg.ShutdownGrace)
+	defer grace.Stop()
+	select {
+	case <-drained:
+		return nil
+	case <-grace.C:
 		return ctx.Err()
 	}
 }
@@ -616,6 +773,7 @@ func (s *Service) Metrics() Snapshot {
 		StoreHits:         st.Hits,
 		StoreMisses:       st.Misses,
 		StoreCorrupt:      st.Corrupt,
+		StoreQuarantined:  st.Quarantined,
 		StoreServed:       s.metrics.storeServed.Load(),
 		StoreBadPlan:      s.metrics.storeBadPlan.Load(),
 		StorePutErrors:    st.PutErrors,
@@ -634,6 +792,9 @@ func (s *Service) Metrics() Snapshot {
 		SearchDPSteps:     s.metrics.searchDPSteps.Load(),
 		SearchDPStepsFlat: s.metrics.searchDPStepsFlat.Load(),
 		SearchWarmStarted: s.metrics.searchWarm.Load(),
+		SearchDegraded:    s.metrics.searchDegraded.Load(),
+		SearchCancelled:   s.metrics.searchCancelled.Load(),
+		DeadlineRejected:  s.metrics.deadlineInfeasible.Load(),
 		SearchP50Ms:       p50.Seconds() * 1e3,
 		SearchP99Ms:       p99.Seconds() * 1e3,
 		UptimeSec:         time.Since(s.started).Seconds(),

@@ -339,14 +339,14 @@ func TestRecoverPlanAfterEviction(t *testing.T) {
 		t.Fatal("A should have been evicted")
 	}
 	// ...but the retained job still recovers it (and re-caches it).
-	val, ok := s.RecoverPlan(testDigest(1))
-	if !ok || string(val) != "plan-mlp" {
-		t.Fatalf("recover = %q,%v", val, ok)
+	val, degraded, ok := s.RecoverPlan(testDigest(1))
+	if !ok || degraded || string(val) != "plan-mlp" {
+		t.Fatalf("recover = %q,%v,%v", val, degraded, ok)
 	}
 	if _, ok := s.Lookup(testDigest(1)); !ok {
 		t.Fatal("recovered plan should be back in the cache")
 	}
-	if _, ok := s.RecoverPlan(testDigest(5)); ok {
+	if _, _, ok := s.RecoverPlan(testDigest(5)); ok {
 		t.Fatal("unknown digest recovered")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tofu/internal/faultfs"
 	"tofu/internal/plan"
 )
 
@@ -24,7 +25,18 @@ type Options struct {
 	// write is caught by the checksum and quarantined, so most deployments
 	// prefer the faster policy.
 	Fsync bool
+	// FS routes every filesystem call the store makes (nil = the real OS).
+	// Tests and the tofu-serve -faultfs flag hand in a faultfs.Injector to
+	// exercise the store's corruption and write-failure paths.
+	FS faultfs.FS
 }
+
+// maxQuarantinePerEntry bounds the .corrupt.<n> forensic files kept per
+// entry path: a store fed a repeating corruption (a bad disk region, a
+// buggy writer looping) keeps the first few specimens for inspection and
+// deletes the rest, so quarantine can never grow the directory without
+// bound.
+const maxQuarantinePerEntry = 4
 
 // Store is a content-addressed plan store rooted at one directory: entry
 // files named <64 hex>.plan (the digest without its "sha256:" prefix),
@@ -35,11 +47,12 @@ type Store struct {
 	opts Options
 
 	// Counters for the /metrics endpoint; quarantines also land here.
-	puts      atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	corrupt   atomic.Int64
-	putErrors atomic.Int64
+	puts        atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	corrupt     atomic.Int64
+	quarantined atomic.Int64
+	putErrors   atomic.Int64
 
 	// seq disambiguates concurrent temp files within one process; the PID
 	// in the name disambiguates across replicas sharing the directory.
@@ -55,7 +68,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return &Store{dir: dir, opts: opts}, nil
@@ -92,8 +108,8 @@ func (s *Store) Put(meta Meta, planBytes []byte) error {
 		s.putErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp) //tofu:allow-errdrop best-effort temp cleanup; the rename error is what matters
+	if err := s.opts.FS.Rename(tmp, path); err != nil {
+		_ = s.opts.FS.Remove(tmp) //tofu:allow-errdrop best-effort temp cleanup; the rename error is what matters
 		s.putErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
@@ -108,36 +124,31 @@ func (s *Store) Put(meta Meta, planBytes []byte) error {
 }
 
 func (s *Store) writeFile(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.opts.FS.Create(path)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		_ = f.Close()       //tofu:allow-errdrop the write error is being returned
-		_ = os.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the write error is what matters
+		_ = f.Close()              //tofu:allow-errdrop the write error is being returned
+		_ = s.opts.FS.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the write error is what matters
 		return err
 	}
 	if s.opts.Fsync {
 		if err := f.Sync(); err != nil {
-			_ = f.Close()       //tofu:allow-errdrop the sync error is being returned
-			_ = os.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the sync error is what matters
+			_ = f.Close()              //tofu:allow-errdrop the sync error is being returned
+			_ = s.opts.FS.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the sync error is what matters
 			return err
 		}
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the close error is what matters
+		_ = s.opts.FS.Remove(path) //tofu:allow-errdrop best-effort temp cleanup; the close error is what matters
 		return err
 	}
 	return nil
 }
 
 func (s *Store) syncDir() error {
-	d, err := os.Open(s.dir)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := s.opts.FS.SyncDir(s.dir); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -152,7 +163,7 @@ func (s *Store) Get(digest string) (Meta, []byte, error) {
 	if err != nil {
 		return Meta{}, nil, err
 	}
-	data, err := os.ReadFile(path)
+	data, err := s.opts.FS.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		s.misses.Add(1)
 		return Meta{}, nil, ErrNotFound
@@ -187,20 +198,27 @@ func (s *Store) readVerified(path string, data []byte, digest string) (Meta, []b
 // quarantine moves a corrupt entry aside so it is never re-read and never
 // silently deleted — operators can inspect it. Rename failures (e.g. the
 // other replica quarantined it first) are absorbed: the entry is already
-// out of the serving path either way.
+// out of the serving path either way. Once maxQuarantinePerEntry forensic
+// copies of one entry exist, further corrupt copies are deleted instead —
+// a repeating corruption must not grow the directory without bound.
 func (s *Store) quarantine(path string) {
 	s.corrupt.Add(1)
 	s.quarantineMu.Lock()
 	defer s.quarantineMu.Unlock()
-	if _, err := os.Stat(path); err != nil {
+	if _, err := s.opts.FS.Stat(path); err != nil {
+		return
+	}
+	if kept, err := s.opts.FS.Glob(path + ".corrupt.*"); err == nil && len(kept) >= maxQuarantinePerEntry {
+		_ = s.opts.FS.Remove(path) //tofu:allow-errdrop best-effort cap enforcement; a survivor is re-quarantined on the next read
 		return
 	}
 	dst := fmt.Sprintf("%s.corrupt.%d", path, s.seq.Add(1))
-	if err := os.Rename(path, dst); err != nil {
+	if err := s.opts.FS.Rename(path, dst); err != nil {
 		// Lost a race with another quarantiner or the file vanished; the
 		// next Get simply misses.
 		return
 	}
+	s.quarantined.Add(1)
 }
 
 // Scan walks every entry in the store in digest order, verifying each and
@@ -208,7 +226,7 @@ func (s *Store) quarantine(path string) {
 // boot-time path that rebuilds the in-memory neighbor index from a shared
 // directory. fn returning an error stops the scan.
 func (s *Store) Scan(fn func(Meta, []byte) error) error {
-	names, err := filepath.Glob(filepath.Join(s.dir, "*.plan"))
+	names, err := s.opts.FS.Glob(filepath.Join(s.dir, "*.plan"))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -221,7 +239,7 @@ func (s *Store) Scan(fn func(Meta, []byte) error) error {
 			// stray file could); leave it alone.
 			continue
 		}
-		data, err := os.ReadFile(path)
+		data, err := s.opts.FS.ReadFile(path)
 		if err != nil {
 			// Raced with a concurrent quarantine or delete; skip.
 			continue
@@ -239,20 +257,24 @@ func (s *Store) Scan(fn func(Meta, []byte) error) error {
 
 // Stats is the store's counter snapshot for /metrics.
 type Stats struct {
-	Puts      int64 `json:"store_puts"`
-	Hits      int64 `json:"store_hits"`
-	Misses    int64 `json:"store_misses"`
-	Corrupt   int64 `json:"store_corrupt"`
-	PutErrors int64 `json:"store_put_errors"`
+	Puts    int64 `json:"store_puts"`
+	Hits    int64 `json:"store_hits"`
+	Misses  int64 `json:"store_misses"`
+	Corrupt int64 `json:"store_corrupt"`
+	// Quarantined counts corrupt entries preserved as .corrupt.<n> forensic
+	// files; detections past the per-entry cap land in Corrupt only.
+	Quarantined int64 `json:"store_quarantined"`
+	PutErrors   int64 `json:"store_put_errors"`
 }
 
 // Stats snapshots the counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Puts:      s.puts.Load(),
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Corrupt:   s.corrupt.Load(),
-		PutErrors: s.putErrors.Load(),
+		Puts:        s.puts.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Quarantined: s.quarantined.Load(),
+		PutErrors:   s.putErrors.Load(),
 	}
 }

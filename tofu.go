@@ -25,8 +25,10 @@ package tofu
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"tofu/internal/baselines"
+	"tofu/internal/cancel"
 	"tofu/internal/core"
 	"tofu/internal/graph"
 	"tofu/internal/models"
@@ -86,6 +88,11 @@ type (
 	// (compute and per-level transfer lanes, pipeline stage slots). As with
 	// TraceSpan, nil disables recording at zero cost.
 	Timeline = obs.Timeline
+	// CancelToken is the cooperative cancellation token bounding a search.
+	// A nil token never cancels and costs one pointer comparison per poll —
+	// set PipelineOptions.Cancel to a SearchDeadline token to bound the
+	// search, leave it nil for the proven optimum.
+	CancelToken = cancel.Token
 	// OpDesc is a TDL operator description.
 	OpDesc = tdl.OpDesc
 	// OpBuilder assembles TDL descriptions fluently.
@@ -182,6 +189,13 @@ func PlanDigest(c ModelConfig, k int64, opts PipelineOptions) (string, error) {
 		// exhaustive oracle change simulation or effort, never plan bytes.
 		req.Pipeline = &service.PipelineRequest{Level: opts.Pipeline.Level}
 	}
+	if b := opts.Cancel.Budget(); b > 0 {
+		// A deadline-bounded search may legitimately return a degraded
+		// incumbent, so the budget is part of the request's content. Tokens
+		// without a declared budget (plain Cancel, poll-counted test tokens)
+		// are effort-only and deliberately excluded, like parallelism.
+		req.DeadlineMs = b.Milliseconds()
+	}
 	return req.Digest()
 }
 
@@ -233,6 +247,16 @@ func SimulatePipeline(s *Summary, batch int64, opts PipelineOptions) (SimResult,
 // render with SpanTree. Span timestamps are display-only: the chosen plan
 // is byte-identical with or without tracing.
 func NewTraceSpan(name string) *TraceSpan { return obs.NewSpan(name) }
+
+// SearchDeadline arms a wall-clock budget for a search: assign the token to
+// PipelineOptions.Cancel and call stop once the search returns. On expiry
+// the search stops at its next poll point and returns the best incumbent
+// found so far with Summary.Degraded set (or the deadline error when
+// nothing completed in budget). d <= 0 returns a nil token — unbounded, the
+// plain byte-identical search. The budget (not the expiry instant) folds
+// into PlanDigest, because a degraded incumbent is a different answer than
+// the proven optimum.
+func SearchDeadline(d time.Duration) (*CancelToken, func()) { return cancel.WithTimeout(d) }
 
 // NewTimeline starts an empty execution timeline for SimulateTraced /
 // SimulatePipelineTraced. Its events carry virtual-clock (simulated)
